@@ -1,0 +1,132 @@
+// Group-size scaling (extension): the paper fixes n = 4; this bench
+// measures how each protocol's isolated latency and the atomic broadcast
+// throughput scale with the group size (and thus the fault budget
+// f = (n-1)/3). The quadratic message complexity of Bracha's reliable
+// broadcast is the expected driver: latency roughly doubles per +3
+// processes while the tolerated faults grow linearly.
+#include <cstdio>
+
+#include "paper_harness.h"
+
+namespace {
+
+using namespace ritas;
+using namespace ritas::bench;
+
+double isolated_latency_n(Proto proto, std::uint32_t n, int iters) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = 9;
+  o.lan = paper_lan(true);
+  Cluster c(o);
+  Sample lat;
+  const Bytes payload(10, 0x61);
+  for (int it = 0; it < iters; ++it) {
+    const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+    bool done = false;
+    switch (proto) {
+      case Proto::kRB: {
+        const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, seq);
+        std::vector<ReliableBroadcast*> inst(n, nullptr);
+        for (ProcessId p : c.live()) {
+          ReliableBroadcast::DeliverFn cb;
+          if (p == 0) cb = [&done](Bytes) { done = true; };
+          inst[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
+                                                      std::move(cb));
+        }
+        c.call(0, [&] { inst[0]->bcast(payload); });
+        break;
+      }
+      case Proto::kBC: {
+        const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, seq);
+        std::vector<BinaryConsensus*> inst(n, nullptr);
+        for (ProcessId p : c.live()) {
+          BinaryConsensus::DecideFn cb;
+          if (p == 0) cb = [&done](bool) { done = true; };
+          inst[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+                                                    std::move(cb));
+        }
+        for (ProcessId p : c.live()) {
+          c.call(p, [&, p] { inst[p]->propose(true); });
+        }
+        break;
+      }
+      case Proto::kAB: {
+        const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, seq);
+        std::vector<AtomicBroadcast*> inst(n, nullptr);
+        for (ProcessId p : c.live()) {
+          AtomicBroadcast::DeliverFn cb;
+          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Bytes) { done = true; };
+          inst[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
+        }
+        c.call(0, [&] { inst[0]->bcast(payload); });
+        break;
+      }
+      default:
+        return 0;
+    }
+    c.run_until([&] { return done; }, c.now() + kDeadline);
+    lat.add(static_cast<double>(c.now()) / 1e3);
+    c.run_all();
+    for (ProcessId p : c.live()) c.destroy_roots(p);
+    // destroy_roots leaves the sim clock running; measure per-iteration by
+    // differencing: reset via fresh sample bookkeeping below.
+    break;  // one isolated execution per fresh cluster keeps timing clean
+  }
+  return lat.mean();
+}
+
+double ab_throughput_n(std::uint32_t n, std::uint32_t burst) {
+  ClusterOptions o;
+  o.n = n;
+  o.seed = 10;
+  o.lan = paper_lan(true);
+  Cluster c(o);
+  std::vector<AtomicBroadcast*> ab(n, nullptr);
+  std::uint64_t delivered = 0;
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    AtomicBroadcast::DeliverFn cb;
+    if (p == 0) cb = [&delivered](ProcessId, std::uint64_t, Bytes) { ++delivered; };
+    ab[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
+  }
+  const std::uint32_t per = burst / n;
+  const Bytes payload(10, 0x62);
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] {
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+    });
+  }
+  const std::uint32_t total = per * n;
+  c.run_until([&] { return delivered >= total; }, kDeadline);
+  const double secs = static_cast<double>(c.now()) / 1e9;
+  return secs > 0 ? total / secs : 0;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Group-size scaling (extension; the paper fixes n = 4)\n"
+      "isolated latency (us, 10-byte payloads) and AB throughput (msg/s)");
+
+  std::printf("%-6s %4s %10s %10s %10s %14s\n", "n", "f", "RB (us)", "BC (us)",
+              "AB (us)", "AB Tmax(msg/s)");
+  double prev_rb = 0;
+  bool monotone = true;
+  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
+    const double rb = isolated_latency_n(Proto::kRB, n, 1);
+    const double bc = isolated_latency_n(Proto::kBC, n, 1);
+    const double abl = isolated_latency_n(Proto::kAB, n, 1);
+    const double thr = ab_throughput_n(n, 400);
+    std::printf("%-6u %4u %10.0f %10.0f %10.0f %14.0f\n", n, max_faults(n), rb,
+                bc, abl, thr);
+    if (rb < prev_rb) monotone = false;
+    prev_rb = rb;
+    std::fflush(stdout);
+  }
+  std::printf("\nshape check:\n");
+  std::printf("  latency grows with group size (O(n^2) messages): %s\n",
+              monotone ? "PASS" : "FAIL");
+  return monotone ? 0 : 1;
+}

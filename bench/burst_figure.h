@@ -1,0 +1,66 @@
+// Shared driver for Figures 4, 5 and 6 (atomic broadcast burst latency and
+// throughput under one faultload, for four message sizes).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "paper_harness.h"
+
+namespace ritas::bench {
+
+struct PaperReference {
+  // Paper values at burst = 1000 for m = 10 / 100 / 1K / 10K.
+  double latency_ms[4];
+  double tmax_msgs_s[4];
+};
+
+inline int run_burst_figure(const char* title, Faultload fl,
+                            const PaperReference& ref) {
+  const std::size_t sizes[4] = {10, 100, 1000, 10000};
+  const std::vector<std::uint32_t> bursts = {4, 10, 20, 50, 100, 200, 500, 1000};
+  constexpr int kRuns = 3;  // paper used 10; deterministic sim needs fewer
+
+  print_header(title);
+  std::printf("%-8s", "burst");
+  for (std::size_t m : sizes) {
+    std::printf("  | m=%-5zu lat(ms) thr(msg/s)", m);
+  }
+  std::printf("\n");
+
+  BurstResult last[4];
+  bool one_round = true, no_default = true;
+  for (std::uint32_t k : bursts) {
+    std::printf("%-8u", k);
+    for (int i = 0; i < 4; ++i) {
+      const BurstResult r = run_burst_avg(k, sizes[i], fl, kRuns);
+      std::printf("  | %8.1f %10.0f          ", r.latency_ms, r.throughput_msgs_s);
+      last[i] = r;
+      one_round = one_round && r.bc_always_one_round;
+      no_default = no_default && r.mvc_never_default;
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nburst=1000 vs paper:\n");
+  std::printf("%-8s %14s %14s %16s %16s\n", "m", "paper lat(ms)", "sim lat(ms)",
+              "paper Tmax", "sim Tmax");
+  bool monotone_tmax = true;
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-8zu %14.0f %14.1f %16.0f %16.0f\n", sizes[i], ref.latency_ms[i],
+                last[i].latency_ms, ref.tmax_msgs_s[i], last[i].throughput_msgs_s);
+    if (i > 0 && last[i].latency_ms < last[i - 1].latency_ms) monotone_tmax = false;
+  }
+
+  std::printf("\nshape checks (%s faultload):\n", faultload_name(fl));
+  std::printf("  latency grows with message size            : %s\n",
+              monotone_tmax ? "PASS" : "FAIL");
+  std::printf("  binary consensus always decided in 1 round : %s\n",
+              one_round ? "PASS" : "FAIL");
+  std::printf("  multi-valued consensus never decided bottom: %s\n",
+              no_default ? "PASS" : "FAIL");
+  return (monotone_tmax && one_round && no_default) ? 0 : 1;
+}
+
+}  // namespace ritas::bench

@@ -1,0 +1,263 @@
+// Shared harness for the paper-replication benchmarks (Table 1, Figures
+// 4-7 of the DSN'06 RITAS paper). Each bench binary builds workloads out
+// of these runners and prints the paper's numbers next to the measured
+// ones. All experiments use n = 4 on the calibrated simulated LAN, exactly
+// the paper's testbed shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/atomic_broadcast.h"
+#include "core/binary_consensus.h"
+#include "core/echo_broadcast.h"
+#include "core/multivalued_consensus.h"
+#include "core/reliable_broadcast.h"
+#include "core/vector_consensus.h"
+#include "sim/cluster.h"
+
+namespace ritas::bench {
+
+using sim::Cluster;
+using sim::ClusterOptions;
+using sim::Time;
+
+constexpr Time kDeadline = 600 * sim::kSecond;
+
+/// The calibrated model of the paper's testbed (see EXPERIMENTS.md).
+inline sim::LanModelConfig paper_lan(bool ipsec) {
+  sim::LanModelConfig lan;  // defaults are the calibrated constants
+  lan.ipsec = ipsec;
+  return lan;
+}
+
+enum class Proto { kEB, kRB, kBC, kMVC, kVC, kAB };
+
+inline const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kEB: return "Echo Broadcast";
+    case Proto::kRB: return "Reliable Broadcast";
+    case Proto::kBC: return "Binary Consensus";
+    case Proto::kMVC: return "Multi-valued Consensus";
+    case Proto::kVC: return "Vector Consensus";
+    case Proto::kAB: return "Atomic Broadcast";
+  }
+  return "?";
+}
+
+/// Table 1 workload: N isolated executions of one protocol; broadcast
+/// sender = lowest id; consensus proposals identical; payload 10 bytes
+/// (1 byte for binary consensus). Returns mean latency in microseconds
+/// measured at process 0, signal -> deliver/decide.
+inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
+                                  std::uint64_t seed,
+                                  StackConfig stack_cfg = {}) {
+  ClusterOptions o;
+  o.n = 4;
+  o.seed = seed;
+  o.lan = paper_lan(ipsec);
+  o.stack = stack_cfg;
+  Cluster c(o);
+  Sample lat;
+  const Bytes payload(10, 0x61);
+
+  for (int it = 0; it < iterations; ++it) {
+    const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+    const Time t0 = c.now();
+    bool done = false;
+
+    switch (proto) {
+      case Proto::kEB: {
+        const InstanceId id = InstanceId::root(ProtocolType::kEchoBroadcast, seq);
+        std::vector<EchoBroadcast*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          EchoBroadcast::DeliverFn cb;
+          if (p == 0) cb = [&done](Bytes) { done = true; };
+          inst[p] = &c.create_root<EchoBroadcast>(p, id, 0, Attribution::kPayload,
+                                                  std::move(cb));
+        }
+        c.call(0, [&] { inst[0]->bcast(payload); });
+        break;
+      }
+      case Proto::kRB: {
+        const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, seq);
+        std::vector<ReliableBroadcast*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          ReliableBroadcast::DeliverFn cb;
+          if (p == 0) cb = [&done](Bytes) { done = true; };
+          inst[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
+                                                      std::move(cb));
+        }
+        c.call(0, [&] { inst[0]->bcast(payload); });
+        break;
+      }
+      case Proto::kBC: {
+        const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, seq);
+        std::vector<BinaryConsensus*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          BinaryConsensus::DecideFn cb;
+          if (p == 0) cb = [&done](bool) { done = true; };
+          inst[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+                                                    std::move(cb));
+        }
+        for (ProcessId p : c.live()) {
+          c.call(p, [&, p] { inst[p]->propose(true); });
+        }
+        break;
+      }
+      case Proto::kMVC: {
+        const InstanceId id =
+            InstanceId::root(ProtocolType::kMultiValuedConsensus, seq);
+        std::vector<MultiValuedConsensus*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          MultiValuedConsensus::DecideFn cb;
+          if (p == 0) cb = [&done](std::optional<Bytes>) { done = true; };
+          inst[p] = &c.create_root<MultiValuedConsensus>(p, id, Attribution::kAgreement,
+                                                         std::move(cb));
+        }
+        for (ProcessId p : c.live()) {
+          c.call(p, [&, p] { inst[p]->propose(payload); });
+        }
+        break;
+      }
+      case Proto::kVC: {
+        const InstanceId id = InstanceId::root(ProtocolType::kVectorConsensus, seq);
+        std::vector<VectorConsensus*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          VectorConsensus::DecideFn cb;
+          if (p == 0) cb = [&done](VectorConsensus::Vector) { done = true; };
+          inst[p] = &c.create_root<VectorConsensus>(p, id, Attribution::kAgreement,
+                                                    std::move(cb));
+        }
+        for (ProcessId p : c.live()) {
+          c.call(p, [&, p] { inst[p]->propose(payload); });
+        }
+        break;
+      }
+      case Proto::kAB: {
+        const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, seq);
+        std::vector<AtomicBroadcast*> inst(4, nullptr);
+        for (ProcessId p : c.live()) {
+          AtomicBroadcast::DeliverFn cb;
+          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Bytes) { done = true; };
+          inst[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
+        }
+        c.call(0, [&] { inst[0]->bcast(payload); });
+        break;
+      }
+    }
+
+    c.run_until([&] { return done; }, c.now() + kDeadline);
+    lat.add(static_cast<double>(c.now() - t0) / 1e3);  // us
+    c.run_all();  // quiesce before tearing the instances down
+    for (ProcessId p : c.live()) c.destroy_roots(p);
+  }
+  return lat.mean();
+}
+
+enum class Faultload { kFailureFree, kFailStop, kByzantine };
+
+inline const char* faultload_name(Faultload f) {
+  switch (f) {
+    case Faultload::kFailureFree: return "failure-free";
+    case Faultload::kFailStop: return "fail-stop";
+    case Faultload::kByzantine: return "Byzantine";
+  }
+  return "?";
+}
+
+struct BurstResult {
+  std::uint32_t burst = 0;          // messages actually sent
+  double latency_ms = 0;            // signal -> k-th delivery at p0
+  double throughput_msgs_s = 0;     // burst / latency
+  double agreement_ratio = 0;       // agreement bcasts / all bcasts (Fig 7)
+  std::uint64_t ab_rounds = 0;      // agreement rounds at p0
+  bool bc_always_one_round = true;  // §4.3 claim
+  bool mvc_never_default = true;    // §4.3 claim
+};
+
+/// Figures 4-6 workload: every (live, counted) sender transmits burst/S
+/// messages of msg_bytes; latency is measured at p0 from the signal to the
+/// delivery of the last message.
+inline BurstResult run_burst(std::uint32_t burst, std::size_t msg_bytes,
+                             Faultload fl, std::uint64_t seed,
+                             StackConfig stack_cfg = {}) {
+  ClusterOptions o;
+  o.n = 4;
+  o.seed = seed;
+  o.lan = paper_lan(true);
+  o.stack = stack_cfg;
+  if (fl == Faultload::kFailStop) o.crashed = {3};
+  if (fl == Faultload::kByzantine) o.byzantine = {3};
+  Cluster c(o);
+
+  std::vector<AtomicBroadcast*> ab(4, nullptr);
+  std::vector<std::uint64_t> delivered(4, 0);
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+  }
+
+  const auto senders = c.live();  // Byzantine processes still send (paper)
+  const std::uint32_t per = burst / static_cast<std::uint32_t>(senders.size());
+  const std::uint32_t total = per * static_cast<std::uint32_t>(senders.size());
+  const Bytes payload(msg_bytes, 0x62);
+
+  const Time t0 = c.now();
+  for (ProcessId p : senders) {
+    c.call(p, [&, p] {
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+    });
+  }
+  c.run_until([&] { return delivered[0] >= total; }, t0 + kDeadline);
+
+  BurstResult r;
+  r.burst = total;
+  r.latency_ms = static_cast<double>(c.now() - t0) / 1e6;
+  r.throughput_msgs_s =
+      r.latency_ms > 0 ? static_cast<double>(total) / (r.latency_ms / 1e3) : 0;
+  const Metrics m = c.total_metrics();
+  r.agreement_ratio = m.broadcasts_total() > 0
+                          ? static_cast<double>(m.broadcasts_agreement()) /
+                                static_cast<double>(m.broadcasts_total())
+                          : 0;
+  r.ab_rounds = c.stack(0).metrics().ab_rounds;
+  // §4.3 claims, checked over the correct processes only.
+  for (ProcessId p : c.correct_set()) {
+    const Metrics& pm = c.stack(p).metrics();
+    if (pm.bc_rounds_total != pm.bc_decided) r.bc_always_one_round = false;
+    if (pm.mvc_decided_default != 0) r.mvc_never_default = false;
+  }
+  return r;
+}
+
+/// Averages `runs` seeded executions of run_burst.
+inline BurstResult run_burst_avg(std::uint32_t burst, std::size_t msg_bytes,
+                                 Faultload fl, int runs,
+                                 StackConfig stack_cfg = {}) {
+  BurstResult acc;
+  for (int i = 0; i < runs; ++i) {
+    BurstResult r = run_burst(burst, msg_bytes, fl,
+                              1000 + static_cast<std::uint64_t>(i), stack_cfg);
+    acc.burst = r.burst;
+    acc.latency_ms += r.latency_ms / runs;
+    acc.throughput_msgs_s += r.throughput_msgs_s / runs;
+    acc.agreement_ratio += r.agreement_ratio / runs;
+    acc.ab_rounds += r.ab_rounds;
+    acc.bc_always_one_round = acc.bc_always_one_round && r.bc_always_one_round;
+    acc.mvc_never_default = acc.mvc_never_default && r.mvc_never_default;
+  }
+  acc.ab_rounds /= static_cast<std::uint64_t>(runs);
+  return acc;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ritas::bench

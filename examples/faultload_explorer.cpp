@@ -1,0 +1,98 @@
+// Faultload explorer: runs the same atomic broadcast workload under the
+// paper's three faultloads (§4.2) — failure-free, fail-stop, Byzantine —
+// and prints latency, round counts and traffic side by side. A miniature,
+// interactive version of the paper's evaluation story: crashes make the
+// system *faster*, and the Byzantine attack buys the adversary nothing.
+//
+//   $ ./faultload_explorer [burst] [msg_bytes]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/atomic_broadcast.h"
+#include "sim/cluster.h"
+
+using namespace ritas;
+
+namespace {
+
+struct Outcome {
+  double latency_ms;
+  std::uint64_t ab_rounds;
+  std::uint64_t frames;
+  double agreement_pct;
+  bool one_round_bc;
+  bool delivered_all;
+};
+
+Outcome run(const std::string& faultload, std::uint32_t burst,
+            std::size_t msg_bytes) {
+  sim::ClusterOptions o;
+  o.n = 4;
+  o.seed = 99;
+  if (faultload == "fail-stop") o.crashed = {3};
+  if (faultload == "Byzantine") o.byzantine = {3};
+  sim::Cluster c(o);
+
+  std::vector<AtomicBroadcast*> ab(o.n, nullptr);
+  std::uint64_t delivered_at_0 = 0;
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&delivered_at_0, p](ProcessId, std::uint64_t, Bytes) {
+          if (p == 0) ++delivered_at_0;
+        });
+  }
+  const auto senders = c.live();
+  const std::uint32_t per = burst / static_cast<std::uint32_t>(senders.size());
+  const std::uint32_t total = per * static_cast<std::uint32_t>(senders.size());
+  const Bytes payload(msg_bytes, 'x');
+  for (ProcessId p : senders) {
+    c.call(p, [&, p] {
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+    });
+  }
+  const bool ok =
+      c.run_until([&] { return delivered_at_0 >= total; }, 300 * sim::kSecond);
+
+  Outcome out;
+  out.delivered_all = ok;
+  out.latency_ms = static_cast<double>(c.now()) / 1e6;
+  out.ab_rounds = c.stack(0).metrics().ab_rounds;
+  const Metrics m = c.total_metrics();
+  out.frames = m.msgs_sent;
+  out.agreement_pct = m.broadcasts_total() > 0
+                          ? 100.0 * static_cast<double>(m.broadcasts_agreement()) /
+                                static_cast<double>(m.broadcasts_total())
+                          : 0.0;
+  out.one_round_bc = true;
+  for (ProcessId p : c.correct_set()) {
+    const Metrics& pm = c.stack(p).metrics();
+    if (pm.bc_rounds_total != pm.bc_decided) out.one_round_bc = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t burst = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 200;
+  const std::size_t msg_bytes = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+
+  std::printf("atomic broadcast, n=4, burst=%u, %zu-byte messages\n\n", burst,
+              msg_bytes);
+  std::printf("%-14s %12s %10s %10s %12s %10s %10s\n", "faultload", "latency(ms)",
+              "rounds", "frames", "agreement%", "1-rnd BC", "complete");
+  for (const std::string fl : {"failure-free", "fail-stop", "Byzantine"}) {
+    const Outcome o = run(fl, burst, msg_bytes);
+    std::printf("%-14s %12.1f %10llu %10llu %11.1f%% %10s %10s\n", fl.c_str(),
+                o.latency_ms, static_cast<unsigned long long>(o.ab_rounds),
+                static_cast<unsigned long long>(o.frames), o.agreement_pct,
+                o.one_round_bc ? "yes" : "no", o.delivered_all ? "yes" : "NO");
+  }
+  std::printf(
+      "\nthe paper's findings: fail-stop is *faster* (less contention), and\n"
+      "the Byzantine attack leaves performance essentially unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "common/bytes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ritas {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string to_hex(ByteView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool equal(ByteView a, ByteView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace ritas

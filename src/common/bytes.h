@@ -1,0 +1,38 @@
+// Byte-buffer aliases and small helpers shared by every RITAS module.
+//
+// The whole stack passes message payloads around as `Bytes` (owned) or
+// `ByteView` (non-owned). Conversions to/from strings and hex are provided
+// for tests, logging and key-derivation code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ritas {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Builds an owned byte buffer from a string (no terminator is stored).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte view as a string (copies).
+std::string to_string(ByteView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(ByteView b);
+
+/// Parses lower/upper-case hex; throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-size comparison helper (not timing-safe; see crypto/ct.h for
+/// the timing-safe variant used on MACs).
+bool equal(ByteView a, ByteView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+}  // namespace ritas

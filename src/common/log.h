@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The protocol stack never logs on its hot paths by default (level WARN);
+// tests and examples raise the level to trace protocol decisions. The
+// logger is process-global and intentionally tiny — a reproduction harness
+// does not need sinks, rotation, or structured output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ritas {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+namespace detail {
+void log_write(LogLevel lvl, const char* file, int line, const std::string& msg);
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define RITAS_LOG(lvl, ...)                                                 \
+  do {                                                                      \
+    if (static_cast<int>(lvl) >= static_cast<int>(::ritas::log_level())) {  \
+      ::ritas::detail::log_write(lvl, __FILE__, __LINE__,                   \
+                                 ::ritas::detail::log_format(__VA_ARGS__)); \
+    }                                                                       \
+  } while (0)
+
+#define LOG_TRACE(...) RITAS_LOG(::ritas::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) RITAS_LOG(::ritas::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) RITAS_LOG(::ritas::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) RITAS_LOG(::ritas::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) RITAS_LOG(::ritas::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ritas

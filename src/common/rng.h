@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// Every process in the stack owns one `Rng` (the paper's "random bit
+// generator ... observable only by the process"). Tests and the simulator
+// seed them explicitly so that even executions that flip random coins are
+// bit-for-bit reproducible; the TCP facade seeds from std::random_device.
+//
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded
+// through SplitMix64 so that closely-spaced seeds yield independent streams.
+#pragma once
+
+#include <cstdint>
+
+namespace ritas {
+
+/// SplitMix64 step; used for seeding and as a cheap hash mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  /// Seeds deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Unbiased integer in [0, bound) via Lemire rejection. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Unbiased random bit — the consensus coin.
+  bool coin() { return (next() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Satisfies std::uniform_random_bit_generator so the engine can be used
+  /// with <algorithm> shuffles in tests.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ritas

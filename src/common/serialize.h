@@ -1,0 +1,77 @@
+// Binary serialization used for every wire message in the stack.
+//
+// Encoding rules: fixed-width little-endian integers, varint-free (the
+// stack's headers are tiny and predictability beats compactness here),
+// length-prefixed byte strings (u32 length). `Reader` never throws on
+// truncated input; every accessor reports failure through `ok()` so that a
+// Byzantine peer feeding garbage can never take the process down — parsing
+// failures surface as "drop this message".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+/// Append-only binary encoder.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(ByteView b) { append(buf_, b); }
+  /// Length-prefixed (u32) byte string.
+  void bytes(ByteView b);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sticky-failure binary decoder over a non-owned view.
+///
+/// On any out-of-bounds read `ok()` becomes false and every subsequent
+/// accessor returns a zero value. Callers check `ok()` once at the end of
+/// parsing (or earlier when a length guides further reads).
+class Reader {
+ public:
+  explicit Reader(ByteView b) : buf_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Reads a u32 length prefix then that many bytes. Fails (and returns an
+  /// empty buffer) if the length exceeds the remaining input.
+  Bytes bytes();
+  std::string str();
+  /// Reads exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  bool ok() const { return ok_; }
+  /// True when the whole input was consumed and no read failed.
+  bool done() const { return ok_ && pos_ == buf_.size(); }
+  std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+
+ private:
+  bool take(std::size_t n);
+
+  ByteView buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ritas

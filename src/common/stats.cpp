@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ritas {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+void Sample::add(double x) {
+  xs_.push_back(x);
+  dirty_ = true;
+}
+
+double Sample::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Sample::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Sample::min() const {
+  if (xs_.empty()) return 0.0;
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Sample::max() const {
+  if (xs_.empty()) return 0.0;
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Sample::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("percentile of empty sample");
+  if (dirty_) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace ritas

@@ -1,0 +1,54 @@
+// Statistics helpers used by the benchmark harnesses.
+//
+// `OnlineStats` keeps running mean/variance (Welford); `Sample` stores the
+// raw observations for percentile queries — the paper reports averages of
+// 100 isolated runs (Table 1) and of 10 burst runs (Figures 4-6), so both
+// forms are needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ritas {
+
+/// Welford running mean / variance. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Raw-observation container with percentile queries.
+class Sample {
+ public:
+  void add(double x);
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile, p in [0,100]. Requires at least one sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace ritas

@@ -1,0 +1,76 @@
+// Byzantine behaviour hooks.
+//
+// A corrupt process in the experiments is an otherwise ordinary stack whose
+// protocols consult an Adversary object at well-defined points. The default
+// implementation is a no-op (correct behaviour); subclasses realize the
+// paper's faultloads (§4.2) and additional attacks used by the tests.
+//
+// The paper's Byzantine faultload is exactly:
+//   * binary consensus: "it always proposes zero trying to impose a zero
+//     decision";
+//   * multi-valued consensus: "it always proposes the default value in both
+//     INIT and VECT messages".
+// `PaperByzantineAdversary` implements that. The stronger strategies
+// (stubborn step values, echo-broadcast garbage, reliable-broadcast
+// equivocation, selective omission) exist to exercise the stack's defensive
+// paths in tests and the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "core/types.h"
+
+namespace ritas {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  // --- binary consensus -------------------------------------------------
+  /// Overrides the value proposed to a binary consensus instance.
+  virtual std::optional<bool> bc_proposal(bool honest) { return honest; }
+  /// Overrides the value broadcast at (round, step). `honest` is what the
+  /// protocol would send: 0, 1, or 2 (the undefined value, step 3 only).
+  /// Return nullopt to omit the broadcast entirely.
+  virtual std::optional<std::uint8_t> bc_step_value(std::uint32_t round,
+                                                    int step,
+                                                    std::uint8_t honest) {
+    (void)round; (void)step;
+    return honest;
+  }
+
+  // --- multi-valued consensus -------------------------------------------
+  /// Overrides the INIT value. nullopt = send the default value (⊥).
+  virtual std::optional<Bytes> mvc_init_value(const Bytes& honest) { return honest; }
+  /// If true, the VECT phase sends ⊥ regardless of the INIT outcome.
+  virtual bool mvc_force_default_vect() { return false; }
+
+  // --- broadcast primitives ----------------------------------------------
+  /// If set, a reliable broadcast INIT equivocates: even-numbered peers get
+  /// the real payload, odd-numbered peers get the returned one.
+  virtual std::optional<Bytes> rb_equivocate(const Bytes& honest) {
+    (void)honest;
+    return std::nullopt;
+  }
+  /// If true, the echo broadcast sender corrupts every MAT column it sends
+  /// (garbage hashes), so no receiver should deliver.
+  virtual bool eb_corrupt_matrix() { return false; }
+  /// If true, this process omits message `to` entirely (selective silence).
+  virtual bool omit_to(ProcessId to) {
+    (void)to;
+    return false;
+  }
+};
+
+/// The faultload of §4.2: zero proposals at the BC layer, default values at
+/// the MVC layer. Everything else follows the protocol.
+class PaperByzantineAdversary : public Adversary {
+ public:
+  std::optional<bool> bc_proposal(bool) override { return false; }
+  std::optional<Bytes> mvc_init_value(const Bytes&) override { return std::nullopt; }
+  bool mvc_force_default_vect() override { return true; }
+};
+
+}  // namespace ritas

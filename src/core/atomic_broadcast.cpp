@@ -1,0 +1,342 @@
+#include "core/atomic_broadcast.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace ritas {
+
+namespace {
+// seq layout: bit 62 = subtype (0 = AB_MSG, 1 = AB_VECT).
+//   AB_MSG:  [62]=0, [61:40]=origin, [39:0]=rbid
+//   AB_VECT: [62]=1, [61:22]=round,  [21:0]=origin
+constexpr std::uint64_t kVectBit = 1ULL << 62;
+constexpr std::uint64_t kOriginMask = (1ULL << 22) - 1;
+constexpr std::uint64_t kRbidMask = (1ULL << 40) - 1;
+constexpr std::size_t kMaxIdsPerVector = 1u << 20;
+}  // namespace
+
+AtomicBroadcast::AtomicBroadcast(ProtocolStack& stack, Protocol* parent,
+                                 InstanceId id, DeliverFn deliver)
+    : Protocol(stack, parent, std::move(id)),
+      deliver_(std::move(deliver)),
+      enq_floor_(stack.n(), 0) {}
+
+std::uint64_t AtomicBroadcast::msg_seq(ProcessId origin, std::uint64_t rbid) {
+  return (static_cast<std::uint64_t>(origin) << 40) | (rbid & kRbidMask);
+}
+
+std::uint64_t AtomicBroadcast::vect_seq(std::uint32_t round, ProcessId origin) {
+  return kVectBit | (static_cast<std::uint64_t>(round) << 22) |
+         (origin & kOriginMask);
+}
+
+bool AtomicBroadcast::decode_rb_seq(std::uint64_t seq, RbKey& out) {
+  if (seq >> 63) return false;
+  out.is_vect = (seq & kVectBit) != 0;
+  if (out.is_vect) {
+    out.origin = static_cast<ProcessId>(seq & kOriginMask);
+    const std::uint64_t r = (seq & ~kVectBit) >> 22;
+    if (r > 0xffffffffULL) return false;
+    out.round = static_cast<std::uint32_t>(r);
+    out.rbid = 0;
+  } else {
+    out.rbid = seq & kRbidMask;
+    out.origin = static_cast<ProcessId>(seq >> 40);
+    out.round = 0;
+  }
+  return true;
+}
+
+Bytes AtomicBroadcast::encode_ids(const std::vector<MsgId>& ids) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const MsgId& id : ids) {
+    w.u32(id.origin);
+    w.u64(id.rbid);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<AtomicBroadcast::MsgId>> AtomicBroadcast::decode_ids(
+    ByteView payload) {
+  Reader r(payload);
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxIdsPerVector) return std::nullopt;
+  std::vector<MsgId> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MsgId id;
+    id.origin = r.u32();
+    id.rbid = r.u64();
+    out.push_back(id);
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+ReliableBroadcast& AtomicBroadcast::ensure_msg_rb(ProcessId origin,
+                                                  std::uint64_t rbid) {
+  const Component c{ProtocolType::kReliableBroadcast, msg_seq(origin, rbid)};
+  if (auto* existing = find_child(c)) {
+    return static_cast<ReliableBroadcast&>(*existing);
+  }
+  auto rb = std::make_unique<ReliableBroadcast>(
+      stack_, this, id().child(c), origin, Attribution::kPayload,
+      [this, origin, rbid](Bytes payload) {
+        on_msg_deliver(origin, rbid, std::move(payload));
+      });
+  auto& ref = *rb;
+  add_child(std::move(rb));
+  return ref;
+}
+
+ReliableBroadcast& AtomicBroadcast::ensure_vect_rb(std::uint32_t round,
+                                                   ProcessId origin) {
+  const Component c{ProtocolType::kReliableBroadcast, vect_seq(round, origin)};
+  if (auto* existing = find_child(c)) {
+    return static_cast<ReliableBroadcast&>(*existing);
+  }
+  auto rb = std::make_unique<ReliableBroadcast>(
+      stack_, this, id().child(c), origin, Attribution::kAgreement,
+      [this, round, origin](Bytes payload) {
+        on_vect_deliver(round, origin, std::move(payload));
+      });
+  auto& ref = *rb;
+  add_child(std::move(rb));
+  return ref;
+}
+
+MultiValuedConsensus& AtomicBroadcast::ensure_mvc(std::uint32_t round) {
+  const Component c{ProtocolType::kMultiValuedConsensus, round};
+  if (auto* existing = find_child(c)) {
+    return static_cast<MultiValuedConsensus&>(*existing);
+  }
+  auto mvc = std::make_unique<MultiValuedConsensus>(
+      stack_, this, id().child(c), Attribution::kAgreement,
+      [this, round](std::optional<Bytes> v) { on_mvc_decide(round, std::move(v)); });
+  auto& ref = *mvc;
+  add_child(std::move(mvc));
+  return ref;
+}
+
+AtomicBroadcast::VectState& AtomicBroadcast::vect_state(std::uint32_t round) {
+  auto it = vects_.find(round);
+  if (it == vects_.end()) {
+    it = vects_.emplace(round, VectState{}).first;
+    it->second.vectors.resize(stack_.n());
+  }
+  return it->second;
+}
+
+std::uint64_t AtomicBroadcast::bcast(Bytes payload) {
+  const std::uint64_t rbid = next_rbid_++;
+  ensure_msg_rb(stack_.self(), rbid).bcast(std::move(payload));
+  return rbid;
+}
+
+void AtomicBroadcast::on_message(ProcessId, std::uint8_t, ByteView) {
+  ++stack_.metrics().invalid_dropped;  // traffic flows through children only
+}
+
+bool AtomicBroadcast::enqueued_contains(const MsgId& id) const {
+  return id.rbid < enq_floor_[id.origin] || enq_extra_.contains(id);
+}
+
+void AtomicBroadcast::enqueued_insert(const MsgId& id) {
+  if (id.rbid == enq_floor_[id.origin]) {
+    std::uint64_t& floor = enq_floor_[id.origin];
+    ++floor;
+    // Compact any extras that are now contiguous with the floor.
+    for (auto it = enq_extra_.find(MsgId{id.origin, floor});
+         it != enq_extra_.end() && it->origin == id.origin && it->rbid == floor;
+         it = enq_extra_.find(MsgId{id.origin, floor})) {
+      enq_extra_.erase(it);
+      ++floor;
+    }
+  } else {
+    enq_extra_.insert(id);
+  }
+}
+
+void AtomicBroadcast::on_msg_deliver(ProcessId origin, std::uint64_t rbid,
+                                     Bytes payload) {
+  const MsgId id{origin, rbid};
+  if (done_.contains(id) || contents_.contains(id)) return;  // defensive
+  contents_.emplace(id, std::move(payload));
+  if (enqueued_contains(id)) {
+    // Decided before the content arrived locally; it may now be at the
+    // head of the delivery queue.
+    flush_deliveries();
+    return;
+  }
+  pending_.insert(id);
+  try_start_round();
+}
+
+void AtomicBroadcast::try_start_round() {
+  if (in_round_ || pending_.empty()) return;
+  in_round_ = true;
+  proposed_mvc_ = false;
+  ++stack_.metrics().ab_rounds;
+
+  // Eagerly create this round's agreement instances so peer traffic routes
+  // without out-of-context detours.
+  for (ProcessId j = 0; j < stack_.n(); ++j) ensure_vect_rb(round_, j);
+  ensure_mvc(round_);
+
+  std::vector<MsgId> v(pending_.begin(), pending_.end());  // already sorted
+  ensure_vect_rb(round_, stack_.self()).bcast(encode_ids(v));
+  maybe_propose_mvc();
+}
+
+void AtomicBroadcast::on_vect_deliver(std::uint32_t round, ProcessId origin,
+                                      Bytes payload) {
+  if (round < round_) return;  // stale round; we already decided it
+  auto ids = decode_ids(payload);
+  if (!ids) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  VectState& vs = vect_state(round);
+  if (vs.vectors[origin].has_value()) return;  // defensive; RB delivers once
+  vs.vectors[origin] = std::move(*ids);
+  vs.order.push_back(origin);
+  if (round == round_) maybe_propose_mvc();
+}
+
+void AtomicBroadcast::maybe_propose_mvc() {
+  const Quorums& q = stack_.quorums();
+  if (!in_round_ || proposed_mvc_) return;
+  VectState& vs = vect_state(round_);
+  if (vs.order.size() < q.n_minus_f()) return;
+  proposed_mvc_ = true;
+
+  // W := identifiers appearing in >= f+1 of the first n-f vectors.
+  std::map<MsgId, std::uint32_t> counts;
+  for (std::uint32_t i = 0; i < q.n_minus_f(); ++i) {
+    const auto& vec = *vs.vectors[vs.order[i]];
+    for (const MsgId& id : vec) ++counts[id];
+  }
+  std::vector<MsgId> w;
+  for (const auto& [id, c] : counts) {
+    if (c >= q.f + 1) w.push_back(id);
+  }
+  ensure_mvc(round_).propose(encode_ids(w));
+}
+
+void AtomicBroadcast::on_mvc_decide(std::uint32_t round,
+                                    std::optional<Bytes> value) {
+  if (round != round_ || !in_round_) return;  // defensive
+
+  if (value) {
+    auto ids = decode_ids(*value);
+    if (ids) {
+      std::sort(ids->begin(), ids->end());
+      ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+      for (const MsgId& id : *ids) {
+        if (enqueued_contains(id)) continue;
+        enqueued_insert(id);
+        pending_.erase(id);
+        delivery_queue_.push_back(id);
+      }
+      // Watermarks advanced: AB_MSG traffic parked beyond the window may
+      // now be routable.
+      stack_.retry_ooc(this->id());
+    } else {
+      // MVC validity means a correct process proposed the decided bytes;
+      // undecodable means Byzantine collusion beyond f or a bug. Same bytes
+      // at every correct process => every correct process skips this round.
+      LOG_WARN("atomic broadcast %s: undecodable MVC decision round %u",
+               this->id().to_string().c_str(), round);
+    }
+  }
+
+  vects_.erase(round_);
+  in_round_ = false;
+  ++round_;
+  flush_deliveries();
+  stack_.defer_gc(this);
+  try_start_round();
+}
+
+void AtomicBroadcast::flush_deliveries() {
+  while (!delivery_queue_.empty()) {
+    const MsgId id = delivery_queue_.front();
+    auto it = contents_.find(id);
+    if (it == contents_.end()) return;  // totality will bring the content
+    Bytes payload = std::move(it->second);
+    contents_.erase(it);
+    delivery_queue_.pop_front();
+    done_.insert(id);
+    gc_candidates_.push_back(id);
+    ++delivered_count_;
+    ++stack_.metrics().ab_delivered;
+    if (deliver_) deliver_(id.origin, id.rbid, std::move(payload));
+  }
+}
+
+Protocol* AtomicBroadcast::spawn_child(const Component& c, bool& drop) {
+  drop = false;
+  if (c.type == ProtocolType::kMultiValuedConsensus) {
+    if (c.seq < round_) {
+      drop = true;  // completed agreement round
+      return nullptr;
+    }
+    if (c.seq > round_ + stack_.config().round_window) return nullptr;  // OOC
+    return &ensure_mvc(static_cast<std::uint32_t>(c.seq));
+  }
+  if (c.type != ProtocolType::kReliableBroadcast) {
+    drop = true;
+    return nullptr;
+  }
+  RbKey key;
+  if (!decode_rb_seq(c.seq, key) || key.origin >= stack_.n()) {
+    drop = true;
+    return nullptr;
+  }
+  if (key.is_vect) {
+    if (key.round < round_) {
+      drop = true;  // completed round
+      return nullptr;
+    }
+    if (key.round > round_ + stack_.config().round_window) return nullptr;
+    return &ensure_vect_rb(key.round, key.origin);
+  }
+  const MsgId id{key.origin, key.rbid};
+  if (done_.contains(id)) {
+    drop = true;  // fully delivered; stragglers' echoes are useless to us
+    return nullptr;
+  }
+  if (key.rbid >= enq_floor_[key.origin] + stack_.config().ab_msg_window) {
+    return nullptr;  // flow-control window; park out-of-context
+  }
+  return &ensure_msg_rb(key.origin, key.rbid);
+}
+
+void AtomicBroadcast::collect_garbage() {
+  // Safe to free: AB_MSG broadcasts whose payload was delivered (every
+  // contribution we owe peers — ECHO/READY — was already broadcast), and
+  // agreement instances a few rounds behind (grace so that our binary
+  // consensus children can finish their courtesy round for laggards).
+  constexpr std::uint32_t kRoundGrace = 4;
+  std::vector<Component> dead;
+  for (const MsgId& id : gc_candidates_) {
+    const Component c{ProtocolType::kReliableBroadcast, msg_seq(id.origin, id.rbid)};
+    if (find_child(c) != nullptr) dead.push_back(c);
+  }
+  gc_candidates_.clear();
+  for (std::uint32_t r = gc_round_floor_; r + kRoundGrace < round_; ++r) {
+    const Component mc{ProtocolType::kMultiValuedConsensus, r};
+    if (find_child(mc) != nullptr) dead.push_back(mc);
+    for (ProcessId j = 0; j < stack_.n(); ++j) {
+      const Component vc{ProtocolType::kReliableBroadcast, vect_seq(r, j)};
+      if (find_child(vc) != nullptr) dead.push_back(vc);
+    }
+    gc_round_floor_ = r + 1;
+  }
+  for (const Component& c : dead) destroy_child(c);
+}
+
+}  // namespace ritas

@@ -1,0 +1,119 @@
+// Atomic broadcast (paper §2.7, after Correia et al., adapted to use
+// multi-valued consensus and message *identifiers* instead of hashes).
+//
+// Two tasks run concurrently:
+//
+//   dissemination: ab_bcast(m) reliably broadcasts m under the identifier
+//     (origin, rbid) — the identifier is carried by the instance path, so
+//     AB_MSG payloads are exactly the application bytes;
+//
+//   agreement (rounds): when undelivered identifiers exist, reliably
+//     broadcast (AB_VECT, r, V) where V lists them; on n-f AB_VECT for
+//     round r, W := identifiers present in >= f+1 of those vectors; run
+//     MVC_r(W); if the decision W' != ⊥, deliver the messages identified
+//     by W' in deterministic (origin, rbid) order.
+//
+// Identifiers decided before their content arrives wait in a FIFO delivery
+// queue (reliable-broadcast totality guarantees the content shows up);
+// total order follows from every correct process appending the same
+// decided identifier sequence to that queue.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/multivalued_consensus.h"
+#include "core/protocol.h"
+#include "core/reliable_broadcast.h"
+#include "core/stack.h"
+
+namespace ritas {
+
+class AtomicBroadcast final : public Protocol {
+ public:
+  struct MsgId {
+    ProcessId origin;
+    std::uint64_t rbid;
+    friend auto operator<=>(const MsgId&, const MsgId&) = default;
+  };
+  /// Called once per delivered message, in total order.
+  using DeliverFn = std::function<void(ProcessId origin, std::uint64_t rbid, Bytes payload)>;
+
+  AtomicBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                  DeliverFn deliver);
+
+  /// Atomically broadcasts `payload` to the group. Returns the local
+  /// identifier (rbid) assigned to the message.
+  std::uint64_t bcast(Bytes payload);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  Protocol* spawn_child(const Component& c, bool& drop) override;
+  void collect_garbage() override;
+
+  std::uint64_t delivered_count() const { return delivered_count_; }
+  std::uint32_t round() const { return round_; }
+
+  // Child path encodings (subtype packed into the high bits of seq).
+  static std::uint64_t msg_seq(ProcessId origin, std::uint64_t rbid);
+  static std::uint64_t vect_seq(std::uint32_t round, ProcessId origin);
+  struct RbKey {
+    bool is_vect;
+    ProcessId origin;
+    std::uint64_t rbid;   // valid when !is_vect
+    std::uint32_t round;  // valid when is_vect
+  };
+  static bool decode_rb_seq(std::uint64_t seq, RbKey& out);
+
+  static Bytes encode_ids(const std::vector<MsgId>& ids);
+  static std::optional<std::vector<MsgId>> decode_ids(ByteView payload);
+
+ private:
+  struct VectState {
+    std::vector<std::optional<std::vector<MsgId>>> vectors;
+    std::vector<ProcessId> order;
+  };
+
+  void on_msg_deliver(ProcessId origin, std::uint64_t rbid, Bytes payload);
+  void on_vect_deliver(std::uint32_t round, ProcessId origin, Bytes payload);
+  void on_mvc_decide(std::uint32_t round, std::optional<Bytes> value);
+  void try_start_round();
+  void maybe_propose_mvc();
+  void flush_deliveries();
+  ReliableBroadcast& ensure_msg_rb(ProcessId origin, std::uint64_t rbid);
+  ReliableBroadcast& ensure_vect_rb(std::uint32_t round, ProcessId origin);
+  MultiValuedConsensus& ensure_mvc(std::uint32_t round);
+  VectState& vect_state(std::uint32_t round);
+  bool enqueued_contains(const MsgId& id) const;
+  void enqueued_insert(const MsgId& id);
+
+  DeliverFn deliver_;
+
+  std::uint64_t next_rbid_ = 0;
+
+  // Dissemination state.
+  std::map<MsgId, Bytes> contents_;  // RB-delivered, not yet AB-delivered
+  std::set<MsgId> pending_;          // RB-delivered, not yet decided
+
+  // Identifiers that entered the delivery queue, compressed per origin as
+  // floor (all rbids below are in) + sparse extras.
+  std::vector<std::uint64_t> enq_floor_;
+  std::set<MsgId> enq_extra_;
+  std::set<MsgId> done_;  // delivered to the application
+  std::vector<MsgId> gc_candidates_;  // delivered since the last GC pass
+
+  // Agreement state.
+  std::uint32_t round_ = 0;
+  bool in_round_ = false;
+  bool proposed_mvc_ = false;
+  std::map<std::uint32_t, VectState> vects_;
+  std::deque<MsgId> delivery_queue_;
+  std::uint64_t delivered_count_ = 0;
+  std::uint32_t gc_round_floor_ = 0;  // rounds below this are already freed
+};
+
+}  // namespace ritas

@@ -1,0 +1,122 @@
+// Bracha's randomized binary consensus (paper §2.4).
+//
+// Each process proposes a bit; all correct processes decide the same bit,
+// and if all correct processes propose v the decision is v. The protocol
+// proceeds in 3-step rounds; every step value is disseminated with a full
+// reliable broadcast (one RB instance per (round, step, origin)), so a
+// corrupt process cannot equivocate — it can only send *illegal* values,
+// which the validation rule filters out:
+//
+//   step 1: broadcast v; wait n-f valid; v := majority of the first n-f
+//   step 2: broadcast v; wait n-f valid; v := value with > half, else ⊥
+//   step 3: broadcast v; wait n-f valid;
+//           decide w  if >= 2f+1 carry w != ⊥   (keep running one round)
+//           v := w    if >= f+1  carry w != ⊥
+//           v := coin otherwise
+//
+// Validation (§2.4): a step-k message (k > 1, and step 1 of rounds > 1) is
+// valid iff its value is producible by applying the step rule to SOME
+// subset of n-f values accepted at the previous step. We compute this with
+// exact counting over the accepted multiset instead of enumerating subsets
+// (see DESIGN.md §5.3); invalid messages stay pending and are re-examined
+// as more previous-step values are accepted — exactly the paper's "will
+// eventually receive the necessary messages" behaviour.
+//
+// Values on the wire are one byte: 0, 1, or 2 (the undefined value ⊥,
+// legal only in step 3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/reliable_broadcast.h"
+#include "core/stack.h"
+
+namespace ritas {
+
+class BinaryConsensus final : public Protocol {
+ public:
+  using DecideFn = std::function<void(bool)>;
+
+  static constexpr std::uint8_t kBot = 2;  // ⊥ on the wire
+
+  BinaryConsensus(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                  Attribution attr, DecideFn decide);
+
+  /// Proposes a bit and activates the state machine. Messages that arrived
+  /// before activation were already tallied; progress resumes immediately.
+  void propose(bool v);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  Protocol* spawn_child(const Component& c, bool& drop) override;
+
+  bool active() const { return active_; }
+  bool decided() const { return decided_; }
+  bool decision() const { return decision_; }
+  /// Round in which the decision was reached (1 = one round, the common
+  /// case the paper reports). Valid only after decided().
+  std::uint32_t decided_round() const { return decided_round_; }
+
+  /// Child sequence encoding: (round, step, origin) -> u64 and back.
+  static std::uint64_t child_seq(std::uint32_t round, int step,
+                                 ProcessId origin, std::uint32_t n);
+  struct ChildKey {
+    std::uint32_t round;
+    int step;
+    ProcessId origin;
+  };
+  static bool decode_child_seq(std::uint64_t seq, std::uint32_t n, ChildKey& out);
+
+ private:
+  struct StepState {
+    // Accepted (validated) values in acceptance order; the "first n-f"
+    // snapshot every step rule uses is the prefix of this vector.
+    std::vector<std::uint8_t> accepted;
+    std::uint32_t counts[3] = {0, 0, 0};
+    // Delivered but not yet validated, per origin (0xff = none).
+    std::vector<std::uint8_t> pending;
+    std::vector<bool> seen;  // an RB from this origin already delivered
+  };
+  struct RoundState {
+    StepState steps[3];
+    bool children_created = false;
+    explicit RoundState(std::uint32_t n) {
+      for (auto& s : steps) {
+        s.pending.assign(n, 0xff);
+        s.seen.assign(n, false);
+      }
+    }
+  };
+
+  RoundState& round_state(std::uint32_t r);
+  void ensure_round_children(std::uint32_t r);
+  void on_rb_deliver(std::uint32_t r, int step, ProcessId origin, ByteView payload);
+  /// Moves pending values to accepted wherever validation now passes;
+  /// fixpoint across steps/rounds.
+  void revalidate(std::uint32_t r, int step);
+  bool is_valid(std::uint32_t r, int step, std::uint8_t value) const;
+  void try_advance();
+  void broadcast_step(std::uint32_t r, int step, std::uint8_t value);
+  /// Local coin (the paper's) or the dealt common coin, per configuration.
+  bool toss_coin(std::uint32_t r);
+  void decide(bool w, std::uint32_t r);
+
+  const Attribution attr_;
+  DecideFn decide_;
+
+  bool active_ = false;
+  std::uint8_t value_ = 0;
+  std::uint32_t round_ = 1;
+  int step_ = 0;  // step whose quorum we are waiting on; 0 = before propose
+  bool decided_ = false;
+  bool decision_ = false;
+  std::uint32_t decided_round_ = 0;
+  std::uint32_t halt_after_round_ = 0;  // 0 = not deciding yet
+  bool halted_ = false;
+
+  std::map<std::uint32_t, RoundState> rounds_;
+};
+
+}  // namespace ritas

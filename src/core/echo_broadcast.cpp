@@ -1,0 +1,154 @@
+#include "core/echo_broadcast.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/ct.h"
+
+namespace ritas {
+
+namespace {
+constexpr std::size_t kHash = Sha1::kDigestSize;
+}
+
+EchoBroadcast::EchoBroadcast(ProtocolStack& stack, Protocol* parent,
+                             InstanceId id, ProcessId origin, Attribution attr,
+                             DeliverFn deliver)
+    : Protocol(stack, parent, std::move(id)),
+      origin_(origin),
+      attr_(attr),
+      deliver_(std::move(deliver)),
+      rows_(stack.n()) {
+  assert(origin_ < stack.n());
+}
+
+void EchoBroadcast::bcast(Bytes payload) {
+  if (origin_ != stack_.self()) {
+    throw std::logic_error("EchoBroadcast::bcast: not the origin");
+  }
+  if (sent_init_) {
+    throw std::logic_error("EchoBroadcast::bcast: already broadcast");
+  }
+  sent_init_ = true;
+  stack_.metrics().count_broadcast_start(ProtocolType::kEchoBroadcast, attr_);
+  broadcast(kInit, std::move(payload));
+}
+
+Sha1::Digest EchoBroadcast::cell(ByteView m, ProcessId peer) const {
+  Sha1 h;
+  h.update(m);
+  h.update(stack_.keys().key(peer));
+  return h.finish();
+}
+
+void EchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
+                               ByteView payload) {
+  switch (tag) {
+    case kInit:
+      on_init(from, payload);
+      return;
+    case kVect:
+      on_vect(from, payload);
+      return;
+    case kMat:
+      on_mat(from, payload);
+      return;
+    default:
+      ++stack_.metrics().invalid_dropped;
+  }
+}
+
+void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
+  if (from != origin_ || seen_init_) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  seen_init_ = true;
+  msg_.assign(payload.begin(), payload.end());
+
+  // Build V_self: one keyed hash per process, and echo it to the origin.
+  Bytes vect;
+  vect.reserve(stack_.n() * kHash);
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    const auto d = cell(msg_, j);
+    vect.insert(vect.end(), d.begin(), d.end());
+  }
+  send(origin_, kVect, std::move(vect));
+
+  if (!pending_column_.empty()) {
+    verify_and_deliver();
+  }
+}
+
+void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
+  if (stack_.self() != origin_) {
+    ++stack_.metrics().invalid_dropped;  // VECT addressed to a non-origin
+    return;
+  }
+  if (rows_[from].has_value() || sent_mat_) {
+    return;  // duplicate or post-quorum straggler: normal, not suspicious
+  }
+  if (payload.size() != stack_.n() * kHash) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  rows_[from] = Bytes(payload.begin(), payload.end());
+  if (++rows_received_ < stack_.quorums().n_minus_f()) return;
+
+  // Gathered n-f rows: emit column j of the matrix to each p_j. Missing
+  // rows are all-zero cells, which can never verify.
+  sent_mat_ = true;
+  Adversary* adv = stack_.adversary();
+  const bool corrupt = adv != nullptr && adv->eb_corrupt_matrix();
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    Bytes column(stack_.n() * kHash, 0);
+    for (ProcessId i = 0; i < stack_.n(); ++i) {
+      if (rows_[i]) {
+        std::copy(rows_[i]->begin() + static_cast<std::ptrdiff_t>(j * kHash),
+                  rows_[i]->begin() + static_cast<std::ptrdiff_t>((j + 1) * kHash),
+                  column.begin() + static_cast<std::ptrdiff_t>(i * kHash));
+      }
+    }
+    if (corrupt) {
+      for (auto& b : column) b = static_cast<std::uint8_t>(stack_.rng().next());
+    }
+    send(j, kMat, std::move(column));
+  }
+}
+
+void EchoBroadcast::on_mat(ProcessId from, ByteView payload) {
+  if (from != origin_ || seen_mat_) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  if (payload.size() != stack_.n() * kHash) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  seen_mat_ = true;
+  pending_column_.assign(payload.begin(), payload.end());
+  if (seen_init_) {
+    verify_and_deliver();
+  }
+  // Otherwise: Byzantine origin sent MAT before INIT (channels are FIFO);
+  // keep the column until the INIT arrives, if ever.
+}
+
+void EchoBroadcast::verify_and_deliver() {
+  if (delivered_ || pending_column_.empty() || !seen_init_) return;
+  std::uint32_t good = 0;
+  for (ProcessId i = 0; i < stack_.n(); ++i) {
+    const auto expected = cell(msg_, i);
+    const ByteView got(pending_column_.data() + i * kHash, kHash);
+    if (ct_equal(ByteView(expected.data(), expected.size()), got)) ++good;
+  }
+  if (good >= stack_.quorums().eb_deliver_threshold()) {
+    delivered_ = true;
+    if (deliver_) deliver_(msg_);
+  } else {
+    ++stack_.metrics().invalid_dropped;
+  }
+}
+
+}  // namespace ritas

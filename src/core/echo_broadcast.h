@@ -1,0 +1,73 @@
+// Matrix echo broadcast (paper §2.3).
+//
+// Reiter's echo multicast with digital signatures replaced by vectors of
+// pairwise-keyed hashes. Weaker than reliable broadcast: if the origin is
+// corrupt, some correct processes may deliver nothing — but the subset of
+// correct processes that do deliver, deliver the same message.
+//
+//   origin:  broadcast (INIT, m)
+//   p_i on INIT:  V_i[j] = H(m || s_ij) for all j; send (VECT, V_i) to origin
+//   origin on n-f VECTs:  M[i] = V_i; send (MAT, column_j(M)) to each p_j
+//   p_j on MAT:  deliver m if >= f+1 column entries verify against its keys
+//
+// The hash is SHA-1 over m concatenated with the pairwise secret — the
+// paper's "simple and efficient form of Message Authentication Code".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/protocol.h"
+#include "core/stack.h"
+#include "crypto/sha1.h"
+
+namespace ritas {
+
+class EchoBroadcast final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(Bytes payload)>;
+
+  static constexpr std::uint8_t kInit = 0;
+  static constexpr std::uint8_t kVect = 1;
+  static constexpr std::uint8_t kMat = 2;
+
+  EchoBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                ProcessId origin, Attribution attr, DeliverFn deliver);
+
+  /// Starts the broadcast. Precondition: this process is the origin.
+  void bcast(Bytes payload);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+
+  ProcessId origin() const { return origin_; }
+  bool delivered() const { return delivered_; }
+
+ private:
+  /// H(m || s_self,peer) — one cell of the hash matrix.
+  Sha1::Digest cell(ByteView m, ProcessId peer) const;
+  void on_init(ProcessId from, ByteView payload);
+  void on_vect(ProcessId from, ByteView payload);
+  void on_mat(ProcessId from, ByteView payload);
+  void verify_and_deliver();
+
+  const ProcessId origin_;
+  const Attribution attr_;
+  DeliverFn deliver_;
+
+  bool sent_init_ = false;
+  bool seen_init_ = false;
+  bool seen_mat_ = false;
+  bool sent_mat_ = false;
+  bool delivered_ = false;
+  Bytes msg_;  // payload from INIT (receiver role)
+  // Origin role: rows of the matrix, row j = V_j from process j.
+  std::vector<std::optional<Bytes>> rows_;
+  std::uint32_t rows_received_ = 0;
+  // Receiver role: MAT column buffered until INIT arrives (only possible
+  // with a Byzantine origin; channels are FIFO).
+  Bytes pending_column_;
+};
+
+}  // namespace ritas

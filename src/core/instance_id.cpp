@@ -1,0 +1,123 @@
+#include "core/instance_id.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace ritas {
+
+const char* protocol_type_name(ProtocolType t) {
+  switch (t) {
+    case ProtocolType::kReliableBroadcast: return "rb";
+    case ProtocolType::kEchoBroadcast: return "eb";
+    case ProtocolType::kBinaryConsensus: return "bc";
+    case ProtocolType::kMultiValuedConsensus: return "mvc";
+    case ProtocolType::kVectorConsensus: return "vc";
+    case ProtocolType::kAtomicBroadcast: return "ab";
+  }
+  return "?";
+}
+
+namespace {
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(ProtocolType::kReliableBroadcast) &&
+         t <= static_cast<std::uint8_t>(ProtocolType::kAtomicBroadcast);
+}
+}  // namespace
+
+InstanceId InstanceId::child(Component c) const {
+  assert(depth_ < kMaxDepth);
+  InstanceId out = *this;
+  out.comps_[out.depth_++] = c;
+  return out;
+}
+
+InstanceId InstanceId::parent() const {
+  assert(depth_ > 0);
+  InstanceId out = *this;
+  --out.depth_;
+  out.comps_[out.depth_] = Component{};
+  return out;
+}
+
+InstanceId InstanceId::prefix(std::size_t d) const {
+  assert(d <= depth_);
+  InstanceId out;
+  out.depth_ = static_cast<std::uint8_t>(d);
+  for (std::size_t i = 0; i < d; ++i) out.comps_[i] = comps_[i];
+  return out;
+}
+
+bool InstanceId::is_prefix_of(const InstanceId& other) const {
+  if (depth_ > other.depth_) return false;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    if (!(comps_[i] == other.comps_[i])) return false;
+  }
+  return true;
+}
+
+InstanceId InstanceId::root(ProtocolType type, std::uint64_t seq) {
+  InstanceId id;
+  return id.child(Component{type, seq});
+}
+
+void InstanceId::encode(Writer& w) const {
+  w.u8(depth_);
+  for (std::size_t i = 0; i < depth_; ++i) {
+    w.u8(static_cast<std::uint8_t>(comps_[i].type));
+    w.u64(comps_[i].seq);
+  }
+}
+
+std::optional<InstanceId> InstanceId::decode(Reader& r) {
+  const std::uint8_t depth = r.u8();
+  if (!r.ok() || depth == 0 || depth > kMaxDepth) return std::nullopt;
+  InstanceId id;
+  id.depth_ = depth;
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::uint8_t t = r.u8();
+    const std::uint64_t seq = r.u64();
+    if (!r.ok() || !valid_type(t)) return std::nullopt;
+    id.comps_[i] = Component{static_cast<ProtocolType>(t), seq};
+  }
+  return id;
+}
+
+std::string InstanceId::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    if (i) out.push_back('/');
+    out += protocol_type_name(comps_[i].type);
+    out.push_back('#');
+    out += std::to_string(comps_[i].seq);
+  }
+  return out.empty() ? "<root>" : out;
+}
+
+std::uint64_t InstanceId::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ depth_;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    std::uint64_t x = (static_cast<std::uint64_t>(comps_[i].type) << 56) ^ comps_[i].seq;
+    h ^= x;
+    h = splitmix64(h);
+  }
+  return h;
+}
+
+bool operator==(const InstanceId& a, const InstanceId& b) {
+  if (a.depth_ != b.depth_) return false;
+  for (std::size_t i = 0; i < a.depth_; ++i) {
+    if (!(a.comps_[i] == b.comps_[i])) return false;
+  }
+  return true;
+}
+
+std::strong_ordering operator<=>(const InstanceId& a, const InstanceId& b) {
+  const std::size_t d = a.depth_ < b.depth_ ? a.depth_ : b.depth_;
+  for (std::size_t i = 0; i < d; ++i) {
+    if (auto c = a.comps_[i] <=> b.comps_[i]; c != 0) return c;
+  }
+  return a.depth_ <=> b.depth_;
+}
+
+}  // namespace ritas

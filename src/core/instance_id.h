@@ -1,0 +1,93 @@
+// Hierarchical protocol-instance identifiers ("control block chaining").
+//
+// The paper (§3.3) identifies every message by chaining the instance IDs of
+// the protocol control blocks it traverses, from the root protocol the
+// application created down to the RITAS channel. We reproduce that scheme
+// as a typed path: an InstanceId is a bounded sequence of components, each
+// naming a protocol type plus a parent-chosen 64-bit sequence number (which
+// parents use to encode origin process, round, step, ...). The path is
+// carried on the wire in every message header and is the demultiplexing
+// key; children derive their path from their parent's, and destroying a
+// parent destroys the subtree — the three roles §3.3 assigns to chaining.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace ritas {
+
+enum class ProtocolType : std::uint8_t {
+  kReliableBroadcast = 1,
+  kEchoBroadcast = 2,
+  kBinaryConsensus = 3,
+  kMultiValuedConsensus = 4,
+  kVectorConsensus = 5,
+  kAtomicBroadcast = 6,
+};
+
+const char* protocol_type_name(ProtocolType t);
+
+/// One link of the chain: which protocol, and which instance of it within
+/// the parent (the parent defines the encoding of `seq`).
+struct Component {
+  ProtocolType type{};
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const Component&, const Component&) = default;
+  friend auto operator<=>(const Component&, const Component&) = default;
+};
+
+/// Bounded path of components. Depth 6 covers the deepest chain in the
+/// stack (AB -> VC -> MVC -> BC -> RB) with margin; a hard bound keeps a
+/// Byzantine sender from making us allocate unbounded headers.
+class InstanceId {
+ public:
+  static constexpr std::size_t kMaxDepth = 6;
+
+  InstanceId() = default;
+
+  std::size_t depth() const { return depth_; }
+  bool empty() const { return depth_ == 0; }
+  const Component& at(std::size_t i) const { return comps_[i]; }
+  const Component& leaf() const { return comps_[depth_ - 1]; }
+
+  /// Path extended by one component. Precondition: depth() < kMaxDepth.
+  InstanceId child(Component c) const;
+  /// Path with the leaf removed. Precondition: !empty().
+  InstanceId parent() const;
+  /// First d components. Precondition: d <= depth().
+  InstanceId prefix(std::size_t d) const;
+  /// True when `this` is a (non-strict) prefix of `other`.
+  bool is_prefix_of(const InstanceId& other) const;
+
+  /// Root path of one component — what the application-facing session
+  /// assigns to the protocols it creates.
+  static InstanceId root(ProtocolType type, std::uint64_t seq);
+
+  void encode(Writer& w) const;
+  /// Returns nullopt on malformed input (bad depth or protocol type).
+  static std::optional<InstanceId> decode(Reader& r);
+
+  std::string to_string() const;
+  std::uint64_t hash() const;
+
+  friend bool operator==(const InstanceId& a, const InstanceId& b);
+  friend std::strong_ordering operator<=>(const InstanceId& a, const InstanceId& b);
+
+ private:
+  std::array<Component, kMaxDepth> comps_{};
+  std::uint8_t depth_ = 0;
+};
+
+struct InstanceIdHash {
+  std::size_t operator()(const InstanceId& id) const {
+    return static_cast<std::size_t>(id.hash());
+  }
+};
+
+}  // namespace ritas

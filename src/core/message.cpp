@@ -1,0 +1,36 @@
+#include "core/message.h"
+
+namespace ritas {
+
+namespace {
+constexpr std::uint8_t kWireVersion = 1;
+}
+
+Bytes Message::encode() const {
+  Writer w(payload.size() + 32);
+  w.u8(kWireVersion);
+  path.encode(w);
+  w.u8(tag);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<Message> Message::decode(ByteView frame) {
+  Reader r(frame);
+  if (r.u8() != kWireVersion) return std::nullopt;
+  auto path = InstanceId::decode(r);
+  if (!path) return std::nullopt;
+  Message m;
+  m.path = *path;
+  m.tag = r.u8();
+  m.payload = r.bytes();
+  if (!r.done()) return std::nullopt;  // trailing garbage => reject
+  return m;
+}
+
+std::size_t Message::header_size() const {
+  // version + depth byte + 9 bytes per component + tag + u32 length.
+  return 1 + 1 + path.depth() * 9 + 1 + 4;
+}
+
+}  // namespace ritas

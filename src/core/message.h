@@ -1,0 +1,34 @@
+// Wire message — the C implementation's `mbuf`.
+//
+// Every unit of information that crosses a RITAS channel is one Message:
+// the destination instance path (see instance_id.h), a protocol-specific
+// tag (INIT/ECHO/READY/VECT/MAT/...), and an opaque payload. The sender's
+// process id is NOT part of the message body — it is a property of the
+// authenticated point-to-point channel the message arrived on, exactly as
+// with TCP+IPSec AH in the paper (a peer cannot spoof its channel).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "core/instance_id.h"
+
+namespace ritas {
+
+struct Message {
+  InstanceId path;
+  std::uint8_t tag = 0;
+  Bytes payload;
+
+  /// Serializes header + payload into a frame ready for a transport.
+  Bytes encode() const;
+  /// Parses a frame; nullopt on any malformation (never throws — Byzantine
+  /// bytes on the wire must not take the process down).
+  static std::optional<Message> decode(ByteView frame);
+
+  /// Header bytes added on top of the payload (for traffic accounting).
+  std::size_t header_size() const;
+};
+
+}  // namespace ritas

@@ -1,0 +1,93 @@
+// Per-process counters for traffic accounting and the paper's evaluation.
+//
+// Figure 7 of the paper divides "broadcasts needed for agreement" by "all
+// (reliable and echo) broadcasts"; Table 1 and §4.3 report round counts.
+// The stack increments these counters as it runs; harnesses aggregate them
+// across processes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance_id.h"
+#include "core/types.h"
+
+namespace ritas {
+
+struct Metrics {
+  // Transport-level traffic (excludes local self-deliveries).
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_received = 0;
+
+  // Defensive drops.
+  std::uint64_t malformed_dropped = 0;   // undecodable frames
+  std::uint64_t unroutable_dropped = 0;  // spawn refused with tombstone
+  std::uint64_t invalid_dropped = 0;     // protocol-level validation failures
+
+  // Out-of-context table (§3.4).
+  std::uint64_t ooc_stored = 0;
+  std::uint64_t ooc_drained = 0;
+  std::uint64_t ooc_evicted = 0;
+
+  // Broadcast instances *initiated by this process as sender*, by
+  // attribution (payload dissemination vs agreement machinery).
+  std::uint64_t rb_started_payload = 0;
+  std::uint64_t rb_started_agreement = 0;
+  std::uint64_t eb_started_payload = 0;
+  std::uint64_t eb_started_agreement = 0;
+
+  // Consensus behaviour (§4.3: "binary consensus always terminated within
+  // one round", "multi-valued consensus always decided a non-default
+  // value").
+  std::uint64_t bc_decided = 0;
+  std::uint64_t bc_rounds_total = 0;  // sum over decided instances
+  std::uint64_t bc_coin_flips = 0;
+  std::uint64_t mvc_decided_value = 0;
+  std::uint64_t mvc_decided_default = 0;
+
+  // Atomic broadcast agreement activity.
+  std::uint64_t ab_rounds = 0;
+  std::uint64_t ab_delivered = 0;
+
+  void count_broadcast_start(ProtocolType type, Attribution attr) {
+    if (type == ProtocolType::kReliableBroadcast) {
+      (attr == Attribution::kPayload ? rb_started_payload : rb_started_agreement)++;
+    } else if (type == ProtocolType::kEchoBroadcast) {
+      (attr == Attribution::kPayload ? eb_started_payload : eb_started_agreement)++;
+    }
+  }
+
+  std::uint64_t broadcasts_total() const {
+    return rb_started_payload + rb_started_agreement + eb_started_payload +
+           eb_started_agreement;
+  }
+  std::uint64_t broadcasts_agreement() const {
+    return rb_started_agreement + eb_started_agreement;
+  }
+
+  Metrics& operator+=(const Metrics& o) {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_received += o.msgs_received;
+    malformed_dropped += o.malformed_dropped;
+    unroutable_dropped += o.unroutable_dropped;
+    invalid_dropped += o.invalid_dropped;
+    ooc_stored += o.ooc_stored;
+    ooc_drained += o.ooc_drained;
+    ooc_evicted += o.ooc_evicted;
+    rb_started_payload += o.rb_started_payload;
+    rb_started_agreement += o.rb_started_agreement;
+    eb_started_payload += o.eb_started_payload;
+    eb_started_agreement += o.eb_started_agreement;
+    bc_decided += o.bc_decided;
+    bc_rounds_total += o.bc_rounds_total;
+    bc_coin_flips += o.bc_coin_flips;
+    mvc_decided_value += o.mvc_decided_value;
+    mvc_decided_default += o.mvc_decided_default;
+    ab_rounds += o.ab_rounds;
+    ab_delivered += o.ab_delivered;
+    return *this;
+  }
+};
+
+}  // namespace ritas

@@ -1,0 +1,272 @@
+#include "core/multivalued_consensus.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ritas {
+
+MultiValuedConsensus::MultiValuedConsensus(ProtocolStack& stack,
+                                           Protocol* parent, InstanceId id,
+                                           Attribution attr, DecideFn decide)
+    : Protocol(stack, parent, std::move(id)),
+      attr_(attr),
+      decide_(std::move(decide)),
+      init_(stack.n()),
+      vects_(stack.n()) {
+  // Fixed child set, created eagerly: INIT broadcasts, VECT echo
+  // broadcasts, and the single binary consensus.
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    add_child(std::make_unique<ReliableBroadcast>(
+        stack_, this, this->id().child(init_component(j)), j, attr_,
+        [this, j](Bytes payload) { on_init_deliver(j, std::move(payload)); }));
+    if (stack_.config().mvc_vect_via_rb) {
+      add_child(std::make_unique<ReliableBroadcast>(
+          stack_, this, this->id().child(vect_rb_component(j)), j, attr_,
+          [this, j](Bytes payload) { on_vect_deliver(j, std::move(payload)); }));
+    } else {
+      add_child(std::make_unique<EchoBroadcast>(
+          stack_, this, this->id().child(vect_component(j)), j, attr_,
+          [this, j](Bytes payload) { on_vect_deliver(j, std::move(payload)); }));
+    }
+  }
+  auto bc = std::make_unique<BinaryConsensus>(
+      stack_, this, this->id().child(bc_component()), attr_,
+      [this](bool b) { on_bc_decide(b); });
+  bc_ = bc.get();
+  add_child(std::move(bc));
+}
+
+void MultiValuedConsensus::propose(Bytes v) {
+  if (active_) throw std::logic_error("MultiValuedConsensus::propose: already active");
+  active_ = true;
+
+  std::optional<Bytes> value = std::move(v);
+  if (Adversary* adv = stack_.adversary()) {
+    value = adv->mvc_init_value(value ? *value : Bytes{});
+  }
+  Writer w;
+  w.u8(value ? 1 : 0);
+  if (value) w.raw(*value);
+
+  auto* rb = static_cast<ReliableBroadcast*>(find_child(init_component(stack_.self())));
+  assert(rb != nullptr);
+  rb->bcast(std::move(w).take());
+
+  // Peer traffic may already have crossed the thresholds while passive.
+  maybe_send_vect();
+  maybe_propose_bc();
+  maybe_decide_value();
+}
+
+void MultiValuedConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
+  ++stack_.metrics().invalid_dropped;  // traffic flows through children only
+}
+
+void MultiValuedConsensus::on_init_deliver(ProcessId origin, Bytes payload) {
+  if (init_[origin].has_value()) return;  // RB delivers once; defensive
+  Reader r(payload);
+  const bool has_value = r.u8() != 0;
+  std::optional<Bytes> value;
+  if (has_value) value = r.raw(r.remaining());
+  if (!r.ok()) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  init_[origin] = std::move(value);
+  init_order_.push_back(origin);
+
+  revalidate_vects();
+  maybe_send_vect();
+  maybe_propose_bc();
+  maybe_decide_value();
+}
+
+Bytes MultiValuedConsensus::encode_vect(
+    const std::optional<Bytes>& value,
+    const std::vector<std::optional<Bytes>>& vec) const {
+  Writer w;
+  w.u8(value ? 1 : 0);
+  if (value) w.bytes(*value);
+  w.u32(static_cast<std::uint32_t>(vec.size()));
+  for (const auto& e : vec) {
+    w.u8(e ? 1 : 0);
+    if (e) w.bytes(*e);
+  }
+  return std::move(w).take();
+}
+
+bool MultiValuedConsensus::decode_vect(ByteView payload, Vect& out) const {
+  Reader r(payload);
+  if (r.u8() != 0) out.value = r.bytes();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || (count != 0 && count != stack_.n())) return false;
+  out.vector.resize(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (r.u8() != 0) out.vector[k] = r.bytes();
+  }
+  return r.done();
+}
+
+void MultiValuedConsensus::on_vect_deliver(ProcessId origin, Bytes payload) {
+  if (vects_[origin].has_value()) return;  // EB delivers once; defensive
+  Vect v;
+  if (!decode_vect(payload, v)) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  vects_[origin] = std::move(v);
+  Vect& stored = *vects_[origin];
+  if (vect_is_valid(stored)) {
+    stored.valid = true;
+    valid_order_.push_back(origin);
+    maybe_propose_bc();
+    maybe_decide_value();
+  }
+}
+
+bool MultiValuedConsensus::vect_is_valid(const Vect& v) const {
+  if (!v.value) return true;  // (a) the default value needs no justification
+  if (v.vector.size() != stack_.n()) return false;
+  // (b) n-2f positions where the sender's justification matches both the
+  // INIT value we received from that process and the proposed value.
+  std::uint32_t matches = 0;
+  for (ProcessId k = 0; k < stack_.n(); ++k) {
+    if (!v.vector[k] || !init_[k].has_value() || !init_[k]->has_value()) continue;
+    if (*v.vector[k] == **init_[k] && *v.vector[k] == *v.value) ++matches;
+  }
+  return matches >= stack_.quorums().n_minus_2f();
+}
+
+void MultiValuedConsensus::revalidate_vects() {
+  bool any = false;
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    if (!vects_[j] || vects_[j]->valid) continue;
+    if (vect_is_valid(*vects_[j])) {
+      vects_[j]->valid = true;
+      valid_order_.push_back(j);
+      any = true;
+    }
+  }
+  if (any) {
+    maybe_propose_bc();
+    maybe_decide_value();
+  }
+}
+
+void MultiValuedConsensus::maybe_send_vect() {
+  const Quorums& q = stack_.quorums();
+  if (!active_ || sent_vect_ || init_order_.size() < q.n_minus_f()) return;
+  sent_vect_ = true;
+
+  // Snapshot: the first n-f INITs that arrived.
+  std::optional<Bytes> w;
+  for (std::uint32_t i = 0; i < q.n_minus_f() && !w; ++i) {
+    const auto& cand = *init_[init_order_[i]];
+    if (!cand) continue;
+    std::uint32_t count = 0;
+    for (std::uint32_t k = 0; k < q.n_minus_f(); ++k) {
+      const auto& other = *init_[init_order_[k]];
+      if (other && *other == *cand) ++count;
+    }
+    if (count >= q.n_minus_2f()) w = cand;
+  }
+
+  std::vector<std::optional<Bytes>> justification;
+  if (w) {
+    justification.resize(stack_.n());
+    for (std::uint32_t i = 0; i < q.n_minus_f(); ++i) {
+      const ProcessId k = init_order_[i];
+      justification[k] = *init_[k];  // may be nullopt for a ⊥ INIT
+    }
+  }
+  if (Adversary* adv = stack_.adversary()) {
+    if (adv->mvc_force_default_vect()) {
+      w.reset();
+      justification.clear();
+    }
+  }
+  const Bytes body = encode_vect(w, justification);
+  if (stack_.config().mvc_vect_via_rb) {
+    auto* rb = static_cast<ReliableBroadcast*>(
+        find_child(vect_rb_component(stack_.self())));
+    assert(rb != nullptr);
+    rb->bcast(body);
+  } else {
+    auto* eb = static_cast<EchoBroadcast*>(find_child(vect_component(stack_.self())));
+    assert(eb != nullptr);
+    eb->bcast(body);
+  }
+}
+
+void MultiValuedConsensus::maybe_propose_bc() {
+  const Quorums& q = stack_.quorums();
+  if (!active_ || proposed_bc_ || valid_order_.size() < q.n_minus_f()) return;
+  proposed_bc_ = true;
+
+  // Evaluate over every VECT validated so far: any two different non-⊥
+  // values? some value with >= n-2f occurrences?
+  bool conflict = false;
+  bool have_value = false;
+  for (std::size_t i = 0; i < valid_order_.size() && !conflict; ++i) {
+    const Vect& a = *vects_[valid_order_[i]];
+    if (!a.value) continue;
+    std::uint32_t count = 0;
+    for (ProcessId j : valid_order_) {
+      const Vect& b = *vects_[j];
+      if (!b.value) continue;
+      if (*b.value == *a.value) {
+        ++count;
+      } else {
+        conflict = true;
+        break;
+      }
+    }
+    if (count >= q.n_minus_2f()) have_value = true;
+  }
+  bc_->propose(!conflict && have_value);
+}
+
+void MultiValuedConsensus::on_bc_decide(bool b) {
+  if (!b) {
+    ++stack_.metrics().mvc_decided_default;
+    decide(std::nullopt);
+    return;
+  }
+  awaiting_value_ = true;
+  maybe_decide_value();
+}
+
+void MultiValuedConsensus::maybe_decide_value() {
+  const Quorums& q = stack_.quorums();
+  if (!awaiting_value_ || decided_) return;
+  for (ProcessId i : valid_order_) {
+    const Vect& a = *vects_[i];
+    if (!a.value) continue;
+    std::uint32_t count = 0;
+    for (ProcessId j : valid_order_) {
+      const Vect& b = *vects_[j];
+      if (b.value && *b.value == *a.value) ++count;
+    }
+    if (count >= q.n_minus_2f()) {
+      ++stack_.metrics().mvc_decided_value;
+      decide(*a.value);
+      return;
+    }
+  }
+}
+
+void MultiValuedConsensus::decide(std::optional<Bytes> v) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = std::move(v);
+  if (decide_) decide_(decision_);
+}
+
+Protocol* MultiValuedConsensus::spawn_child(const Component&, bool& drop) {
+  // Every legitimate child exists from construction; anything else is a
+  // permanently unroutable path.
+  drop = true;
+  return nullptr;
+}
+
+}  // namespace ritas

@@ -1,0 +1,117 @@
+// Multi-valued consensus (paper §2.5, after Correia et al.).
+//
+// Processes propose arbitrary byte strings; the decision is one of the
+// proposed values or the default value ⊥. Uses reliable broadcast for the
+// INIT phase, *echo* broadcast for the VECT phase (the paper's optimization
+// over the original protocol), and one binary consensus:
+//
+//   propose v:  RB-broadcast (INIT, v)
+//   on n-f INITs: if >= n-2f carry the same w, EB-broadcast (VECT, w, V)
+//                 where V justifies w; else EB-broadcast (VECT, ⊥)
+//   on n-f *valid* VECTs: propose 1 to binary consensus iff no two valid
+//                 VECTs carry different non-⊥ values and >= n-2f carry the
+//                 same value; else propose 0
+//   BC decides 0: decide ⊥
+//   BC decides 1: wait for n-2f valid VECTs with the same value w
+//                 (if not already seen) and decide w
+//
+// A VECT (w, V_j) from p_j is valid iff w = ⊥, or at least n-2f positions k
+// satisfy V_j[k] == (the INIT value this process received from p_k) == w.
+// Invalid VECTs stay pending and are re-examined as INITs arrive.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/binary_consensus.h"
+#include "core/echo_broadcast.h"
+#include "core/protocol.h"
+#include "core/reliable_broadcast.h"
+#include "core/stack.h"
+
+namespace ritas {
+
+class MultiValuedConsensus final : public Protocol {
+ public:
+  /// nullopt = the default value ⊥.
+  using DecideFn = std::function<void(std::optional<Bytes>)>;
+
+  MultiValuedConsensus(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                       Attribution attr, DecideFn decide);
+
+  /// Proposes a value and activates the state machine. A passive instance
+  /// (created on demand by a parent) accumulates peer traffic before this.
+  void propose(Bytes v);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  Protocol* spawn_child(const Component& c, bool& drop) override;
+
+  bool active() const { return active_; }
+  bool decided() const { return decided_; }
+  /// Valid only after decided(); nullopt = ⊥.
+  const std::optional<Bytes>& decision() const { return decision_; }
+
+  /// Child components: INIT reliable broadcasts are (kRB, origin), VECT
+  /// echo broadcasts are (kEB, origin), the binary consensus is (kBC, 0).
+  static Component init_component(ProcessId origin) {
+    return Component{ProtocolType::kReliableBroadcast, origin};
+  }
+  static Component vect_component(ProcessId origin) {
+    return Component{ProtocolType::kEchoBroadcast, origin};
+  }
+  /// Ablation variant (stack.config().mvc_vect_via_rb): VECT phase carried
+  /// by reliable broadcast, undoing the paper's optimization.
+  static Component vect_rb_component(ProcessId origin) {
+    return Component{ProtocolType::kReliableBroadcast,
+                     0x8000000000000000ULL | origin};
+  }
+  static Component bc_component() {
+    return Component{ProtocolType::kBinaryConsensus, 0};
+  }
+
+ private:
+  struct Vect {
+    std::optional<Bytes> value;               // nullopt = ⊥
+    std::vector<std::optional<Bytes>> vector; // justification, size n (empty for ⊥)
+    bool valid = false;
+  };
+
+  void on_init_deliver(ProcessId origin, Bytes payload);
+  void on_vect_deliver(ProcessId origin, Bytes payload);
+  void on_bc_decide(bool b);
+  bool vect_is_valid(const Vect& v) const;
+  void revalidate_vects();
+  void maybe_send_vect();
+  void maybe_propose_bc();
+  void maybe_decide_value();
+  void decide(std::optional<Bytes> v);
+
+  Bytes encode_vect(const std::optional<Bytes>& value,
+                    const std::vector<std::optional<Bytes>>& vec) const;
+  bool decode_vect(ByteView payload, Vect& out) const;
+
+  const Attribution attr_;
+  DecideFn decide_;
+
+  bool active_ = false;
+  bool sent_vect_ = false;
+  bool proposed_bc_ = false;
+  bool decided_ = false;
+  std::optional<Bytes> decision_;
+  bool awaiting_value_ = false;  // BC said 1, waiting for n-2f same VECTs
+
+  // INIT bookkeeping: per-origin value (inner nullopt = attacker's ⊥ INIT)
+  // plus arrival order for the n-f snapshot.
+  std::vector<std::optional<std::optional<Bytes>>> init_;
+  std::vector<ProcessId> init_order_;
+
+  // VECT bookkeeping: per-origin message and the order validation passed.
+  std::vector<std::optional<Vect>> vects_;
+  std::vector<ProcessId> valid_order_;
+
+  BinaryConsensus* bc_ = nullptr;
+};
+
+}  // namespace ritas

@@ -1,0 +1,63 @@
+#include "core/protocol.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/stack.h"
+
+namespace ritas {
+
+Protocol::Protocol(ProtocolStack& stack, Protocol* parent, InstanceId id)
+    : stack_(stack), parent_(parent), id_(std::move(id)) {
+  assert(!id_.empty());
+  stack_.register_instance(this);
+}
+
+Protocol::~Protocol() {
+  // Children (members) are destroyed after this body runs; unregister self
+  // first so no OOC drain can route to a half-dead object.
+  stack_.unregister_instance(this);
+}
+
+Protocol* Protocol::spawn_child(const Component& c, bool& drop) {
+  (void)c;
+  drop = false;
+  return nullptr;
+}
+
+Protocol* Protocol::find_child(const Component& c) const {
+  auto it = children_.find(c);
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+Protocol& Protocol::add_child(std::unique_ptr<Protocol> child) {
+  assert(child);
+  assert(child->id().depth() == id_.depth() + 1);
+  assert(id_.is_prefix_of(child->id()));
+  const Component key = child->id().leaf();
+  auto [it, inserted] = children_.emplace(key, std::move(child));
+  if (!inserted) throw std::logic_error("Protocol::add_child: duplicate child component");
+  return *it->second;
+}
+
+void Protocol::destroy_child(const Component& c) {
+  children_.erase(c);
+}
+
+void Protocol::send(ProcessId to, std::uint8_t tag, Bytes payload) const {
+  Message m;
+  m.path = id_;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  stack_.send_message(to, m);
+}
+
+void Protocol::broadcast(std::uint8_t tag, Bytes payload) const {
+  Message m;
+  m.path = id_;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  stack_.broadcast_message(m);
+}
+
+}  // namespace ritas

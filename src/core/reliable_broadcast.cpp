@@ -1,0 +1,123 @@
+#include "core/reliable_broadcast.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ritas {
+
+ReliableBroadcast::ReliableBroadcast(ProtocolStack& stack, Protocol* parent,
+                                     InstanceId id, ProcessId origin,
+                                     Attribution attr, DeliverFn deliver)
+    : Protocol(stack, parent, std::move(id)),
+      origin_(origin),
+      attr_(attr),
+      deliver_(std::move(deliver)),
+      echoed_(stack.n(), false),
+      readied_(stack.n(), false) {
+  assert(origin_ < stack.n());
+}
+
+void ReliableBroadcast::bcast(Bytes payload) {
+  if (origin_ != stack_.self()) {
+    throw std::logic_error("ReliableBroadcast::bcast: not the origin");
+  }
+  if (sent_init_) {
+    throw std::logic_error("ReliableBroadcast::bcast: already broadcast");
+  }
+  sent_init_ = true;
+  stack_.metrics().count_broadcast_start(ProtocolType::kReliableBroadcast, attr_);
+
+  Adversary* adv = stack_.adversary();
+  std::optional<Bytes> equivocation =
+      adv != nullptr ? adv->rb_equivocate(payload) : std::nullopt;
+  if (equivocation) {
+    // Byzantine origin: even peers get `payload`, odd peers the alternate.
+    for (ProcessId p = 0; p < stack_.n(); ++p) {
+      send(p, kInit, p % 2 == 0 ? payload : *equivocation);
+    }
+    return;
+  }
+  broadcast(kInit, std::move(payload));
+}
+
+void ReliableBroadcast::on_message(ProcessId from, std::uint8_t tag,
+                                   ByteView payload) {
+  switch (tag) {
+    case kInit:
+      on_init(from, payload);
+      return;
+    case kEcho:
+      on_echo(from, payload);
+      return;
+    case kReady:
+      on_ready(from, payload);
+      return;
+    default:
+      ++stack_.metrics().invalid_dropped;
+  }
+}
+
+void ReliableBroadcast::on_init(ProcessId from, ByteView payload) {
+  // Only the origin may INIT, and only its first INIT counts.
+  if (from != origin_ || seen_init_) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  seen_init_ = true;
+  if (!sent_echo_) {
+    sent_echo_ = true;
+    broadcast(kEcho, Bytes(payload.begin(), payload.end()));
+  }
+}
+
+void ReliableBroadcast::on_echo(ProcessId from, ByteView payload) {
+  if (echoed_[from]) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  echoed_[from] = true;
+  Tally& t = tally_for(payload);
+  ++t.echoes;
+  maybe_send_ready(t);
+}
+
+void ReliableBroadcast::on_ready(ProcessId from, ByteView payload) {
+  if (readied_[from]) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  readied_[from] = true;
+  Tally& t = tally_for(payload);
+  ++t.readies;
+  maybe_send_ready(t);
+  maybe_deliver(t);
+}
+
+ReliableBroadcast::Tally& ReliableBroadcast::tally_for(ByteView payload) {
+  const Sha1::Digest digest = Sha1::hash(payload);
+  auto [it, inserted] = tallies_.try_emplace(digest);
+  if (inserted) {
+    it->second.payload.assign(payload.begin(), payload.end());
+  }
+  return it->second;
+}
+
+void ReliableBroadcast::maybe_send_ready(Tally& t) {
+  const Quorums& q = stack_.quorums();
+  if (sent_ready_) return;
+  if (t.echoes >= q.rb_echo_threshold() || t.readies >= q.rb_ready_relay()) {
+    sent_ready_ = true;
+    broadcast(kReady, t.payload);
+  }
+}
+
+void ReliableBroadcast::maybe_deliver(Tally& t) {
+  if (delivered_) return;
+  if (t.readies >= stack_.quorums().rb_deliver_threshold()) {
+    delivered_ = true;
+    if (deliver_) deliver_(t.payload);
+  }
+}
+
+}  // namespace ritas

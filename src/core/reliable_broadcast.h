@@ -1,0 +1,76 @@
+// Bracha's reliable broadcast (paper §2.2).
+//
+// One instance = one broadcast by `origin`, identified across all processes
+// by the same instance path. Properties: all correct processes deliver the
+// same message (agreement/totality), and if the origin is correct its
+// message is delivered (validity). Three communication steps:
+//
+//   origin:   broadcast (INIT, m)
+//   on INIT:  broadcast (ECHO, m)
+//   on floor((n+f)/2)+1 ECHO(m)  or f+1 READY(m):  broadcast (READY, m)
+//   on 2f+1 READY(m): deliver m
+//
+// ECHO/READY tallies are tracked per payload digest so a Byzantine origin
+// that equivocates merely splits the quorums; each peer's first ECHO and
+// first READY are the only ones counted.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/bytes.h"
+#include "core/protocol.h"
+#include "core/stack.h"
+#include "crypto/sha1.h"
+
+namespace ritas {
+
+class ReliableBroadcast final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(Bytes payload)>;
+
+  static constexpr std::uint8_t kInit = 0;
+  static constexpr std::uint8_t kEcho = 1;
+  static constexpr std::uint8_t kReady = 2;
+
+  ReliableBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                    ProcessId origin, Attribution attr, DeliverFn deliver);
+
+  /// Starts the broadcast. Precondition: this process is the origin and
+  /// bcast was not called before.
+  void bcast(Bytes payload);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+
+  ProcessId origin() const { return origin_; }
+  bool delivered() const { return delivered_; }
+
+ private:
+  struct Tally {
+    Bytes payload;
+    std::uint32_t echoes = 0;
+    std::uint32_t readies = 0;
+  };
+
+  void on_init(ProcessId from, ByteView payload);
+  void on_echo(ProcessId from, ByteView payload);
+  void on_ready(ProcessId from, ByteView payload);
+  Tally& tally_for(ByteView payload);
+  void maybe_send_ready(Tally& t);
+  void maybe_deliver(Tally& t);
+
+  const ProcessId origin_;
+  const Attribution attr_;
+  DeliverFn deliver_;
+
+  bool sent_init_ = false;
+  bool seen_init_ = false;
+  bool sent_echo_ = false;
+  bool sent_ready_ = false;
+  bool delivered_ = false;
+  std::vector<bool> echoed_;   // peers whose ECHO we already counted
+  std::vector<bool> readied_;  // peers whose READY we already counted
+  std::map<Sha1::Digest, Tally> tallies_;
+};
+
+}  // namespace ritas

@@ -1,0 +1,154 @@
+#include "core/signed_echo_broadcast.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace ritas {
+
+SignedEchoBroadcast::SignedEchoBroadcast(
+    ProtocolStack& stack, Protocol* parent, InstanceId id, ProcessId origin,
+    Attribution attr, std::shared_ptr<const RsaDirectory> dir,
+    SignatureCosts costs, DeliverFn deliver)
+    : Protocol(stack, parent, std::move(id)),
+      origin_(origin),
+      attr_(attr),
+      dir_(std::move(dir)),
+      costs_(costs),
+      deliver_(std::move(deliver)),
+      echo_sigs_(stack.n()) {
+  assert(origin_ < stack.n());
+  assert(dir_ && dir_->pubs.size() == stack.n());
+}
+
+Bytes SignedEchoBroadcast::echo_statement(ByteView m) const {
+  Writer w;
+  w.str("echo");
+  const auto h = Sha256::hash(m);
+  w.raw(ByteView(h.data(), h.size()));
+  return std::move(w).take();
+}
+
+void SignedEchoBroadcast::bcast(Bytes payload) {
+  if (origin_ != stack_.self()) {
+    throw std::logic_error("SignedEchoBroadcast::bcast: not the origin");
+  }
+  if (sent_init_) {
+    throw std::logic_error("SignedEchoBroadcast::bcast: already broadcast");
+  }
+  sent_init_ = true;
+  stack_.metrics().count_broadcast_start(ProtocolType::kEchoBroadcast, attr_);
+
+  stack_.charge_cpu(costs_.sign_ns);
+  const Bytes sig = rsa_sign(dir_->self, payload);
+  Writer w;
+  w.bytes(payload);
+  w.bytes(sig);
+  broadcast(kInit, std::move(w).take());
+}
+
+void SignedEchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
+                                     ByteView payload) {
+  switch (tag) {
+    case kInit:
+      on_init(from, payload);
+      return;
+    case kEcho:
+      on_echo(from, payload);
+      return;
+    case kCommit:
+      on_commit(from, payload);
+      return;
+    default:
+      ++stack_.metrics().invalid_dropped;
+  }
+}
+
+void SignedEchoBroadcast::on_init(ProcessId from, ByteView payload) {
+  if (from != origin_ || seen_init_) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  Reader r(payload);
+  const Bytes m = r.bytes();
+  const Bytes sig = r.bytes();
+  if (!r.done()) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  stack_.charge_cpu(costs_.verify_ns);
+  if (!rsa_verify(dir_->pubs[origin_], m, sig)) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  seen_init_ = true;
+  msg_ = m;
+  stack_.charge_cpu(costs_.sign_ns);
+  send(origin_, kEcho, rsa_sign(dir_->self, echo_statement(m)));
+}
+
+void SignedEchoBroadcast::on_echo(ProcessId from, ByteView payload) {
+  if (stack_.self() != origin_ || sent_commit_ || echo_sigs_[from].has_value()) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  if (!seen_init_) return;  // our own INIT has not looped back yet
+  stack_.charge_cpu(costs_.verify_ns);
+  if (!rsa_verify(dir_->pubs[from], echo_statement(msg_),
+                  ByteView(payload.data(), payload.size()))) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  echo_sigs_[from] = Bytes(payload.begin(), payload.end());
+  if (++echo_count_ < stack_.quorums().rb_echo_threshold()) return;
+
+  sent_commit_ = true;
+  Writer w;
+  w.bytes(msg_);
+  w.u32(echo_count_);
+  for (ProcessId i = 0; i < stack_.n(); ++i) {
+    if (echo_sigs_[i]) {
+      w.u32(i);
+      w.bytes(*echo_sigs_[i]);
+    }
+  }
+  broadcast(kCommit, std::move(w).take());
+}
+
+void SignedEchoBroadcast::on_commit(ProcessId from, ByteView payload) {
+  if (from != origin_ || seen_commit_) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  Reader r(payload);
+  const Bytes m = r.bytes();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > stack_.n()) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  const Bytes statement = echo_statement(m);
+  std::vector<bool> seen(stack_.n(), false);
+  std::uint32_t valid = 0;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t i = r.u32();
+    const Bytes sig = r.bytes();
+    if (!r.ok() || i >= stack_.n() || seen[i]) break;
+    seen[i] = true;
+    stack_.charge_cpu(costs_.verify_ns);
+    if (rsa_verify(dir_->pubs[i], statement, sig)) ++valid;
+  }
+  if (!r.done() || valid < stack_.quorums().rb_echo_threshold()) {
+    ++stack_.metrics().invalid_dropped;
+    return;
+  }
+  seen_commit_ = true;
+  if (!delivered_) {
+    delivered_ = true;
+    if (deliver_) deliver_(m);
+  }
+}
+
+}  // namespace ritas

@@ -1,0 +1,90 @@
+// Reiter's echo multicast with digital signatures — the BASELINE.
+//
+// This is the protocol RITAS's matrix echo broadcast replaces (§2.3): the
+// original Rampart primitive in which the origin signs the message, each
+// receiver echoes a signature over it back to the origin, and the origin
+// distributes a certificate of floor((n+f)/2)+1 echo signatures. The paper
+// quotes Reiter: "public-key operations still dominate the latency of
+// reliable multicast" — this implementation exists so `bench_signatures`
+// can measure exactly that claim against the hash-vector variant.
+//
+//   origin:  broadcast (INIT, m, sig_origin(m))
+//   p_i:     verify; send (ECHO, sig_i("echo" ‖ H(m))) to origin
+//   origin:  on floor((n+f)/2)+1 valid echo signatures:
+//            broadcast (COMMIT, m, {(i, sig_i)})
+//   p_j:     verify >= threshold echo signatures; deliver m
+//
+// Every sign/verify performs REAL RSA (crypto/rsa.h) and additionally
+// bills the configured modeled CPU cost to the simulated host, so the
+// simulated latencies reflect era hardware while correctness is enforced
+// by actual cryptography.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/protocol.h"
+#include "core/stack.h"
+#include "crypto/rsa.h"
+
+namespace ritas {
+
+/// Every process's public key plus this process's keypair, dealt out of
+/// band like the symmetric keys.
+struct RsaDirectory {
+  std::vector<RsaPublicKey> pubs;
+  RsaKeyPair self;
+};
+
+/// Modeled per-operation CPU on the target hardware (defaults approximate
+/// 512-bit RSA on a 500 MHz Pentium III).
+struct SignatureCosts {
+  std::uint64_t sign_ns = 4'000'000;   // 4 ms
+  std::uint64_t verify_ns = 400'000;   // 0.4 ms (e = 65537)
+};
+
+class SignedEchoBroadcast final : public Protocol {
+ public:
+  using DeliverFn = std::function<void(Bytes payload)>;
+
+  static constexpr std::uint8_t kInit = 0;
+  static constexpr std::uint8_t kEcho = 1;
+  static constexpr std::uint8_t kCommit = 2;
+
+  SignedEchoBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                      ProcessId origin, Attribution attr,
+                      std::shared_ptr<const RsaDirectory> dir,
+                      SignatureCosts costs, DeliverFn deliver);
+
+  void bcast(Bytes payload);
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+
+  ProcessId origin() const { return origin_; }
+  bool delivered() const { return delivered_; }
+
+ private:
+  Bytes echo_statement(ByteView m) const;
+  void on_init(ProcessId from, ByteView payload);
+  void on_echo(ProcessId from, ByteView payload);
+  void on_commit(ProcessId from, ByteView payload);
+
+  const ProcessId origin_;
+  const Attribution attr_;
+  std::shared_ptr<const RsaDirectory> dir_;
+  SignatureCosts costs_;
+  DeliverFn deliver_;
+
+  bool sent_init_ = false;
+  bool seen_init_ = false;
+  bool seen_commit_ = false;
+  bool sent_commit_ = false;
+  bool delivered_ = false;
+  Bytes msg_;
+  std::vector<std::optional<Bytes>> echo_sigs_;  // origin role, per peer
+  std::uint32_t echo_count_ = 0;
+};
+
+}  // namespace ritas

@@ -1,0 +1,167 @@
+// ProtocolStack — the per-process RITAS context (the paper's `ritas_t`).
+//
+// Owns everything one process needs to run the stack: configuration,
+// deterministic randomness, metrics, the instance registry used for
+// demultiplexing, the out-of-context message table (§3.4), and the local
+// delivery pump. Application-facing sessions create root protocol
+// instances against a stack; the transport feeds inbound frames through
+// `on_packet`.
+//
+// Threading: a stack is single-threaded by design (the paper's stack runs
+// in one thread). All calls — on_packet, protocol API calls — must come
+// from the same thread; the TCP facade funnels everything through its
+// reactor thread, and the simulator is single-threaded anyway.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/adversary.h"
+#include "crypto/keychain.h"
+#include "core/message.h"
+#include "core/metrics.h"
+#include "core/protocol.h"
+#include "core/transport.h"
+#include "core/types.h"
+
+namespace ritas {
+
+/// How the binary consensus obtains its round coins (§2.4 / related work).
+/// kLocal is the paper's Ben-Or-style private coin; kDealt derives one
+/// common coin per (instance, round) from the dealer's group key — the
+/// engineering equivalent of Rabin's predistributed coin shares, giving
+/// expected-constant-round termination on split proposals.
+enum class CoinMode : std::uint8_t { kLocal = 0, kDealt = 1 };
+
+struct StackConfig {
+  std::uint32_t n = 4;
+  ProcessId self = 0;
+
+  CoinMode coin_mode = CoinMode::kLocal;
+
+  /// Out-of-context quota per *sender*: a Byzantine flooder can only evict
+  /// its own buffered messages, never another process's (extension beyond
+  /// the paper; see DESIGN.md §5.4).
+  std::size_t ooc_per_sender = 2048;
+
+  /// How many rounds ahead of the local round consensus protocols accept
+  /// spawn-on-demand children (further-ahead traffic goes out-of-context).
+  std::uint32_t round_window = 8;
+
+  /// How far beyond the last delivered rbid per origin the atomic
+  /// broadcast accepts new AB_MSG broadcast instances.
+  std::uint64_t ab_msg_window = 8192;
+
+  // --- ablation switches (benchmarks only; defaults = the paper's design) --
+  /// Use reliable broadcast instead of echo broadcast for the MVC VECT
+  /// phase — undoes the paper's §2.5 optimization to measure its value.
+  bool mvc_vect_via_rb = false;
+  /// Disable the binary consensus validation rule (§2.4) — shows what the
+  /// "causing processes that do not follow the protocol to be ignored"
+  /// mechanism buys under attack.
+  bool bc_disable_validation = false;
+
+  Quorums quorums() const { return Quorums(n); }
+};
+
+class ProtocolStack {
+ public:
+  /// `keys` must hold this process's row of pairwise secrets (s_self,j for
+  /// all j) and outlive the stack. `adversary` may be null (correct
+  /// process); it is borrowed, not owned.
+  ProtocolStack(StackConfig cfg, Transport& transport, const KeyChain& keys,
+                std::uint64_t rng_seed, Adversary* adversary = nullptr);
+  ~ProtocolStack();
+
+  ProtocolStack(const ProtocolStack&) = delete;
+  ProtocolStack& operator=(const ProtocolStack&) = delete;
+
+  const StackConfig& config() const { return cfg_; }
+  const Quorums& quorums() const { return quorums_; }
+  ProcessId self() const { return cfg_.self; }
+  std::uint32_t n() const { return cfg_.n; }
+  const KeyChain& keys() const { return keys_; }
+  Rng& rng() { return rng_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Adversary* adversary() const { return adversary_; }
+
+  /// Entry point for the transport: a frame arrived from peer `from`.
+  /// Decodes, dispatches, then drains all internally queued work.
+  void on_packet(ProcessId from, ByteView frame);
+
+  /// Bills modeled CPU time for expensive local work (see
+  /// Transport::charge_cpu).
+  void charge_cpu(std::uint64_t ns);
+
+  /// Outbound path used by protocols. `to == self` loops back locally
+  /// without touching the transport.
+  void send_message(ProcessId to, const Message& m);
+  /// Sends to all n processes (self via local loopback).
+  void broadcast_message(const Message& m);
+
+  // --- registry (called by Protocol's ctor/dtor) -------------------------
+  void register_instance(Protocol* p);
+  void unregister_instance(Protocol* p);
+
+  /// Re-attempts dispatch of out-of-context messages whose path has the
+  /// given prefix — call after a spawn window advances.
+  void retry_ooc(const InstanceId& prefix);
+  /// Schedules `p->collect_garbage()` at the next safe point.
+  void defer_gc(Protocol* p);
+
+  /// Drains queued local work (self-deliveries, OOC drains, GC). Invoked
+  /// automatically from on_packet and from protocol sends issued outside a
+  /// dispatch; harnesses may also call it directly after API calls.
+  void pump();
+
+  // --- introspection (tests) ---------------------------------------------
+  std::size_t instance_count() const { return registry_.size(); }
+  bool has_instance(const InstanceId& id) const { return registry_.contains(id); }
+  std::size_t ooc_size() const { return ooc_total_; }
+
+ private:
+  struct OocEntry {
+    ProcessId from;
+    Message msg;
+    std::uint64_t seq;
+  };
+
+  void dispatch(ProcessId from, Message m);
+  /// Finds or spawns the instance for `path`. nullptr with drop=false means
+  /// "out of context"; drop=true means discard.
+  Protocol* resolve(const InstanceId& path, bool& drop);
+  void ooc_store(ProcessId from, Message m);
+  void ooc_purge_prefix(const InstanceId& prefix);
+
+  StackConfig cfg_;
+  Quorums quorums_;
+  Transport& transport_;
+  const KeyChain& keys_;
+  Rng rng_;
+  Metrics metrics_;
+  Adversary* adversary_;
+
+  std::unordered_map<InstanceId, Protocol*, InstanceIdHash> registry_;
+
+  // Out-of-context table: exact-path index plus per-sender FIFO for quota
+  // eviction.
+  std::unordered_map<InstanceId, std::vector<OocEntry>, InstanceIdHash> ooc_;
+  std::vector<std::deque<std::pair<std::uint64_t, InstanceId>>> ooc_fifo_;
+  std::vector<std::size_t> ooc_count_;
+  std::size_t ooc_total_ = 0;
+  std::uint64_t ooc_seq_ = 0;
+
+  std::deque<Message> self_queue_;
+  std::deque<InstanceId> drain_queue_;
+  std::deque<Protocol*> gc_queue_;
+  bool pumping_ = false;
+
+  friend class Protocol;
+};
+
+}  // namespace ritas

@@ -1,0 +1,32 @@
+// The reliable-channel abstraction under the protocol stack (paper §2.1).
+//
+// A Transport is the stack's view of "TCP + IPSec AH": point-to-point
+// channels to every peer that are reliable (no loss between correct
+// processes), FIFO per pair, and integrity-protected with authenticated
+// sender identity. Implementations: the discrete-event LAN simulator
+// (sim/), the real TCP transport (net/), and an in-memory loopback used by
+// unit tests.
+#pragma once
+
+#include "common/bytes.h"
+#include "core/types.h"
+
+namespace ritas {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `frame` for delivery to process `to`. Must not call back into
+  /// the stack synchronously. `to` != self.
+  virtual void send(ProcessId to, Bytes frame) = 0;
+
+  /// Bills `ns` of *modeled* CPU time to this process. No-op on real
+  /// transports (real CPU time is simply spent); the simulator advances
+  /// the host's CPU timeline so expensive operations (the signature
+  /// baseline's RSA, notably) delay subsequent sends and receives the way
+  /// they would on the paper's 500 MHz testbed.
+  virtual void charge_cpu(std::uint64_t ns) { (void)ns; }
+};
+
+}  // namespace ritas

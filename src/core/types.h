@@ -1,0 +1,49 @@
+// Shared identifiers and quorum arithmetic for the RITAS protocol stack.
+#pragma once
+
+#include <cstdint>
+
+namespace ritas {
+
+/// Index of a process within the group P = {p_0 .. p_{n-1}}.
+using ProcessId = std::uint32_t;
+
+constexpr ProcessId kNoProcess = 0xffffffffu;
+
+/// Optimal resilience: the stack tolerates f = floor((n-1)/3) corrupt
+/// processes (paper §2).
+constexpr std::uint32_t max_faults(std::uint32_t n) { return (n - 1) / 3; }
+
+/// Thresholds used across the protocols, all in terms of n and f.
+struct Quorums {
+  std::uint32_t n;
+  std::uint32_t f;
+
+  explicit constexpr Quorums(std::uint32_t n_) : n(n_), f(max_faults(n_)) {}
+  constexpr Quorums(std::uint32_t n_, std::uint32_t f_) : n(n_), f(f_) {}
+
+  /// n - f: the count of messages a process may safely wait for.
+  constexpr std::uint32_t n_minus_f() const { return n - f; }
+  /// n - 2f: guaranteed overlap of any two (n-f)-subsets.
+  constexpr std::uint32_t n_minus_2f() const { return n - 2 * f; }
+  /// Bracha reliable broadcast: ECHOs needed before READY.
+  constexpr std::uint32_t rb_echo_threshold() const { return (n + f) / 2 + 1; }
+  /// Bracha reliable broadcast: READYs needed to relay READY.
+  constexpr std::uint32_t rb_ready_relay() const { return f + 1; }
+  /// Bracha reliable broadcast: READYs needed to deliver.
+  constexpr std::uint32_t rb_deliver_threshold() const { return 2 * f + 1; }
+  /// Echo broadcast: correct hashes needed to deliver a MAT column.
+  constexpr std::uint32_t eb_deliver_threshold() const { return f + 1; }
+  /// Binary consensus: same-value step-3 messages needed to decide.
+  constexpr std::uint32_t bc_decide_threshold() const { return 2 * f + 1; }
+  /// Binary consensus: same-value step-3 messages needed to adopt.
+  constexpr std::uint32_t bc_adopt_threshold() const { return f + 1; }
+};
+
+/// Whether a broadcast instance exists to move application payload or to
+/// run the agreement machinery. Figure 7 of the paper reports the ratio of
+/// agreement broadcasts to all broadcasts, so every reliable/echo broadcast
+/// instance carries this attribution tag.
+enum class Attribution : std::uint8_t { kPayload = 0, kAgreement = 1 };
+
+}  // namespace ritas

@@ -1,0 +1,135 @@
+#include "core/vector_consensus.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace ritas {
+
+VectorConsensus::VectorConsensus(ProtocolStack& stack, Protocol* parent,
+                                 InstanceId id, Attribution attr,
+                                 DecideFn decide)
+    : Protocol(stack, parent, std::move(id)),
+      attr_(attr),
+      decide_(std::move(decide)),
+      proposals_(stack.n()) {
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    add_child(std::make_unique<ReliableBroadcast>(
+        stack_, this, this->id().child(proposal_component(j)), j, attr_,
+        [this, j](Bytes payload) { on_proposal_deliver(j, std::move(payload)); }));
+  }
+}
+
+Bytes VectorConsensus::encode_vector(const Vector& v) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& e : v) {
+    w.u8(e ? 1 : 0);
+    if (e) w.bytes(*e);
+  }
+  return std::move(w).take();
+}
+
+std::optional<VectorConsensus::Vector> VectorConsensus::decode_vector(
+    ByteView payload, std::uint32_t n) {
+  Reader r(payload);
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count != n) return std::nullopt;
+  Vector out(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (r.u8() != 0) out[k] = r.bytes();
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+void VectorConsensus::propose(Bytes v) {
+  if (active_) throw std::logic_error("VectorConsensus::propose: already active");
+  active_ = true;
+  auto* rb = static_cast<ReliableBroadcast*>(
+      find_child(proposal_component(stack_.self())));
+  assert(rb != nullptr);
+  rb->bcast(std::move(v));
+  try_start_round();
+}
+
+void VectorConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
+  ++stack_.metrics().invalid_dropped;
+}
+
+void VectorConsensus::on_proposal_deliver(ProcessId origin, Bytes payload) {
+  if (proposals_[origin].has_value()) return;  // defensive; RB delivers once
+  proposals_[origin] = std::move(payload);
+  ++proposals_received_;
+  try_start_round();
+}
+
+MultiValuedConsensus& VectorConsensus::ensure_mvc(std::uint32_t round) {
+  const Component c = mvc_component(round);
+  if (auto* existing = find_child(c)) {
+    return static_cast<MultiValuedConsensus&>(*existing);
+  }
+  auto mvc = std::make_unique<MultiValuedConsensus>(
+      stack_, this, id().child(c), attr_,
+      [this, round](std::optional<Bytes> v) { on_mvc_decide(round, std::move(v)); });
+  auto& ref = *mvc;
+  add_child(std::move(mvc));
+  return ref;
+}
+
+void VectorConsensus::try_start_round() {
+  const Quorums& q = stack_.quorums();
+  if (!active_ || decided_ || mvc_running_) return;
+  const std::uint32_t need = q.n_minus_f() + round_;
+  if (proposals_received_ < need || need > stack_.n()) return;
+
+  // Snapshot the proposals received so far as this round's W vector.
+  Vector w(proposals_.begin(), proposals_.end());
+  mvc_running_ = true;
+  MultiValuedConsensus& mvc = ensure_mvc(round_);
+  mvc.propose(encode_vector(w));
+}
+
+void VectorConsensus::on_mvc_decide(std::uint32_t round,
+                                    std::optional<Bytes> value) {
+  if (decided_ || round != round_) return;
+  mvc_running_ = false;
+  if (value) {
+    auto vec = decode_vector(*value, stack_.n());
+    if (vec) {
+      decided_ = true;
+      decision_ = std::move(*vec);
+      if (decide_) decide_(decision_);
+      return;
+    }
+    // MVC validity means the decided value came from a correct process, so
+    // it decodes; reaching here indicates Byzantine collusion beyond f or a
+    // bug. All correct processes see the same bytes, so all take the same
+    // branch: treat as ⊥ and advance.
+    LOG_WARN("vector consensus %s: undecodable MVC decision", id().to_string().c_str());
+  }
+  ++round_;
+  if (round_ > stack_.quorums().f) {
+    LOG_ERROR("vector consensus %s: exceeded f+1 rounds without decision",
+              id().to_string().c_str());
+    return;
+  }
+  try_start_round();
+}
+
+Protocol* VectorConsensus::spawn_child(const Component& c, bool& drop) {
+  drop = false;
+  if (c.type == ProtocolType::kMultiValuedConsensus) {
+    if (c.seq > stack_.quorums().f) {
+      drop = true;  // rounds beyond f+1 can never exist
+      return nullptr;
+    }
+    // Passive MVC instances accumulate traffic from processes ahead of us.
+    return &ensure_mvc(static_cast<std::uint32_t>(c.seq));
+  }
+  drop = true;  // proposal RBs all exist from construction
+  return nullptr;
+}
+
+}  // namespace ritas

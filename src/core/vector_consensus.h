@@ -1,0 +1,77 @@
+// Vector consensus (paper §2.6, after Correia et al.).
+//
+// Correct processes agree on one vector V of size n such that V[i] is
+// p_i's proposal or ⊥ for every correct p_i, and at least f+1 entries were
+// proposed by correct processes. Built from reliable broadcast (proposal
+// dissemination) and one multi-valued consensus per round:
+//
+//   propose v:  RB-broadcast v; round r := 0
+//   round r:    wait until n-f+r proposals received; W := vector of them;
+//               run MVC_r(W); decide W' if W' != ⊥, else r := r+1
+//
+// Terminates in at most f+1 rounds: with c <= f actual silent processes,
+// by round f-c every correct process waits for all n-c live proposals, so
+// all correct processes propose identical vectors and MVC validity forces
+// a non-⊥ decision.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/multivalued_consensus.h"
+#include "core/protocol.h"
+#include "core/reliable_broadcast.h"
+#include "core/stack.h"
+
+namespace ritas {
+
+class VectorConsensus final : public Protocol {
+ public:
+  using Vector = std::vector<std::optional<Bytes>>;
+  using DecideFn = std::function<void(Vector)>;
+
+  VectorConsensus(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                  Attribution attr, DecideFn decide);
+
+  void propose(Bytes v);
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  Protocol* spawn_child(const Component& c, bool& drop) override;
+
+  bool decided() const { return decided_; }
+  const Vector& decision() const { return decision_; }
+  std::uint32_t rounds_used() const { return round_; }
+
+  static Component proposal_component(ProcessId origin) {
+    return Component{ProtocolType::kReliableBroadcast, origin};
+  }
+  static Component mvc_component(std::uint32_t round) {
+    return Component{ProtocolType::kMultiValuedConsensus, round};
+  }
+
+  /// Wire format helpers for the per-round W vectors (shared with tests).
+  static Bytes encode_vector(const Vector& v);
+  static std::optional<Vector> decode_vector(ByteView payload, std::uint32_t n);
+
+ private:
+  void on_proposal_deliver(ProcessId origin, Bytes payload);
+  void on_mvc_decide(std::uint32_t round, std::optional<Bytes> value);
+  MultiValuedConsensus& ensure_mvc(std::uint32_t round);
+  void try_start_round();
+
+  const Attribution attr_;
+  DecideFn decide_;
+
+  bool active_ = false;
+  bool decided_ = false;
+  bool mvc_running_ = false;
+  std::uint32_t round_ = 0;
+  Vector decision_;
+
+  std::vector<std::optional<Bytes>> proposals_;
+  std::uint32_t proposals_received_ = 0;
+};
+
+}  // namespace ritas

@@ -1,0 +1,311 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ritas {
+
+BigNum::BigNum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(ByteView b) {
+  BigNum out;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // b is big-endian; byte i contributes to bit position 8*(size-1-i).
+    const std::size_t bit = 8 * (b.size() - 1 - i);
+    const std::size_t limb = bit / 32;
+    const std::size_t off = bit % 32;
+    if (out.limbs_.size() <= limb) out.limbs_.resize(limb + 1, 0);
+    out.limbs_[limb] |= static_cast<std::uint32_t>(b[i]) << off;
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigNum::to_bytes() const {
+  if (limbs_.empty()) return Bytes{0};
+  Bytes out;
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  out.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::size_t bit = 8 * (bytes - 1 - i);
+    const std::size_t limb = bit / 32;
+    const std::size_t off = bit % 32;
+    out[i] = static_cast<std::uint8_t>(limbs_[limb] >> off);
+  }
+  return out;
+}
+
+BigNum BigNum::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes(ritas::from_hex(padded));
+}
+
+std::string BigNum::to_hex() const {
+  const Bytes b = to_bytes();
+  std::string h = ritas::to_hex(b);
+  // Strip leading zeros but keep at least one digit.
+  std::size_t i = 0;
+  while (i + 1 < h.size() && h[i] == '0') ++i;
+  return h.substr(i);
+}
+
+std::size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigNum::compare(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum BigNum::add(const BigNum& a, const BigNum& b) {
+  BigNum out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::sub(const BigNum& a, const BigNum& b) {
+  assert(compare(a, b) >= 0);
+  BigNum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) d -= b.limbs_[i];
+    if (d < 0) {
+      d += 1LL << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(d);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::mul(const BigNum& a, const BigNum& b) {
+  if (a.is_zero() || b.is_zero()) return BigNum{};
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + carry +
+                          static_cast<std::uint64_t>(a.limbs_[i]) * b.limbs_[j];
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::shift_limbs(const BigNum& a, std::size_t k) {
+  if (a.is_zero()) return a;
+  BigNum out;
+  out.limbs_.assign(k, 0);
+  out.limbs_.insert(out.limbs_.end(), a.limbs_.begin(), a.limbs_.end());
+  return out;
+}
+
+void BigNum::divmod(const BigNum& a, const BigNum& b, BigNum& q, BigNum& r) {
+  if (b.is_zero()) throw std::domain_error("BigNum: division by zero");
+  if (compare(a, b) < 0) {
+    q = BigNum{};
+    r = a;
+    return;
+  }
+  // Binary long division on bits: simple and adequate for <= 2048 bits.
+  q = BigNum{};
+  r = BigNum{};
+  q.limbs_.assign(a.limbs_.size(), 0);
+  for (std::size_t i = a.bit_length(); i-- > 0;) {
+    // r = (r << 1) | bit_i(a)
+    std::uint32_t carry = a.bit(i) ? 1u : 0u;
+    for (std::size_t j = 0; j < r.limbs_.size(); ++j) {
+      const std::uint32_t next = r.limbs_[j] >> 31;
+      r.limbs_[j] = (r.limbs_[j] << 1) | carry;
+      carry = next;
+    }
+    if (carry) r.limbs_.push_back(carry);
+    if (compare(r, b) >= 0) {
+      r = sub(r, b);
+      q.limbs_[i / 32] |= 1u << (i % 32);
+    }
+  }
+  q.trim();
+  r.trim();
+}
+
+BigNum BigNum::mod(const BigNum& a, const BigNum& m) {
+  BigNum q, r;
+  divmod(a, m, q, r);
+  return r;
+}
+
+BigNum BigNum::mulmod(const BigNum& a, const BigNum& b, const BigNum& m) {
+  return mod(mul(a, b), m);
+}
+
+BigNum BigNum::powmod(const BigNum& a, const BigNum& e, const BigNum& m) {
+  if (m.is_zero()) throw std::domain_error("BigNum: powmod modulus zero");
+  BigNum base = mod(a, m);
+  BigNum result(1);
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = mulmod(result, result, m);
+    if (e.bit(i)) result = mulmod(result, base, m);
+  }
+  return result;
+}
+
+bool BigNum::invmod(const BigNum& a, const BigNum& m, BigNum& out) {
+  // Extended Euclid tracking only the coefficient of a, with signs managed
+  // via (value, negative) pairs over non-negative BigNums.
+  BigNum r0 = m, r1 = mod(a, m);
+  BigNum t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    BigNum q, rem;
+    divmod(r0, r1, q, rem);
+    // t2 = t0 - q*t1
+    const BigNum qt1 = mul(q, t1);
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (compare(t0, qt1) >= 0) {
+        t2 = sub(t0, qt1);
+        t2_neg = t0_neg;
+      } else {
+        t2 = sub(qt1, t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = add(t0, qt1);
+      t2_neg = t0_neg;
+    }
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+    r0 = r1;
+    r1 = rem;
+  }
+  if (!(r0 == BigNum(1))) return false;
+  if (t0_neg) {
+    out = sub(m, mod(t0, m));
+    if (out == m) out = BigNum{};
+  } else {
+    out = mod(t0, m);
+  }
+  return true;
+}
+
+BigNum BigNum::random_bits(Rng& rng, std::size_t bits) {
+  assert(bits > 0);
+  BigNum out;
+  out.limbs_.resize((bits + 31) / 32);
+  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next());
+  const std::size_t top = (bits - 1) % 32;
+  out.limbs_.back() &= (top == 31) ? 0xffffffffu : ((1u << (top + 1)) - 1);
+  out.limbs_.back() |= 1u << top;  // exact bit length
+  out.trim();
+  return out;
+}
+
+bool BigNum::probably_prime(const BigNum& n, Rng& rng, int rounds) {
+  if (n.bit_length() <= 1) return false;      // 0, 1
+  if (!n.is_odd()) return n == BigNum(2);
+  // Small-prime sieve first.
+  static constexpr std::uint32_t kSmall[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                             29, 31, 37, 41, 43, 47, 53, 59};
+  for (std::uint32_t p : kSmall) {
+    const BigNum bp(p);
+    if (n == bp) return true;
+    if (mod(n, bp).is_zero()) return false;
+  }
+  // n-1 = d * 2^s
+  const BigNum n_minus_1 = sub(n, BigNum(1));
+  BigNum d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    BigNum q, r;
+    divmod(d, BigNum(2), q, r);
+    d = q;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    BigNum a = mod(random_bits(rng, n.bit_length()), n);
+    if (compare(a, BigNum(2)) < 0 || compare(a, n_minus_1) >= 0) {
+      a = BigNum(2 + static_cast<std::uint64_t>(round));
+    }
+    BigNum x = powmod(a, d, n);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::random_prime(Rng& rng, std::size_t bits) {
+  for (;;) {
+    BigNum cand = random_bits(rng, bits);
+    if (!cand.is_odd()) cand = add(cand, BigNum(1));
+    if (probably_prime(cand, rng)) return cand;
+  }
+}
+
+}  // namespace ritas

@@ -1,0 +1,70 @@
+// Minimal arbitrary-precision unsigned integers — just enough for RSA.
+//
+// Exists to build the *baseline* the paper argues against: Rampart-style
+// signed multicast (Reiter '94 used 300-bit RSA). Schoolbook algorithms
+// throughout; this is a reference implementation for benchmarking and
+// tests, not a hardened crypto library (and RSA at these sizes is for the
+// historical comparison only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace ritas {
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t v);
+  /// Big-endian byte import/export.
+  static BigNum from_bytes(ByteView b);
+  Bytes to_bytes() const;
+  static BigNum from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  static int compare(const BigNum& a, const BigNum& b);
+  friend bool operator==(const BigNum& a, const BigNum& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator<(const BigNum& a, const BigNum& b) {
+    return compare(a, b) < 0;
+  }
+
+  static BigNum add(const BigNum& a, const BigNum& b);
+  /// Precondition: a >= b.
+  static BigNum sub(const BigNum& a, const BigNum& b);
+  static BigNum mul(const BigNum& a, const BigNum& b);
+  /// Quotient and remainder; divisor must be nonzero.
+  static void divmod(const BigNum& a, const BigNum& b, BigNum& q, BigNum& r);
+  static BigNum mod(const BigNum& a, const BigNum& m);
+  static BigNum mulmod(const BigNum& a, const BigNum& b, const BigNum& m);
+  /// a^e mod m via square-and-multiply. m must be nonzero.
+  static BigNum powmod(const BigNum& a, const BigNum& e, const BigNum& m);
+  /// Modular inverse via extended Euclid; returns false if gcd != 1.
+  static bool invmod(const BigNum& a, const BigNum& m, BigNum& out);
+
+  /// Uniform random value with exactly `bits` bits (top bit set).
+  static BigNum random_bits(Rng& rng, std::size_t bits);
+  /// Miller-Rabin with `rounds` random bases.
+  static bool probably_prime(const BigNum& n, Rng& rng, int rounds = 24);
+  /// Random prime with exactly `bits` bits.
+  static BigNum random_prime(Rng& rng, std::size_t bits);
+
+ private:
+  void trim();
+  static BigNum shift_limbs(const BigNum& a, std::size_t k);  // a * 2^(32k)
+
+  // Little-endian 32-bit limbs; empty = zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace ritas

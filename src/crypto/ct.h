@@ -1,0 +1,24 @@
+// Constant-time byte comparison.
+//
+// Every MAC/hash-vector verification in the stack goes through this to
+// avoid leaking the position of the first mismatching byte to a timing
+// adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+/// Returns true iff a == b, in time dependent only on the lengths.
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace ritas

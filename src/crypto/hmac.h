@@ -1,0 +1,58 @@
+// HMAC (RFC 2104) over any of the project's hash functions.
+//
+// The TCP transport authenticates every frame with HMAC-SHA-256; tests also
+// validate HMAC-SHA-1 against RFC 2202 vectors. The matrix echo broadcast
+// deliberately does NOT use HMAC — it uses the paper's plain H(m || s_ij)
+// construction (§2.3), which the paper describes as "a simple and efficient
+// form of Message Authentication Code".
+#pragma once
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace ritas {
+
+/// Computes HMAC_Hash(key, msg). Hash must expose kBlockSize, kDigestSize,
+/// Digest, update(), finish() like Sha1 / Sha256.
+template <typename Hash>
+typename Hash::Digest hmac(ByteView key, ByteView msg) {
+  std::uint8_t key_block[Hash::kBlockSize] = {0};
+  if (key.size() > Hash::kBlockSize) {
+    const auto digest = Hash::hash(key);
+    std::memcpy(key_block, digest.data(), digest.size());
+  } else if (!key.empty()) {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[Hash::kBlockSize];
+  std::uint8_t opad[Hash::kBlockSize];
+  for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Hash inner;
+  inner.update(ByteView(ipad, Hash::kBlockSize));
+  inner.update(msg);
+  const auto inner_digest = inner.finish();
+
+  Hash outer;
+  outer.update(ByteView(opad, Hash::kBlockSize));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+using HmacSha1 = Sha1::Digest;
+using HmacSha256 = Sha256::Digest;
+
+inline Sha1::Digest hmac_sha1(ByteView key, ByteView msg) {
+  return hmac<Sha1>(key, msg);
+}
+inline Sha256::Digest hmac_sha256(ByteView key, ByteView msg) {
+  return hmac<Sha256>(key, msg);
+}
+
+}  // namespace ritas

@@ -1,0 +1,48 @@
+#include "crypto/rsa.h"
+
+#include "crypto/sha256.h"
+
+namespace ritas {
+
+RsaKeyPair RsaKeyPair::generate(Rng& rng, std::size_t modulus_bits) {
+  const std::size_t half = modulus_bits / 2;
+  const BigNum e(65537);
+  for (;;) {
+    const BigNum p = BigNum::random_prime(rng, half);
+    const BigNum q = BigNum::random_prime(rng, modulus_bits - half);
+    if (p == q) continue;
+    const BigNum n = BigNum::mul(p, q);
+    const BigNum phi = BigNum::mul(BigNum::sub(p, BigNum(1)),
+                                   BigNum::sub(q, BigNum(1)));
+    BigNum d;
+    if (!BigNum::invmod(e, phi, d)) continue;  // gcd(e, phi) != 1: retry
+    RsaKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.e = e;
+    kp.d = d;
+    return kp;
+  }
+}
+
+namespace {
+BigNum digest_of(ByteView message) {
+  const auto d = Sha256::hash(message);
+  return BigNum::from_bytes(ByteView(d.data(), d.size()));
+}
+}  // namespace
+
+Bytes rsa_sign(const RsaKeyPair& key, ByteView message) {
+  return BigNum::powmod(digest_of(message), key.d, key.pub.n).to_bytes();
+}
+
+bool rsa_verify(const RsaPublicKey& key, ByteView message, ByteView signature) {
+  if (signature.empty() || signature.size() > key.n.to_bytes().size() + 1) {
+    return false;
+  }
+  const BigNum sig = BigNum::from_bytes(signature);
+  if (!(sig < key.n)) return false;
+  const BigNum recovered = BigNum::powmod(sig, key.e, key.n);
+  return recovered == BigNum::mod(digest_of(message), key.n);
+}
+
+}  // namespace ritas

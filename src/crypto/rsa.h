@@ -1,0 +1,41 @@
+// Textbook RSA signatures over SHA-256 digests.
+//
+// This is the *baseline* machinery, not part of RITAS: the paper's related
+// work (Rampart, SecureRing, SINTRA) leans on digital signatures, and its
+// core performance claim is that RITAS wins by avoiding them. We implement
+// the signatures so the comparison benchmark (`bench_signatures`) can
+// measure exactly that claim. Key sizes mirror the era: Reiter reported
+// Rampart with 300-bit RSA moduli; we default to 512 bits.
+//
+// Textbook (no OAEP/PSS padding): sig = H(m)^d mod N. Sufficient for a
+// performance baseline and for tests; do not use for anything real.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+
+namespace ritas {
+
+struct RsaPublicKey {
+  BigNum n;
+  BigNum e;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigNum d;
+
+  /// Generates a keypair with a modulus of ~`modulus_bits` bits, e = 65537.
+  static RsaKeyPair generate(Rng& rng, std::size_t modulus_bits = 512);
+};
+
+/// sig = SHA-256(m)^d mod n.
+Bytes rsa_sign(const RsaKeyPair& key, ByteView message);
+
+/// Verifies sig^e mod n == SHA-256(m).
+bool rsa_verify(const RsaPublicKey& key, ByteView message, ByteView signature);
+
+}  // namespace ritas

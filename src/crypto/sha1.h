@@ -1,0 +1,44 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// RITAS uses SHA-1 in two places, exactly as the paper does: (1) the matrix
+// echo broadcast's hash vectors H(m || s_ij) (§2.3), and (2) the IPSec AH
+// integrity stand-in on the reliable channel. SHA-1 is cryptographically
+// broken for collision resistance today; it is kept because the point of
+// this codebase is to reproduce the 2006 system (SHA-256 is available in
+// crypto/sha256.h and the channel layer can be configured to use it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ritas

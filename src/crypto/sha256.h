@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the real-socket transport's HMAC integrity layer (the modern
+// stand-in for IPSec AH) and available as an alternative hash for the
+// matrix echo broadcast.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  static Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ritas

@@ -1,0 +1,315 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+#include "common/serialize.h"
+#include "crypto/ct.h"
+#include "crypto/hmac.h"
+
+namespace ritas::net {
+
+namespace {
+constexpr std::uint32_t kHandshakeMagic = 0x52495441;  // "RITA"
+constexpr std::size_t kMacSize = Sha256::kDigestSize;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpTransport::TcpTransport(Options opts, const KeyChain& keys)
+    : opts_(std::move(opts)), keys_(keys), conns_(opts_.n) {
+  if (opts_.peers.size() != opts_.n) {
+    throw std::invalid_argument("TcpTransport: need one address per process");
+  }
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::start() {
+  // Wakeup pipe so other threads can interrupt poll_once().
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) throw std::runtime_error("pipe() failed");
+  wake_rx_ = Fd(pipefd[0]);
+  wake_tx_ = Fd(pipefd[1]);
+  set_nonblocking(wake_rx_.get());
+
+  // Listen socket.
+  Fd lfd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!lfd.valid()) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(lfd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.peers[opts_.self].port);
+  addr.sin_addr.s_addr = INADDR_ANY;
+  if (::bind(lfd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("bind() failed on port " +
+                             std::to_string(opts_.peers[opts_.self].port));
+  }
+  if (::listen(lfd.get(), 64) != 0) throw std::runtime_error("listen() failed");
+  listen_fd_ = std::move(lfd);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.connect_timeout_ms);
+  std::uint32_t connected = 0;
+  const std::uint32_t want = opts_.n - 1;
+
+  // Lower id dials, higher id accepts; handshake carries the dialer's id.
+  auto try_dial = [&](ProcessId peer) -> bool {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return false;
+    sockaddr_in peer_addr{};
+    peer_addr.sin_family = AF_INET;
+    peer_addr.sin_port = htons(opts_.peers[peer].port);
+    if (::inet_pton(AF_INET, opts_.peers[peer].host.c_str(), &peer_addr.sin_addr) != 1) {
+      return false;
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&peer_addr),
+                  sizeof(peer_addr)) != 0) {
+      return false;
+    }
+    Writer w;
+    w.u32(kHandshakeMagic);
+    w.u32(opts_.self);
+    if (!write_all(fd.get(), w.data())) return false;
+    set_nodelay(fd.get());
+    set_nonblocking(fd.get());
+    conns_[peer].fd = std::move(fd);
+    return true;
+  };
+
+  std::vector<bool> dialed(opts_.n, false);
+  while (connected < want) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw std::runtime_error("TcpTransport: mesh setup timed out");
+    }
+    // Dial every lower-id... higher-id peer we have not connected yet.
+    for (ProcessId peer = 0; peer < opts_.self; ++peer) {
+      if (!dialed[peer] && try_dial(peer)) {
+        dialed[peer] = true;
+        ++connected;
+      }
+    }
+    // Accept from higher-id peers.
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    if (::poll(&pfd, 1, 50) > 0 && (pfd.revents & POLLIN)) {
+      Fd fd(::accept(listen_fd_.get(), nullptr, nullptr));
+      if (fd.valid()) {
+        std::uint8_t hs[8];
+        std::size_t got = 0;
+        while (got < sizeof(hs)) {
+          const ssize_t k = ::read(fd.get(), hs + got, sizeof(hs) - got);
+          if (k <= 0) break;
+          got += static_cast<std::size_t>(k);
+        }
+        if (got == sizeof(hs)) {
+          Reader r(ByteView(hs, sizeof(hs)));
+          const std::uint32_t magic = r.u32();
+          const std::uint32_t peer = r.u32();
+          if (magic == kHandshakeMagic && peer > opts_.self && peer < opts_.n &&
+              !conns_[peer].fd.valid()) {
+            set_nodelay(fd.get());
+            set_nonblocking(fd.get());
+            conns_[peer].fd = std::move(fd);
+            ++connected;
+          }
+        }
+      }
+    }
+  }
+}
+
+void TcpTransport::stop() {
+  stopped_.store(true);
+  wakeup();
+  for (auto& c : conns_) c.fd.reset();
+  listen_fd_.reset();
+}
+
+void TcpTransport::wakeup() {
+  if (wake_tx_.valid()) {
+    const std::uint8_t b = 1;
+    [[maybe_unused]] ssize_t k = ::write(wake_tx_.get(), &b, 1);
+  }
+}
+
+Bytes TcpTransport::seal(ProcessId to, ByteView payload,
+                         std::uint64_t counter) const {
+  // Wire: u32 body_len | body | [mac]; mac covers (from, to, counter, body).
+  Writer w(payload.size() + 48);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  if (opts_.authenticate) {
+    Writer macin(payload.size() + 24);
+    macin.u32(opts_.self);
+    macin.u32(to);
+    macin.u64(counter);
+    macin.raw(payload);
+    const auto mac = hmac_sha256(keys_.key(to), macin.data());
+    w.raw(ByteView(mac.data(), mac.size()));
+  }
+  return std::move(w).take();
+}
+
+bool TcpTransport::write_all(int fd, ByteView data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t k = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::send(ProcessId to, Bytes frame) {
+  if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
+  Conn& c = conns_[to];
+  std::lock_guard<std::mutex> lock(c.tx_mutex);
+  if (!c.fd.valid()) return;
+  const Bytes wire = seal(to, frame, c.tx_counter);
+  if (write_all(c.fd.get(), wire)) {
+    ++c.tx_counter;  // advance only on success to keep anti-replay in sync
+    ++stats_.frames_sent;
+    stats_.bytes_sent += wire.size();
+  } else {
+    LOG_WARN("tcp send to p%u failed: %s", to, std::strerror(errno));
+    c.fd.reset();  // the stream is unusable after a partial write
+  }
+}
+
+void TcpTransport::poll_once(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<ProcessId> owners;
+  pfds.push_back(pollfd{wake_rx_.get(), POLLIN, 0});
+  owners.push_back(kNoProcess);
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (conns_[p].fd.valid()) {
+      pfds.push_back(pollfd{conns_[p].fd.get(), POLLIN, 0});
+      owners.push_back(p);
+    }
+  }
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc <= 0) return;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    if (owners[i] == kNoProcess) {
+      std::uint8_t buf[256];
+      while (::read(wake_rx_.get(), buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    handle_readable(owners[i]);
+  }
+}
+
+void TcpTransport::handle_readable(ProcessId peer) {
+  Conn& c = conns_[peer];
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t k = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    if (k > 0) {
+      c.rx.insert(c.rx.end(), buf, buf + k);
+      continue;
+    }
+    if (k == 0) {
+      c.fd.reset();  // peer closed
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c.fd.reset();
+    break;
+  }
+  process_rx(peer);
+}
+
+void TcpTransport::process_rx(ProcessId peer) {
+  Conn& c = conns_[peer];
+  std::size_t off = 0;
+  const std::size_t trailer = opts_.authenticate ? kMacSize : 0;
+  while (c.rx.size() - off >= 4) {
+    Reader hdr(ByteView(c.rx.data() + off, 4));
+    const std::uint32_t body_len = hdr.u32();
+    if (body_len > opts_.max_frame) {
+      ++stats_.oversize_drops;
+      LOG_WARN("oversize frame (%u bytes) from p%u; dropping connection",
+               body_len, peer);
+      c.fd.reset();
+      c.rx.clear();
+      return;
+    }
+    const std::size_t total = 4 + body_len + trailer;
+    if (c.rx.size() - off < total) break;
+    const ByteView body(c.rx.data() + off + 4, body_len);
+    bool ok = true;
+    if (opts_.authenticate) {
+      Writer macin(body_len + 24);
+      macin.u32(peer);
+      macin.u32(opts_.self);
+      macin.u64(c.rx_counter);
+      macin.raw(body);
+      const auto mac = hmac_sha256(keys_.key(peer), macin.data());
+      const ByteView got(c.rx.data() + off + 4 + body_len, kMacSize);
+      if (!ct_equal(ByteView(mac.data(), mac.size()), got)) {
+        // Either tampering or counter desync; with TCP FIFO the counters
+        // can only desync through tampering, so treat it as such.
+        ++stats_.mac_failures;
+        ok = false;
+      }
+    }
+    if (ok) {
+      ++c.rx_counter;
+      ++stats_.frames_received;
+      if (sink_) sink_(peer, Bytes(body.begin(), body.end()));
+    }
+    off += total;
+  }
+  if (off > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+}  // namespace ritas::net

@@ -1,0 +1,175 @@
+// ritas::Context — the application-facing session (the paper's `ritas_t`).
+//
+// Mirrors the C API of §3.1 in RAII C++: construct with the group
+// membership (ritas_init + ritas_proc_add_ipv4), call the service
+// functions as often as desired, destroy to tear everything down. Service
+// calls follow the paper's blocking semantics:
+//
+//   rb_bcast / rb_recv     reliable broadcast        (ritas_rb_*)
+//   eb_bcast / eb_recv     echo broadcast            (ritas_eb_*)
+//   ab_bcast / ab_recv     atomic broadcast          (ritas_ab_*)
+//   bc / mvc / vc          propose, block, decide    (ritas_bc/mvc/vc)
+//
+// The protocol stack runs in a single reactor thread, independent of the
+// application thread (§3: "the protocol stack runs in a single thread,
+// independent of the application thread"). Application calls post work to
+// the reactor and block on futures/queues.
+//
+// Instance naming convention (implicit agreement across processes): the
+// k-th rb/eb broadcast by origin o is root (kRB/kEB, o<<32|k); consensus
+// calls are numbered by call order (all processes must invoke them in the
+// same order, as with any consensus API); one atomic broadcast instance
+// (kAB, 0) serves the whole session.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/atomic_broadcast.h"
+#include "core/stack.h"
+#include "crypto/keychain.h"
+#include "net/tcp_transport.h"
+
+namespace ritas {
+
+class Context {
+ public:
+  struct Options {
+    std::uint32_t n = 4;
+    ProcessId self = 0;
+    std::vector<net::PeerAddr> peers;  // one per process, index = id
+    /// Shared secret all processes derive pairwise keys from (the trusted
+    /// dealer of §2; distribute out of band).
+    Bytes master_secret;
+    bool authenticate = true;  // HMAC frames (the "IPSec" switch)
+    StackConfig stack;         // n/self overwritten
+    std::uint64_t rng_seed = 0;  // 0 = seed from std::random_device
+    /// Receive-side broadcast instances pre-created per origin.
+    std::uint32_t recv_window = 64;
+  };
+
+  struct Delivery {
+    ProcessId origin;
+    Bytes payload;
+  };
+  struct AbDelivery {
+    ProcessId origin;
+    std::uint64_t rbid;
+    Bytes payload;
+  };
+
+  explicit Context(Options opts);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Establishes the TCP mesh and starts the reactor. Blocks until every
+  /// link is up. Call once before any service function.
+  void start();
+  void stop();
+
+  // --- broadcast services -------------------------------------------------
+  void rb_bcast(Bytes payload);
+  Delivery rb_recv();
+  void eb_bcast(Bytes payload);
+  Delivery eb_recv();
+  std::uint64_t ab_bcast(Bytes payload);
+  AbDelivery ab_recv();
+
+  // --- consensus services -------------------------------------------------
+  bool bc(bool proposal);
+  std::optional<Bytes> mvc(Bytes proposal);
+  std::vector<std::optional<Bytes>> vc(Bytes proposal);
+
+  /// Snapshot of the stack's counters (taken on the reactor).
+  Metrics metrics();
+  const net::TcpTransport::Stats& transport_stats() const {
+    return transport_->stats();
+  }
+  ProcessId self() const { return opts_.self; }
+  std::uint32_t n() const { return opts_.n; }
+
+ private:
+  template <typename T>
+  class BlockingQueue {
+   public:
+    void push(T v) {
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        q_.push_back(std::move(v));
+      }
+      cv_.notify_one();
+    }
+    /// Blocks until an element arrives; throws std::runtime_error if the
+    /// queue is closed and drained (the session stopped).
+    T pop() {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait(lock, [this] { return !q_.empty() || closed_; });
+      if (q_.empty()) throw std::runtime_error("ritas::Context stopped");
+      T v = std::move(q_.front());
+      q_.pop_front();
+      return v;
+    }
+    void close() {
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        closed_ = true;
+      }
+      cv_.notify_all();
+    }
+
+   private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<T> q_;
+    bool closed_ = false;
+  };
+
+  void reactor_loop();
+  /// Runs fn on the reactor thread and waits for it (fn must not block).
+  void run_on_reactor(std::function<void()> fn);
+  static std::uint64_t bcast_seq(ProcessId origin, std::uint64_t k) {
+    return (static_cast<std::uint64_t>(origin) << 32) | k;
+  }
+  /// Maintains the pre-created receive window for rb/eb roots. Reactor only.
+  void ensure_bcast_windows();
+  void on_bcast_deliver(ProtocolType type, ProcessId origin, std::uint64_t k,
+                        Bytes payload);
+
+  Options opts_;
+  KeyChain keys_;
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<ProtocolStack> stack_;
+
+  std::thread reactor_;
+  std::atomic<bool> running_{false};
+  std::mutex tasks_mutex_;
+  std::deque<std::function<void()>> tasks_;
+
+  // Reactor-owned protocol state. Broadcast-window roots are destroyed
+  // once delivered (deferred to a safe point — never inside their own
+  // delivery callback); consensus roots stay for the session (peers may
+  // still need our courtesy-round participation).
+  std::map<InstanceId, std::unique_ptr<Protocol>> roots_;
+  std::vector<InstanceId> dead_roots_;
+  AtomicBroadcast* ab_ = nullptr;
+  std::vector<std::uint64_t> rb_created_, eb_created_;   // per origin
+  std::vector<std::uint64_t> rb_delivered_, eb_delivered_;
+  std::uint64_t rb_sent_ = 0, eb_sent_ = 0;
+  std::uint64_t bc_calls_ = 0, mvc_calls_ = 0, vc_calls_ = 0;
+
+  BlockingQueue<Delivery> rb_rx_, eb_rx_;
+  BlockingQueue<AbDelivery> ab_rx_;
+};
+
+}  // namespace ritas

@@ -1,0 +1,97 @@
+/* ritas_c.h — C API for the RITAS stack, faithful to the paper's §3.1.
+ *
+ * The original implementation is a C shared library whose interface
+ * revolves around an opaque `ritas_t` context: initialize it, add the
+ * participating processes, call the service requests, destroy it. This
+ * header reproduces that interface over the C++ core:
+ *
+ *   ritas_t* r = ritas_init(n, self_id, "shared-secret", secret_len);
+ *   ritas_proc_add_ipv4(r, id, "10.0.0.2", 7000);   // once per process
+ *   ritas_start(r);                                  // connect the mesh
+ *   ritas_rb_bcast(r, buf, len);                     // or eb/ab
+ *   ritas_rb_recv(r, &origin, out, cap);             // blocking
+ *   int b = ritas_bc(r, 1);                          // consensus services
+ *   ritas_destroy(r);
+ *
+ * All functions return 0 (or a non-negative count) on success and a
+ * negative RITAS_E* code on failure. Buffers are caller-owned; *_recv
+ * copies into the caller's buffer and fails with RITAS_ETOOBIG if it does
+ * not fit. The library never throws across this boundary.
+ */
+#ifndef RITAS_C_H
+#define RITAS_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct ritas_t ritas_t;
+
+enum {
+  RITAS_OK = 0,
+  RITAS_EINVAL = -1,   /* bad argument */
+  RITAS_ESTATE = -2,   /* wrong state (e.g. service call before start) */
+  RITAS_ENET = -3,     /* mesh setup / network failure */
+  RITAS_ETOOBIG = -4,  /* caller buffer too small (value preserved) */
+  RITAS_EINTERNAL = -5 /* unexpected internal failure */
+};
+
+/* Context management ----------------------------------------------------- */
+
+/* Allocates a context for a group of n processes in which this process has
+ * identifier self (0 <= self < n). `secret` is the dealer-distributed
+ * master secret all group members share (pairwise keys derive from it). */
+ritas_t* ritas_init(uint32_t n, uint32_t self, const uint8_t* secret,
+                    size_t secret_len);
+
+/* Registers the address of process `id`. Every id in [0, n) must be added
+ * (including self: its port is the local listen port) before ritas_start. */
+int ritas_proc_add_ipv4(ritas_t* r, uint32_t id, const char* host, uint16_t port);
+
+/* Establishes the authenticated TCP mesh and starts the protocol stack's
+ * thread. Blocks until every link is up. */
+int ritas_start(ritas_t* r);
+
+/* Tears everything down. Safe on NULL. */
+void ritas_destroy(ritas_t* r);
+
+/* Broadcast services ------------------------------------------------------ */
+
+int ritas_rb_bcast(ritas_t* r, const uint8_t* msg, size_t len);
+int ritas_eb_bcast(ritas_t* r, const uint8_t* msg, size_t len);
+int ritas_ab_bcast(ritas_t* r, const uint8_t* msg, size_t len);
+
+/* Block until the next delivery of the respective broadcast service; the
+ * sender's id is stored in *origin (may be NULL). Returns the message
+ * length, or RITAS_ETOOBIG if it exceeds `cap` (the message stays queued). */
+long ritas_rb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
+long ritas_eb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
+long ritas_ab_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
+
+/* Consensus services ------------------------------------------------------ */
+
+/* Binary consensus: proposes `proposal` (0/1), blocks, returns the decision
+ * (0/1) or a negative error. All processes must call the consensus
+ * services in the same order. */
+int ritas_bc(ritas_t* r, int proposal);
+
+/* Multi-valued consensus: proposes msg, blocks, writes the decision into
+ * buf and returns its length; returns 0 with *decided_default = 1 when the
+ * decision is the default value ⊥. */
+long ritas_mvc(ritas_t* r, const uint8_t* msg, size_t len, uint8_t* buf,
+               size_t cap, int* decided_default);
+
+/* Vector consensus: proposes msg, blocks, fills per-process entries.
+ * lens[i] receives the length of entry i or -1 for ⊥; entry i is written
+ * at buf + i*entry_cap. Returns 0 on success. */
+int ritas_vc(ritas_t* r, const uint8_t* msg, size_t len, uint8_t* buf,
+             size_t entry_cap, long* lens);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* RITAS_C_H */

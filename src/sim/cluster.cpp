@@ -1,0 +1,85 @@
+#include "sim/cluster.h"
+
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace ritas::sim {
+
+Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  const std::uint32_t n = opts_.n;
+  net_ = std::make_unique<SimNetwork>(sched_, opts_.lan, n,
+                                      opts_.seed ^ 0xabcdef12345678ULL);
+
+  // Trusted-dealer key distribution (out of band, as in the paper).
+  Writer master;
+  master.str("ritas-sim-master");
+  master.u64(opts_.seed);
+  keys_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    keys_.push_back(KeyChain::deal(master.data(), n, p));
+  }
+
+  adversaries_.resize(n);
+  for (ProcessId p : opts_.byzantine) {
+    if (p >= n) throw std::invalid_argument("byzantine process out of range");
+    adversaries_[p] = opts_.adversary_factory();
+  }
+
+  stacks_.reserve(n);
+  roots_.resize(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    StackConfig cfg = opts_.stack;
+    cfg.n = n;
+    cfg.self = p;
+    std::uint64_t s = opts_.seed;
+    const std::uint64_t proc_seed = splitmix64(s) ^ (0x1000 + p);
+    stacks_.push_back(std::make_unique<ProtocolStack>(
+        cfg, net_->transport(p), keys_[p], proc_seed, adversaries_[p].get()));
+  }
+
+  net_->set_deliver([this](ProcessId from, ProcessId to, Bytes frame) {
+    stacks_[to]->on_packet(from, frame);
+  });
+
+  for (ProcessId p : opts_.crashed) {
+    if (p >= n) throw std::invalid_argument("crashed process out of range");
+    net_->crash(p);
+  }
+  for (const auto& [p, t] : opts_.timed_crashes) {
+    if (p >= n) throw std::invalid_argument("timed crash process out of range");
+    sched_.at(t, [this, p = p] { net_->crash(p); });
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<ProcessId> Cluster::live() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (!crashed(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ProcessId> Cluster::correct_set() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (correct(p)) out.push_back(p);
+  }
+  return out;
+}
+
+bool Cluster::run_until(const std::function<bool()>& done, Time deadline) {
+  return sched_.run_until(done, deadline);
+}
+
+Metrics Cluster::total_metrics() const {
+  Metrics total;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (!crashed(p)) total += stacks_[p]->metrics();
+  }
+  return total;
+}
+
+}  // namespace ritas::sim

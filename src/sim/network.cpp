@@ -1,0 +1,67 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace ritas::sim {
+
+SimNetwork::SimNetwork(Scheduler& sched, LanModelConfig lan, std::uint32_t n,
+                       std::uint64_t jitter_seed)
+    : sched_(sched),
+      lan_(lan),
+      jitter_rng_(jitter_seed),
+      cpu_tx_free_(n, 0),
+      cpu_rx_free_(n, 0),
+      egress_free_(n, 0),
+      ingress_free_(n, 0),
+      crashed_(n, false) {
+  transports_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    transports_.push_back(std::make_unique<HostTransport>(*this, p));
+  }
+}
+
+void SimNetwork::charge(ProcessId p, Time ns) {
+  const Time now = sched_.now();
+  cpu_tx_free_[p] = std::max(cpu_tx_free_[p], now) + ns;
+  cpu_rx_free_[p] = std::max(cpu_rx_free_[p], now) + ns;
+}
+
+void SimNetwork::submit(ProcessId from, ProcessId to, Bytes frame) {
+  assert(deliver_);
+  if (crashed_[from] || crashed_[to]) return;
+
+  const Time now = sched_.now();
+  const std::size_t payload = frame.size();
+  const std::uint32_t wire = lan_.wire_bytes(payload);
+  const Time tx = lan_.tx_time(wire);
+
+  // Sender TX-path CPU (serialized per host), then NIC egress.
+  Time t = std::max(now, cpu_tx_free_[from]) + lan_.send_cpu(payload, wire);
+  cpu_tx_free_[from] = t;
+  const Time egress_start = std::max(t, egress_free_[from]);
+  const Time egress_end = egress_start + tx;
+  egress_free_[from] = egress_end;
+
+  // Switch latency (+ optional jitter), then receiver NIC ingress.
+  Time arrival = egress_end + lan_.switch_latency_ns;
+  if (lan_.jitter_ns > 0) arrival += jitter_rng_.below(lan_.jitter_ns);
+  if (delay_policy_) arrival += delay_policy_(from, to, now);
+  const Time ingress_start = std::max(arrival, ingress_free_[to]);
+  const Time ingress_end = ingress_start + tx;
+  ingress_free_[to] = ingress_end;
+
+  // Receiver RX-path CPU, then hand to the stack.
+  const Time done = std::max(ingress_end, cpu_rx_free_[to]) +
+                    lan_.recv_cpu(payload, wire);
+  cpu_rx_free_[to] = done;
+
+  ++frames_delivered_;
+  wire_bytes_total_ += wire;
+
+  sched_.at(done, [this, from, to, f = std::move(frame)]() mutable {
+    if (crashed_[to]) return;
+    deliver_(from, to, std::move(f));
+  });
+}
+
+}  // namespace ritas::sim

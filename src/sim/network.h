@@ -1,0 +1,89 @@
+// Simulated switched-Ethernet network connecting n RITAS processes.
+//
+// Owns per-host resource timelines (CPU, NIC egress, NIC ingress) and turns
+// every Transport::send into a delivery event on the scheduler, honoring
+// the LanModel timing. Per-pair FIFO (the TCP property the stack relies
+// on) holds by construction: delivery times to a given receiver are
+// monotone in submission order.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/transport.h"
+#include "sim/lan_model.h"
+#include "sim/scheduler.h"
+
+namespace ritas::sim {
+
+class SimNetwork {
+ public:
+  using DeliverFn = std::function<void(ProcessId from, ProcessId to, Bytes frame)>;
+
+  SimNetwork(Scheduler& sched, LanModelConfig lan, std::uint32_t n,
+             std::uint64_t jitter_seed);
+
+  /// Sets the sink invoked when a frame reaches a host's stack (after
+  /// receive-path CPU). Must be set before any traffic flows.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Submits a frame for transmission at the current simulated time.
+  void submit(ProcessId from, ProcessId to, Bytes frame);
+
+  /// Bills modeled CPU to host p: both its TX and RX pipelines stall (a
+  /// single physical CPU runs everything on the paper's testbed).
+  void charge(ProcessId p, Time ns);
+
+  /// Marks a host as crashed: frames from and to it vanish.
+  void crash(ProcessId p) { crashed_[p] = true; }
+  bool crashed(ProcessId p) const { return crashed_[p]; }
+
+  /// Adversarial network scheduling: extra one-way delay per frame, chosen
+  /// by the test/bench (e.g. slow one victim, skew cliques apart). Returns
+  /// nanoseconds added on top of the model's latency.
+  using DelayPolicy = std::function<Time(ProcessId from, ProcessId to, Time now)>;
+  void set_delay_policy(DelayPolicy p) { delay_policy_ = std::move(p); }
+
+  /// Per-host Transport facade bound to this network.
+  Transport& transport(ProcessId p) { return *transports_[p]; }
+
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t wire_bytes_total() const { return wire_bytes_total_; }
+
+  const LanModelConfig& lan() const { return lan_; }
+
+ private:
+  class HostTransport final : public Transport {
+   public:
+    HostTransport(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
+    void send(ProcessId to, Bytes frame) override {
+      net_.submit(self_, to, std::move(frame));
+    }
+    void charge_cpu(std::uint64_t ns) override { net_.charge(self_, ns); }
+
+   private:
+    SimNetwork& net_;
+    ProcessId self_;
+  };
+
+  Scheduler& sched_;
+  LanModelConfig lan_;
+  DeliverFn deliver_;
+  DelayPolicy delay_policy_;
+  Rng jitter_rng_;
+
+  // Separate send-path and receive-path processing queues per host (the
+  // syscall/TX path and the softirq/RX path overlap on real kernels).
+  std::vector<Time> cpu_tx_free_;
+  std::vector<Time> cpu_rx_free_;
+  std::vector<Time> egress_free_;
+  std::vector<Time> ingress_free_;
+  std::vector<bool> crashed_;
+  std::vector<std::unique_ptr<HostTransport>> transports_;
+
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t wire_bytes_total_ = 0;
+};
+
+}  // namespace ritas::sim

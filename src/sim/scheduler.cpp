@@ -1,0 +1,35 @@
+#include "sim/scheduler.h"
+
+namespace ritas::sim {
+
+void Scheduler::at(Time t, Fn fn) {
+  if (t < now_) t = now_;
+  heap_.push(Ev{t, seq_++, std::move(fn)});
+}
+
+bool Scheduler::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move via const_cast is safe because we
+  // pop immediately after.
+  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+bool Scheduler::run_until(const std::function<bool()>& done, Time deadline) {
+  while (!done()) {
+    if (heap_.empty() || heap_.top().t > deadline) return false;
+    step();
+  }
+  return true;
+}
+
+}  // namespace ritas::sim

@@ -1,0 +1,63 @@
+// Discrete-event scheduler for the simulated LAN.
+//
+// Deterministic: events fire in (time, insertion-sequence) order, so two
+// runs with the same seeds produce identical executions — including runs
+// of the *randomized* binary consensus, whose coins come from seeded
+// per-process generators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ritas::sim {
+
+/// Simulated time in nanoseconds.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+class Scheduler {
+ public:
+  using Fn = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time t (clamped to now).
+  void at(Time t, Fn fn);
+  void after(Time delay, Fn fn) { at(now_ + delay, std::move(fn)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains (or max_events fire); returns events run.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Runs until `done()` returns true, the queue drains, or `deadline`
+  /// passes. Returns true iff `done()` was satisfied.
+  bool run_until(const std::function<bool()>& done, Time deadline);
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ritas::sim

@@ -1,0 +1,77 @@
+// Replica — state machine replication over the RITAS atomic broadcast.
+//
+// Each replica owns one AtomicBroadcast instance (the same root id across
+// the group) and applies delivered commands to its StateMachine in total
+// order. Client requests are identified by (client id, client sequence)
+// and applied exactly once even when submitted through several replicas
+// at once or retried (at-least-once clients, exactly-once application).
+//
+// Wire format of a command: u64 client | u64 seq | bytes op.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/atomic_broadcast.h"
+#include "core/stack.h"
+#include "smr/state_machine.h"
+
+namespace ritas::smr {
+
+class Replica {
+ public:
+  /// Result callback: fires on THIS replica for every applied command
+  /// (clients watch the replica they submitted through; all replicas
+  /// compute the same results).
+  using AppliedFn = std::function<void(std::uint64_t client, std::uint64_t seq,
+                                       const Bytes& result)>;
+
+  /// Creates the replica's atomic broadcast under `root_id` (must be the
+  /// same at every replica) on the given stack. `machine` must outlive the
+  /// replica.
+  Replica(ProtocolStack& stack, const InstanceId& root_id, StateMachine& machine);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Submits a client command through this replica. Duplicate (client,
+  /// seq) pairs — retries, or the same request pushed through several
+  /// replicas — are applied exactly once group-wide.
+  void submit(std::uint64_t client, std::uint64_t seq, ByteView op);
+
+  void set_on_applied(AppliedFn fn) { on_applied_ = std::move(fn); }
+
+  std::uint64_t applied_count() const { return applied_count_; }
+  std::uint64_t duplicates_skipped() const { return duplicates_skipped_; }
+  const StateMachine& machine() const { return machine_; }
+
+ private:
+  struct ClientWindow {
+    std::uint64_t floor = 0;        // all seqs below are applied
+    std::set<std::uint64_t> above;  // applied seqs >= floor
+    bool contains(std::uint64_t seq) const {
+      return seq < floor || above.contains(seq);
+    }
+    void insert(std::uint64_t seq) {
+      if (seq < floor) return;
+      above.insert(seq);
+      while (above.contains(floor)) {
+        above.erase(floor);
+        ++floor;
+      }
+    }
+  };
+
+  void on_deliver(Bytes payload);
+
+  StateMachine& machine_;
+  AtomicBroadcast* ab_ = nullptr;  // owned via roots_ below
+  std::unique_ptr<AtomicBroadcast> root_;
+  std::map<std::uint64_t, ClientWindow> applied_;
+  AppliedFn on_applied_;
+  std::uint64_t applied_count_ = 0;
+  std::uint64_t duplicates_skipped_ = 0;
+};
+
+}  // namespace ritas::smr

@@ -1,0 +1,48 @@
+// Helpers for real-socket tests: free-port discovery on localhost.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/tcp_transport.h"
+
+namespace ritas::test {
+
+/// Reserves `count` distinct free TCP ports by binding to port 0. The
+/// sockets are closed before returning, so a race with other processes is
+/// possible but vanishingly rare in this environment.
+inline std::vector<std::uint16_t> free_ports(std::size_t count) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("bind() failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports.push_back(ntohs(addr.sin_port));
+    fds.push_back(fd);
+  }
+  for (int fd : fds) ::close(fd);
+  return ports;
+}
+
+inline std::vector<net::PeerAddr> local_peers(const std::vector<std::uint16_t>& ports) {
+  std::vector<net::PeerAddr> peers;
+  for (auto p : ports) peers.push_back(net::PeerAddr{"127.0.0.1", p});
+  return peers;
+}
+
+}  // namespace ritas::test

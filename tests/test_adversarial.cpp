@@ -1,0 +1,241 @@
+// Adversarial behaviours beyond the paper's faultload: network-scheduling
+// adversaries (slow links, skewed cliques), omission attackers, message
+// floods against the out-of-context table, and malformed bytes aimed at
+// every protocol layer. Safety (agreement/total order) must survive all of
+// it; liveness must survive everything but the impossible.
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::kDeadline;
+using test::run_binary_consensus;
+using test::run_mvc;
+
+TEST(Adversarial, SlowVictimStillDecides) {
+  // The network delays every frame to/from process 2 by 5 ms: the others
+  // must not wait for it (n-f quorums), and it must still decide late.
+  test::ClusterOptions o = fast_lan(4, 1);
+  Cluster c(o);
+  c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
+    return (from == 2 || to == 2) ? 5 * sim::kMillisecond : 0;
+  });
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+}
+
+TEST(Adversarial, SkewedCliquesAgree) {
+  // {0,1} talk fast among themselves, {2,3} too, but cross-clique traffic
+  // is slow — a classic scheduler attack against split proposals.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 40 + seed);
+    Cluster c(o);
+    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
+      const bool cross = (from < 2) != (to < 2);
+      return cross ? 3 * sim::kMillisecond : 0;
+    });
+    auto cap = run_binary_consensus(c, {true, true, false, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+  }
+}
+
+TEST(Adversarial, MultiRoundExecutionsHappenAndStayCorrect) {
+  // Under clique skew + split proposals some executions must need > 1
+  // round — the multi-round machinery (validation across rounds, coin,
+  // halt-after-decide) is actually exercised.
+  std::uint64_t total_rounds = 0, total_decided = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 60 + seed);
+    o.lan.jitter_ns = 600'000;
+    Cluster c(o);
+    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
+      const bool cross = (from < 2) != (to < 2);
+      return cross ? 2 * sim::kMillisecond : 0;
+    });
+    auto cap = run_binary_consensus(c, {true, true, false, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    total_rounds += c.total_metrics().bc_rounds_total;
+    total_decided += c.total_metrics().bc_decided;
+  }
+  EXPECT_GT(total_rounds, total_decided) << "no execution needed a second round";
+}
+
+TEST(Adversarial, OmissionAttackerIsACrash) {
+  // A process that silently drops all its outbound traffic must look like
+  // a crash to everyone else — and the stack tolerates f = 1 of those.
+  class Omitter : public Adversary {
+   public:
+    bool omit_to(ProcessId) override { return true; }
+  };
+  test::ClusterOptions o = fast_lan(4, 2);
+  o.byzantine = {0};
+  o.adversary_factory = [] { return std::make_unique<Omitter>(); };
+  Cluster c(o);
+  auto cap = run_mvc(c, {to_bytes("v"), to_bytes("v"), to_bytes("v"), to_bytes("v")});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "v");
+  }
+}
+
+TEST(Adversarial, SelectiveOmissionToOneVictim) {
+  // Attacker only omits messages to process 1; quorums route around it.
+  class Selective : public Adversary {
+   public:
+    bool omit_to(ProcessId to) override { return to == 1; }
+  };
+  test::ClusterOptions o = fast_lan(4, 3);
+  o.byzantine = {0};
+  o.adversary_factory = [] { return std::make_unique<Selective>(); };
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+}
+
+TEST(Adversarial, GarbageFramesAtEveryLayerAreDropped) {
+  // Hand-craft malformed messages addressed to each protocol layer of a
+  // running atomic broadcast; nothing may crash and the burst completes.
+  Cluster c(fast_lan(4, 4));
+  std::vector<AtomicBroadcast*> ab(4, nullptr);
+  std::vector<std::uint64_t> delivered(4, 0);
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+  }
+  c.call(0, [&] { ab[0]->bcast(to_bytes("legit")); });
+
+  // Byzantine bytes "from" process 3, injected straight into p0's stack.
+  auto inject = [&](Message m) { c.stack(0).on_packet(3, m.encode()); };
+  Message m;
+  m.path = id;  // direct hit on the AB instance (it takes no direct messages)
+  m.tag = 77;
+  inject(m);
+  m.path = id.child({ProtocolType::kMultiValuedConsensus, 0});  // MVC layer
+  m.tag = 1;
+  m.payload = to_bytes("junk");
+  inject(m);
+  m.path = id.child({ProtocolType::kMultiValuedConsensus, 0})
+               .child({ProtocolType::kBinaryConsensus, 0});  // BC layer
+  inject(m);
+  m.path = id.child({ProtocolType::kReliableBroadcast,
+                     AtomicBroadcast::msg_seq(3, 0)});  // RB with bogus body
+  m.tag = ReliableBroadcast::kInit;
+  m.payload = Bytes(3, 0xff);
+  inject(m);
+  m.tag = 200;  // unknown tag
+  inject(m);
+  // Garbage that does not even decode.
+  c.stack(0).on_packet(3, to_bytes("\xff\xff\xff total garbage"));
+
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p : c.live()) {
+          if (delivered[p] < 1) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  EXPECT_GT(c.stack(0).metrics().invalid_dropped +
+                c.stack(0).metrics().malformed_dropped +
+                c.stack(0).metrics().unroutable_dropped,
+            0u);
+}
+
+TEST(Adversarial, OocFloodCannotStopProgress) {
+  // Process 3 floods p0 with far-future-instance messages before the AB
+  // root even exists; the per-sender quota bounds memory and the real
+  // workload still completes.
+  Cluster c(fast_lan(4, 5));
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    Message m;
+    m.path = InstanceId::root(ProtocolType::kAtomicBroadcast, 0)
+                 .child({ProtocolType::kReliableBroadcast,
+                         AtomicBroadcast::msg_seq(3, 1'000'000 + k)});
+    m.tag = ReliableBroadcast::kEcho;
+    m.payload = to_bytes("flood");
+    c.stack(0).on_packet(3, m.encode());
+  }
+  EXPECT_LE(c.stack(0).ooc_size(), c.stack(0).config().ooc_per_sender);
+  EXPECT_GT(c.stack(0).metrics().ooc_evicted, 0u);
+
+  std::vector<AtomicBroadcast*> ab(4, nullptr);
+  std::vector<std::uint64_t> delivered(4, 0);
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+  }
+  c.call(1, [&] { ab[1]->bcast(to_bytes("after the flood")); });
+  ASSERT_TRUE(c.run_until([&] { return delivered[0] >= 1; }, kDeadline));
+}
+
+TEST(Adversarial, CrashPlusByzantineBeyondFBreaksNothingWithinF) {
+  // n = 7 tolerates f = 2: one crash + one Byzantine simultaneously.
+  test::ClusterOptions o = fast_lan(7, 6);
+  o.crashed = {5};
+  o.byzantine = {6};
+  Cluster c(o);
+  auto cap = run_mvc(c, std::vector<Bytes>(7, to_bytes("combined")));
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "combined");
+  }
+}
+
+TEST(Adversarial, TotalOrderSurvivesSchedulerAttackDuringBursts) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 80 + seed);
+    o.byzantine = {3};
+    Cluster c(o);
+    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time now) {
+      // Time-varying skew: alternate which half of the group is slow.
+      const bool odd_epoch = (now / (20 * sim::kMillisecond)) % 2 == 1;
+      const bool target = odd_epoch ? (to < 2) : (to >= 2);
+      (void)from;
+      return target ? 2 * sim::kMillisecond : 0;
+    });
+    std::vector<AtomicBroadcast*> ab(4, nullptr);
+    std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);
+    const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+    for (ProcessId p : c.live()) {
+      ab[p] = &c.create_root<AtomicBroadcast>(
+          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+            order[p].emplace_back(origin, rbid);
+          });
+    }
+    for (int i = 0; i < 5; ++i) {
+      for (ProcessId p : c.live()) {
+        c.call(p, [&, p] { ab[p]->bcast(to_bytes("x")); });
+      }
+    }
+    ASSERT_TRUE(c.run_until(
+        [&] {
+          for (ProcessId p : c.correct_set()) {
+            if (order[p].size() < 20) return false;
+          }
+          return true;
+        },
+        kDeadline))
+        << "seed " << seed;
+    for (ProcessId p : c.correct_set()) {
+      const std::size_t k = std::min(order[p].size(), order[0].size());
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(order[p][i], order[0][i]) << "seed " << seed << " pos " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,134 @@
+// Public-API edge cases: Context lifecycle (stop wakes blocked receivers,
+// idempotent stop, errors after stop), the delivered-root garbage
+// collection behind rb/eb windows, and C-API buffer-size corners.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "net_helpers.h"
+#include "ritas/context.h"
+#include "ritas/ritas_c.h"
+
+namespace ritas {
+namespace {
+
+using test::free_ports;
+using test::local_peers;
+
+std::vector<std::unique_ptr<Context>> make_cluster(std::uint32_t n) {
+  const auto peers = local_peers(free_ports(n));
+  std::vector<std::unique_ptr<Context>> ctxs;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    Context::Options o;
+    o.n = n;
+    o.self = p;
+    o.peers = peers;
+    o.master_secret = to_bytes("edge-master");
+    o.rng_seed = 2000 + p;
+    ctxs.push_back(std::make_unique<Context>(o));
+  }
+  std::vector<std::thread> starters;
+  for (auto& c : ctxs) starters.emplace_back([&c] { c->start(); });
+  for (auto& t : starters) t.join();
+  return ctxs;
+}
+
+TEST(ContextLifecycle, StopWakesBlockedReceiver) {
+  auto cluster = make_cluster(4);
+  std::atomic<bool> woke{false};
+  std::thread blocked([&] {
+    try {
+      (void)cluster[0]->ab_recv();  // nothing will ever arrive
+      ADD_FAILURE() << "recv returned without a delivery";
+    } catch (const std::runtime_error&) {
+      woke.store(true);  // the documented stop signal
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(woke.load());
+  cluster[0]->stop();
+  blocked.join();
+  EXPECT_TRUE(woke.load());
+  for (auto& c : cluster) c->stop();
+}
+
+TEST(ContextLifecycle, StopIsIdempotent) {
+  auto cluster = make_cluster(4);
+  cluster[1]->stop();
+  cluster[1]->stop();  // second stop: no-op, no crash
+  for (auto& c : cluster) c->stop();
+  SUCCEED();
+}
+
+TEST(ContextLifecycle, ServiceCallAfterStopThrows) {
+  auto cluster = make_cluster(4);
+  cluster[2]->stop();
+  EXPECT_THROW(cluster[2]->rb_bcast(to_bytes("late")), std::logic_error);
+  for (auto& c : cluster) c->stop();
+}
+
+TEST(ContextLifecycle, DeliveredBroadcastRootsAreFreed) {
+  // The receive-window roots of delivered broadcasts must be destroyed
+  // (deferred GC), keeping the instance count bounded during long streams.
+  auto cluster = make_cluster(4);
+  const Metrics before = cluster[3]->metrics();
+  for (int i = 0; i < 40; ++i) {
+    cluster[0]->rb_bcast(to_bytes("gc-probe"));
+    (void)cluster[3]->rb_recv();
+  }
+  // Give the reactor a beat to run its deferred GC.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const Metrics after = cluster[3]->metrics();
+  EXPECT_GE(after.msgs_received, before.msgs_received + 40);
+  // Windows are 64 per origin x 2 protocols x 4 origins plus the AB tree;
+  // 40 delivered instances must NOT have stacked on top permanently. We
+  // can't see instance_count through the facade, so probe indirectly: the
+  // stream above still works after far more than one window of traffic.
+  for (int i = 0; i < 80; ++i) {
+    cluster[1]->rb_bcast(to_bytes("beyond-one-window"));
+    (void)cluster[3]->rb_recv();
+  }
+  for (auto& c : cluster) c->stop();
+  SUCCEED();
+}
+
+TEST(CApiEdges, MvcBufferTooSmall) {
+  const auto ports = free_ports(4);
+  std::array<ritas_t*, 4> r{};
+  const std::uint8_t secret[] = "edge";
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    r[p] = ritas_init(4, p, secret, sizeof(secret));
+    for (std::uint32_t q = 0; q < 4; ++q) {
+      ritas_proc_add_ipv4(r[p], q, "127.0.0.1", ports[q]);
+    }
+  }
+  std::vector<std::thread> starters;
+  for (auto* ctx : r) starters.emplace_back([ctx] { ritas_start(ctx); });
+  for (auto& t : starters) t.join();
+
+  const char* big = "a value that certainly does not fit in four bytes";
+  std::array<long, 4> rc{};
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      std::uint8_t tiny[4];
+      int bot = 0;
+      rc[p] = ritas_mvc(r[p], reinterpret_cast<const std::uint8_t*>(big),
+                        std::strlen(big), tiny, sizeof(tiny), &bot);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (long v : rc) EXPECT_EQ(v, RITAS_ETOOBIG);
+  for (auto* ctx : r) ritas_destroy(ctx);
+}
+
+TEST(CApiEdges, NullArgumentsRejected) {
+  EXPECT_EQ(ritas_rb_bcast(nullptr, nullptr, 0), RITAS_EINVAL);
+  EXPECT_EQ(ritas_rb_recv(nullptr, nullptr, nullptr, 0), RITAS_EINVAL);
+  EXPECT_EQ(ritas_bc(nullptr, 1), RITAS_EINVAL);
+  EXPECT_EQ(ritas_vc(nullptr, nullptr, 0, nullptr, 0, nullptr), RITAS_EINVAL);
+}
+
+}  // namespace
+}  // namespace ritas

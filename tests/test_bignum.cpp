@@ -1,0 +1,165 @@
+// Bignum arithmetic and the RSA baseline built on it.
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.h"
+
+namespace ritas {
+namespace {
+
+TEST(BigNum, ConstructionAndHex) {
+  EXPECT_EQ(BigNum(0).to_hex(), "0");
+  EXPECT_EQ(BigNum(255).to_hex(), "ff");
+  EXPECT_EQ(BigNum(0x123456789abcdefULL).to_hex(), "123456789abcdef");
+  EXPECT_EQ(BigNum::from_hex("deadbeefcafebabe1234").to_hex(),
+            "deadbeefcafebabe1234");
+}
+
+TEST(BigNum, BytesRoundTrip) {
+  const Bytes b = from_hex("0102030405060708090a0b0c");
+  EXPECT_EQ(BigNum::from_bytes(b).to_bytes(), b);
+  EXPECT_EQ(BigNum(0).to_bytes(), Bytes{0});
+}
+
+TEST(BigNum, Comparison) {
+  EXPECT_TRUE(BigNum(1) < BigNum(2));
+  EXPECT_TRUE(BigNum::from_hex("ffffffff") < BigNum::from_hex("100000000"));
+  EXPECT_EQ(BigNum(7), BigNum(7));
+  EXPECT_EQ(BigNum::compare(BigNum(9), BigNum(3)), 1);
+}
+
+TEST(BigNum, AddSubCarryChains) {
+  const BigNum a = BigNum::from_hex("ffffffffffffffffffffffff");
+  const BigNum one(1);
+  const BigNum sum = BigNum::add(a, one);
+  EXPECT_EQ(sum.to_hex(), "1000000000000000000000000");
+  EXPECT_EQ(BigNum::sub(sum, one).to_hex(), a.to_hex());
+  EXPECT_EQ(BigNum::sub(a, a).to_hex(), "0");
+}
+
+TEST(BigNum, MulKnownValues) {
+  EXPECT_EQ(BigNum::mul(BigNum(0xffffffffULL), BigNum(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  const BigNum a = BigNum::from_hex("123456789abcdef0fedcba9876543210");
+  const BigNum b = BigNum::from_hex("1000000000000001");
+  EXPECT_EQ(BigNum::mul(a, b).to_hex(),
+            "123456789abcdef2222222222222211fedcba9876543210");
+  EXPECT_TRUE(BigNum::mul(a, BigNum(0)).is_zero());
+}
+
+TEST(BigNum, DivMod) {
+  BigNum q, r;
+  BigNum::divmod(BigNum(100), BigNum(7), q, r);
+  EXPECT_EQ(q, BigNum(14));
+  EXPECT_EQ(r, BigNum(2));
+  const BigNum a = BigNum::from_hex("deadbeefdeadbeefdeadbeefdeadbeef");
+  const BigNum b = BigNum::from_hex("123456789");
+  BigNum::divmod(a, b, q, r);
+  // Verify via reconstruction: a == q*b + r, r < b.
+  EXPECT_EQ(BigNum::add(BigNum::mul(q, b), r), a);
+  EXPECT_TRUE(r < b);
+  EXPECT_THROW(BigNum::divmod(a, BigNum(0), q, r), std::domain_error);
+}
+
+TEST(BigNum, PowMod) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigNum::powmod(BigNum(2), BigNum(10), BigNum(1000)), BigNum(24));
+  // Fermat: a^(p-1) mod p = 1 for prime p.
+  const BigNum p = BigNum::from_hex("fffffffb");  // 4294967291, prime
+  EXPECT_EQ(BigNum::powmod(BigNum(123456), BigNum::sub(p, BigNum(1)), p),
+            BigNum(1));
+  // Large exponentation cross-checked value: 3^1000 mod 2^127-1.
+  const BigNum m = BigNum::from_hex("7fffffffffffffffffffffffffffffff");
+  const BigNum r = BigNum::powmod(BigNum(3), BigNum(1000), m);
+  EXPECT_EQ(BigNum::powmod(r, BigNum(1), m), r);  // sanity
+}
+
+TEST(BigNum, InvMod) {
+  BigNum inv;
+  ASSERT_TRUE(BigNum::invmod(BigNum(3), BigNum(11), inv));
+  EXPECT_EQ(inv, BigNum(4));  // 3*4 = 12 = 1 mod 11
+  ASSERT_TRUE(BigNum::invmod(BigNum(65537), BigNum::from_hex("fffffffbfffffff5"), inv));
+  EXPECT_EQ(BigNum::mulmod(BigNum(65537), inv, BigNum::from_hex("fffffffbfffffff5")),
+            BigNum(1));
+  EXPECT_FALSE(BigNum::invmod(BigNum(6), BigNum(9), inv));  // gcd = 3
+}
+
+TEST(BigNum, PrimalityKnownAnswers) {
+  Rng rng(1);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 61ULL, 2147483647ULL, 4294967291ULL}) {
+    EXPECT_TRUE(BigNum::probably_prime(BigNum(p), rng)) << p;
+  }
+  for (std::uint64_t c : {1ULL, 4ULL, 561ULL /*Carmichael*/, 4294967295ULL}) {
+    EXPECT_FALSE(BigNum::probably_prime(BigNum(c), rng)) << c;
+  }
+  // Mersenne prime 2^127 - 1.
+  EXPECT_TRUE(BigNum::probably_prime(
+      BigNum::from_hex("7fffffffffffffffffffffffffffffff"), rng));
+}
+
+TEST(BigNum, RandomPrimeHasRequestedSize) {
+  Rng rng(7);
+  const BigNum p = BigNum::random_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(BigNum::probably_prime(p, rng));
+}
+
+TEST(BigNum, RandomizedMulDivConsistency) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a = BigNum::random_bits(rng, 200);
+    const BigNum b = BigNum::random_bits(rng, 90);
+    BigNum q, r;
+    BigNum::divmod(a, b, q, r);
+    EXPECT_EQ(BigNum::add(BigNum::mul(q, b), r), a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+// --- RSA baseline -----------------------------------------------------------
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Rng rng(42);
+  const auto kp = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = to_bytes("sign me");
+  const Bytes sig = rsa_sign(kp, msg);
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, TamperedMessageRejected) {
+  Rng rng(43);
+  const auto kp = RsaKeyPair::generate(rng, 512);
+  const Bytes sig = rsa_sign(kp, to_bytes("original"));
+  EXPECT_FALSE(rsa_verify(kp.pub, to_bytes("tampered"), sig));
+}
+
+TEST(Rsa, TamperedSignatureRejected) {
+  Rng rng(44);
+  const auto kp = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = to_bytes("msg");
+  Bytes sig = rsa_sign(kp, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, Bytes{}));
+}
+
+TEST(Rsa, WrongKeyRejected) {
+  Rng rng(45);
+  const auto kp1 = RsaKeyPair::generate(rng, 512);
+  const auto kp2 = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = to_bytes("msg");
+  EXPECT_FALSE(rsa_verify(kp2.pub, msg, rsa_sign(kp1, msg)));
+}
+
+TEST(Rsa, EraSizedKeysWork) {
+  // Rampart's 300-bit moduli (the paper's related-work reference point).
+  Rng rng(46);
+  const auto kp = RsaKeyPair::generate(rng, 300);
+  EXPECT_GE(kp.pub.n.bit_length(), 296u);
+  const Bytes msg = to_bytes("1994 called");
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp, msg)));
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,236 @@
+// Randomized binary consensus: agreement, validity, termination (including
+// multi-round runs forced by split proposals and jitter), Byzantine and
+// crash faultloads, and the paper's one-round observation for identical
+// proposals.
+#include "core/binary_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::run_binary_consensus;
+
+TEST(BinaryConsensus, UnanimousOneDecidesOne) {
+  Cluster c(fast_lan(4, 1));
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    EXPECT_TRUE(*cap.got[p]);
+  }
+}
+
+TEST(BinaryConsensus, UnanimousZeroDecidesZero) {
+  Cluster c(fast_lan(4, 2));
+  auto cap = run_binary_consensus(c, {false, false, false, false});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    EXPECT_FALSE(*cap.got[p]);
+  }
+}
+
+TEST(BinaryConsensus, UnanimousDecidesInOneRound) {
+  // §4.3: with identical proposals the protocol always terminated in one
+  // round in the experiments.
+  Cluster c(fast_lan(4, 3));
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  const Metrics m = c.total_metrics();
+  EXPECT_EQ(m.bc_rounds_total, m.bc_decided);  // every decision in round 1
+  EXPECT_EQ(m.bc_coin_flips, 0u);
+}
+
+TEST(BinaryConsensus, MixedProposalsStillAgree) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 40 + seed);
+    o.lan.jitter_ns = 200'000;  // force asymmetric schedules
+    Cluster c(o);
+    auto cap = run_binary_consensus(c, {true, false, true, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+  }
+}
+
+TEST(BinaryConsensus, MixedProposalsMajorityUsuallyWins) {
+  // Validity only constrains unanimous inputs, but a 3-1 split on a
+  // symmetric LAN overwhelmingly decides the majority; check agreement and
+  // record that decisions happen.
+  int decided_runs = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Cluster c(fast_lan(4, 60 + seed));
+    auto cap = run_binary_consensus(c, {true, true, true, false});
+    if (cap.all_set(c.correct_set())) {
+      ++decided_runs;
+      EXPECT_TRUE(cap.agree(c.correct_set()));
+    }
+  }
+  EXPECT_EQ(decided_runs, 10);
+}
+
+TEST(BinaryConsensus, CrashFaultloadStillDecides) {
+  test::ClusterOptions o = fast_lan(4, 5);
+  o.crashed = {3};
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(*cap.got[0]);
+}
+
+TEST(BinaryConsensus, PaperByzantineCannotImposeZero) {
+  // The paper's attack: the Byzantine process always proposes 0. With all
+  // correct processes proposing 1, validity forces the decision to 1 and
+  // the validation rule filters the attacker's step values.
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.byzantine = {3};
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+  // ... and still within one round, as in the paper's experiments.
+  std::uint64_t rounds = 0, decided = 0;
+  for (ProcessId p : c.correct_set()) {
+    rounds += c.stack(p).metrics().bc_rounds_total;
+    decided += c.stack(p).metrics().bc_decided;
+  }
+  EXPECT_EQ(rounds, decided);
+}
+
+TEST(BinaryConsensus, StubbornStepValueAttackerFilteredByValidation) {
+  // Stronger than the paper's faultload: the attacker broadcasts 0 at every
+  // step of every round regardless of the rules. Validation must ignore
+  // those messages once they become illegal.
+  class Stubborn : public Adversary {
+   public:
+    std::optional<bool> bc_proposal(bool) override { return false; }
+    std::optional<std::uint8_t> bc_step_value(std::uint32_t, int,
+                                              std::uint8_t) override {
+      return 0;
+    }
+  };
+  test::ClusterOptions o = fast_lan(4, 7);
+  o.byzantine = {1};
+  o.adversary_factory = [] { return std::make_unique<Stubborn>(); };
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+  // The attacker's illegal step-2/3 messages were dropped as invalid or
+  // left pending; correct processes still decided 1.
+}
+
+TEST(BinaryConsensus, SilentByzantineIsJustACrash) {
+  class Silent : public Adversary {
+   public:
+    std::optional<std::uint8_t> bc_step_value(std::uint32_t, int,
+                                              std::uint8_t) override {
+      return std::nullopt;  // never send anything
+    }
+  };
+  test::ClusterOptions o = fast_lan(4, 8);
+  o.byzantine = {2};
+  o.adversary_factory = [] { return std::make_unique<Silent>(); };
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {false, false, false, false});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_FALSE(*cap.got[p]);
+}
+
+class BcGroupSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BcGroupSize, UnanimousAcrossGroupSizes) {
+  const std::uint32_t n = GetParam();
+  Cluster c(fast_lan(n, 80 + n));
+  std::vector<bool> proposals(n, true);
+  auto cap = run_binary_consensus(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+}
+
+TEST_P(BcGroupSize, SplitProposalsAgreeAcrossGroupSizes) {
+  const std::uint32_t n = GetParam();
+  test::ClusterOptions o = fast_lan(n, 90 + n);
+  o.lan.jitter_ns = 150'000;
+  Cluster c(o);
+  std::vector<bool> proposals(n);
+  for (std::uint32_t p = 0; p < n; ++p) proposals[p] = (p % 2 == 0);
+  auto cap = run_binary_consensus(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, BcGroupSize,
+                         ::testing::Values(4u, 5u, 6u, 7u, 10u));
+
+TEST(BinaryConsensus, ByzantineWithSplitCorrectProposalsManySeeds) {
+  // The adversarial sweet spot: correct processes split 2-2... wait, n=4
+  // has 3 correct; split 2-1 with a zero-stubborn Byzantine, many seeds.
+  int agreed = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 200 + seed);
+    o.byzantine = {0};
+    o.lan.jitter_ns = 250'000;
+    Cluster c(o);
+    auto cap = run_binary_consensus(c, {false, true, true, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    if (cap.agree(c.correct_set())) ++agreed;
+  }
+  EXPECT_EQ(agreed, 15);
+}
+
+TEST(BinaryConsensus, DecisionVisibleThroughAccessors) {
+  Cluster c(fast_lan(4, 9));
+  test::Capture<bool> cap(4);
+  std::vector<BinaryConsensus*> insts(4, nullptr);
+  const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 1);
+  for (ProcessId p : c.live()) {
+    insts[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+                                               cap.sink(p));
+    EXPECT_FALSE(insts[p]->active());
+  }
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] { insts[p]->propose(true); });
+    EXPECT_TRUE(insts[p]->active());
+  }
+  ASSERT_TRUE(c.run_until([&] { return cap.all_set(c.correct_set()); },
+                          test::kDeadline));
+  EXPECT_TRUE(insts[0]->decided());
+  EXPECT_TRUE(insts[0]->decision());
+  EXPECT_EQ(insts[0]->decided_round(), 1u);
+}
+
+TEST(BinaryConsensus, DoubleProposeThrows) {
+  Cluster c(fast_lan(4, 10));
+  test::Capture<bool> cap(4);
+  auto& bc = c.create_root<BinaryConsensus>(
+      0, InstanceId::root(ProtocolType::kBinaryConsensus, 1),
+      Attribution::kAgreement, cap.sink(0));
+  c.call(0, [&] { bc.propose(true); });
+  EXPECT_THROW(bc.propose(false), std::logic_error);
+}
+
+TEST(BinaryConsensus, ChildSeqRoundTrips) {
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    for (std::uint32_t r : {1u, 2u, 77u}) {
+      for (int s : {1, 2, 3}) {
+        for (ProcessId j = 0; j < n; ++j) {
+          const std::uint64_t seq = BinaryConsensus::child_seq(r, s, j, n);
+          BinaryConsensus::ChildKey key;
+          ASSERT_TRUE(BinaryConsensus::decode_child_seq(seq, n, key));
+          EXPECT_EQ(key.round, r);
+          EXPECT_EQ(key.step, s);
+          EXPECT_EQ(key.origin, j);
+        }
+      }
+    }
+  }
+  // Round 0 encodings are malformed by construction.
+  BinaryConsensus::ChildKey key;
+  EXPECT_FALSE(BinaryConsensus::decode_child_seq(0, 4, key));
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,62 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ritas {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = to_bytes("hello ritas");
+  EXPECT_EQ(to_string(b), "hello ritas");
+  EXPECT_EQ(b.size(), 11u);
+}
+
+TEST(Bytes, EmptyString) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(Bytes, HexEncode) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{0x00, 0x01, 0xff}), "0001ff");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(Bytes, HexDecode) {
+  EXPECT_EQ(from_hex("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexDecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(Bytes, Equal) {
+  EXPECT_TRUE(equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = to_bytes("foo");
+  append(dst, to_bytes("bar"));
+  EXPECT_EQ(to_string(dst), "foobar");
+  append(dst, Bytes{});
+  EXPECT_EQ(to_string(dst), "foobar");
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,140 @@
+// The coin-tossing schemes behind the randomized binary consensus: the
+// paper's Ben-Or-style local coin (default) and the Rabin-style dealt
+// common coin (every process sees the same coin; expected-constant rounds
+// on split proposals).
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::run_binary_consensus;
+
+TEST(DealtCoin, GroupKeyIsSharedAndSecretFromPairs) {
+  const Bytes master = to_bytes("coin-master");
+  auto a = KeyChain::deal(master, 4, 0);
+  auto b = KeyChain::deal(master, 4, 3);
+  ASSERT_FALSE(a.group_key().empty());
+  EXPECT_TRUE(equal(a.group_key(), b.group_key()));
+  // The group key differs from every pairwise key.
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    EXPECT_FALSE(equal(a.group_key(), a.key(j)));
+  }
+}
+
+TEST(DealtCoin, ExternallyBuiltChainsHaveNoGroupKey) {
+  KeyChain c(0, {to_bytes("a"), to_bytes("b"), to_bytes("c"), to_bytes("d")});
+  EXPECT_TRUE(c.group_key().empty());
+}
+
+TEST(DealtCoin, SplitProposalsAgreeAcrossManySeeds) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 400 + seed);
+    o.lan.jitter_ns = 250'000;
+    o.stack.coin_mode = CoinMode::kDealt;
+    Cluster c(o);
+    auto cap = run_binary_consensus(c, {true, false, false, true});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+  }
+}
+
+TEST(DealtCoin, UnanimousStillOneRoundNoCoin) {
+  test::ClusterOptions o = fast_lan(4, 5);
+  o.stack.coin_mode = CoinMode::kDealt;
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_EQ(c.total_metrics().bc_coin_flips, 0u);
+}
+
+TEST(DealtCoin, ByzantineAttackStillFails) {
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.stack.coin_mode = CoinMode::kDealt;
+  o.byzantine = {1};
+  Cluster c(o);
+  auto cap = run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+}
+
+TEST(DealtCoin, CoinPathUnreachableAtNEqualsFour) {
+  // Structural property worth pinning down: with n = 4 (n-f = 3, odd) a
+  // step-2 view of three binary values always has a strict majority, so no
+  // correct process ever sends ⊥ at step 3, some value always reaches the
+  // adopt quorum, and the coin is never consulted. (This is exactly why
+  // the paper observed one-round decisions throughout at n = 4.)
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 700 + seed);
+    o.lan.jitter_ns = 900'000;
+    Cluster c(o);
+    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
+      const bool cross = (from < 2) != (to < 2);
+      return cross ? 2 * sim::kMillisecond : 0;
+    });
+    auto cap = run_binary_consensus(c, {true, false, true, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    EXPECT_EQ(c.total_metrics().bc_coin_flips, 0u) << "seed " << seed;
+  }
+}
+
+TEST(DealtCoin, SameCoinAtAllProcessesWhenFlipped) {
+  // Ties need an even n-f: n = 5 gives f = 1, n-f = 4, so a 2-2 step-2
+  // view produces ⊥ and the coin path is reachable. Force splits and
+  // verify agreement plus fast convergence — with a *common* coin,
+  // post-flip values match across processes.
+  int flipped_runs = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    test::ClusterOptions o = fast_lan(5, 700 + seed);
+    o.lan.jitter_ns = 900'000;
+    o.stack.coin_mode = CoinMode::kDealt;
+    Cluster c(o);
+    // Clique skew forces disagreement past step 3 in some schedules.
+    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
+      const bool cross = (from < 2) != (to < 2);
+      return cross ? 2 * sim::kMillisecond : 0;
+    });
+    auto cap = run_binary_consensus(c, {true, true, false, false, true});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    if (c.total_metrics().bc_coin_flips > 0) ++flipped_runs;
+    const Metrics m = c.total_metrics();
+    ASSERT_GT(m.bc_decided, 0u);
+    EXPECT_LE(m.bc_rounds_total / m.bc_decided, 6u) << "seed " << seed;
+  }
+  // The sweep must actually have exercised the coin path somewhere.
+  EXPECT_GT(flipped_runs, 0);
+}
+
+TEST(LocalCoin, SplitProposalsEventuallyTerminateAcrossSeeds) {
+  // The paper's local-coin protocol: termination with probability 1. Over
+  // a seed sweep with forced asymmetry every run must decide within the
+  // (generous) deadline, and agreement must always hold.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 900 + seed);
+    o.lan.jitter_ns = 900'000;
+    Cluster c(o);
+    auto cap = run_binary_consensus(c, {true, false, true, false});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+  }
+}
+
+TEST(LocalCoin, CoinsAreIndependentPerProcess) {
+  // Two stacks with different seeds flip different coin sequences (the
+  // coin is private); sanity-check through the Rng directly.
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.coin() == b.coin()) ++same;
+  }
+  EXPECT_GT(same, 80);
+  EXPECT_LT(same, 176);
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,180 @@
+// Fault scenarios beyond the paper's static faultloads: crashes injected
+// mid-run, Byzantine AB_VECT vectors carrying fabricated identifiers, and
+// recovery-shaped checks (late joiners catching up through reliable
+// broadcast totality and the out-of-context machinery).
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::kDeadline;
+
+struct AbFixture {
+  std::vector<AtomicBroadcast*> ab;
+  std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order;
+
+  AbFixture(Cluster& c) : ab(c.n(), nullptr), order(c.n()) {
+    const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+    for (ProcessId p : c.live()) {
+      ab[p] = &c.create_root<AtomicBroadcast>(
+          p, id, [this, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+            order[p].emplace_back(origin, rbid);
+          });
+    }
+  }
+};
+
+TEST(FaultInjection, CrashDuringBurstPreservesTotalOrder) {
+  // Process 3 participates for 30 ms of the burst, then dies. Survivors
+  // must finish the burst and keep identical orders.
+  test::ClusterOptions o = fast_lan(4, 1);
+  o.timed_crashes = {{3, 30 * sim::kMillisecond}};
+  Cluster c(o);
+  AbFixture f(c);
+
+  const std::uint32_t kPer = 15;
+  for (std::uint32_t i = 0; i < kPer; ++i) {
+    for (ProcessId p = 0; p < 3; ++p) {  // survivors' share
+      c.call(p, [&, p] { f.ab[p]->bcast(to_bytes("s")); });
+    }
+  }
+  // The doomed process also broadcasts; whatever completed dissemination
+  // before the crash gets ordered, the rest must not wedge anyone.
+  c.call(3, [&] {
+    for (int i = 0; i < 5; ++i) f.ab[3]->bcast(to_bytes("doomed"));
+  });
+
+  const std::size_t survivors_min = 3 * kPer;
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (f.order[p].size() < survivors_min) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  c.run_all();
+  for (ProcessId p = 1; p < 3; ++p) {
+    EXPECT_EQ(f.order[p], f.order[0]) << "survivor " << p << " diverged";
+  }
+}
+
+TEST(FaultInjection, StaggeredCrashesWithinF) {
+  // n = 7 tolerates f = 2; two processes die at different times mid-run.
+  test::ClusterOptions o = fast_lan(7, 2);
+  o.timed_crashes = {{5, 20 * sim::kMillisecond}, {6, 60 * sim::kMillisecond}};
+  Cluster c(o);
+  AbFixture f(c);
+  for (int i = 0; i < 8; ++i) {
+    for (ProcessId p = 0; p < 5; ++p) {
+      c.call(p, [&, p] { f.ab[p]->bcast(to_bytes("x")); });
+    }
+  }
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 5; ++p) {
+          if (f.order[p].size() < 40) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  for (ProcessId p = 1; p < 5; ++p) {
+    const std::size_t k = std::min(f.order[p].size(), f.order[0].size());
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(f.order[p][i], f.order[0][i]);
+    }
+  }
+}
+
+TEST(FaultInjection, FabricatedIdentifiersInAbVectAreFiltered) {
+  // A Byzantine process reliably broadcasts an AB_VECT full of identifiers
+  // that were never disseminated. They cannot reach f+1 multiplicity, so W
+  // never contains them, nothing blocks, and nothing bogus is delivered.
+  Cluster c(fast_lan(4, 3));
+  AbFixture f(c);
+
+  // Craft the attacker's (p3) AB_VECT INIT for round 0 and inject it into
+  // every correct stack; their own ECHO/READY amplification completes the
+  // reliable broadcast of the junk vector.
+  std::vector<AtomicBroadcast::MsgId> junk;
+  for (std::uint64_t k = 0; k < 50; ++k) junk.push_back({2, 400 + k});
+  Message m;
+  m.path = InstanceId::root(ProtocolType::kAtomicBroadcast, 0)
+               .child({ProtocolType::kReliableBroadcast,
+                       AtomicBroadcast::vect_seq(0, 3)});
+  m.tag = ReliableBroadcast::kInit;
+  m.payload = AtomicBroadcast::encode_ids(junk);
+  for (ProcessId p = 0; p < 3; ++p) {
+    c.stack(p).on_packet(3, m.encode());
+  }
+
+  // Legitimate traffic from a correct process.
+  c.call(0, [&] { f.ab[0]->bcast(to_bytes("real")); });
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (f.order[p].empty()) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  c.run_all();
+  for (ProcessId p = 0; p < 3; ++p) {
+    for (const auto& [origin, rbid] : f.order[p]) {
+      EXPECT_FALSE(origin == 2 && rbid >= 400) << "fabricated id delivered";
+    }
+  }
+}
+
+TEST(FaultInjection, LateRootCreationCatchesUpThroughOoc) {
+  // Process 2 creates its atomic broadcast instance only after the others
+  // already ran a full agreement round; the parked traffic plus reliable
+  // broadcast totality must bring it to the same order.
+  Cluster c(fast_lan(4, 4));
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  std::vector<AtomicBroadcast*> ab(4, nullptr);
+  std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);
+  for (ProcessId p : {0u, 1u, 3u}) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+          order[p].emplace_back(origin, rbid);
+        });
+  }
+  c.call(0, [&] {
+    for (int i = 0; i < 3; ++i) ab[0]->bcast(to_bytes("early"));
+  });
+  // Let the early three make progress (they can: n-f = 3).
+  ASSERT_TRUE(c.run_until([&] { return order[0].size() >= 3; }, kDeadline));
+
+  // Now the latecomer joins.
+  ab[2] = &c.create_root<AtomicBroadcast>(
+      2, id, [&order](ProcessId origin, std::uint64_t rbid, Bytes) {
+        order[2].emplace_back(origin, rbid);
+      });
+  c.call(0, [&] { ab[0]->bcast(to_bytes("late")); });
+  ASSERT_TRUE(c.run_until([&] { return order[2].size() >= 4; }, kDeadline));
+  c.run_all();
+  const std::size_t k = std::min(order[2].size(), order[0].size());
+  ASSERT_GE(k, 4u);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(order[2][i], order[0][i]) << "latecomer diverged at " << i;
+  }
+}
+
+TEST(FaultInjection, CrashOfSignalSenderBeforeAnyTraffic) {
+  // Degenerate: the only would-be sender crashes at t=0. Nothing is ever
+  // delivered, nothing wedges, the simulation drains.
+  test::ClusterOptions o = fast_lan(4, 5);
+  o.crashed = {0};
+  Cluster c(o);
+  AbFixture f(c);
+  c.run_all();
+  for (ProcessId p : c.live()) EXPECT_TRUE(f.order[p].empty());
+}
+
+}  // namespace
+}  // namespace ritas

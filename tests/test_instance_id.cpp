@@ -1,0 +1,131 @@
+#include "core/instance_id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ritas {
+namespace {
+
+Component rb(std::uint64_t seq) { return {ProtocolType::kReliableBroadcast, seq}; }
+Component bc(std::uint64_t seq) { return {ProtocolType::kBinaryConsensus, seq}; }
+Component ab(std::uint64_t seq) { return {ProtocolType::kAtomicBroadcast, seq}; }
+
+TEST(InstanceId, RootAndChild) {
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 5);
+  EXPECT_EQ(root.depth(), 1u);
+  EXPECT_EQ(root.leaf().seq, 5u);
+  const InstanceId child = root.child(bc(2));
+  EXPECT_EQ(child.depth(), 2u);
+  EXPECT_EQ(child.leaf().type, ProtocolType::kBinaryConsensus);
+  EXPECT_EQ(child.parent(), root);
+}
+
+TEST(InstanceId, PrefixRelation) {
+  const InstanceId a = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  const InstanceId b = a.child(bc(0));
+  const InstanceId c = b.child(rb(3));
+  EXPECT_TRUE(a.is_prefix_of(a));
+  EXPECT_TRUE(a.is_prefix_of(b));
+  EXPECT_TRUE(a.is_prefix_of(c));
+  EXPECT_TRUE(b.is_prefix_of(c));
+  EXPECT_FALSE(c.is_prefix_of(a));
+  EXPECT_FALSE(b.is_prefix_of(a.child(bc(1))));
+}
+
+TEST(InstanceId, PrefixAccessor) {
+  const InstanceId c =
+      InstanceId::root(ProtocolType::kAtomicBroadcast, 1).child(bc(0)).child(rb(3));
+  EXPECT_EQ(c.prefix(1), InstanceId::root(ProtocolType::kAtomicBroadcast, 1));
+  EXPECT_EQ(c.prefix(3), c);
+  EXPECT_EQ(c.prefix(2).depth(), 2u);
+}
+
+TEST(InstanceId, EncodeDecodeRoundTrip) {
+  const InstanceId id = InstanceId::root(ProtocolType::kVectorConsensus, 7)
+                            .child({ProtocolType::kMultiValuedConsensus, 2})
+                            .child(bc(0))
+                            .child(rb(0xdeadbeefcafeULL));
+  Writer w;
+  id.encode(w);
+  Reader r(w.data());
+  auto decoded = InstanceId::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, id);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(InstanceId, DecodeRejectsZeroDepth) {
+  Writer w;
+  w.u8(0);
+  Reader r(w.data());
+  EXPECT_FALSE(InstanceId::decode(r).has_value());
+}
+
+TEST(InstanceId, DecodeRejectsExcessiveDepth) {
+  Writer w;
+  w.u8(InstanceId::kMaxDepth + 1);
+  for (std::size_t i = 0; i <= InstanceId::kMaxDepth; ++i) {
+    w.u8(1);
+    w.u64(0);
+  }
+  Reader r(w.data());
+  EXPECT_FALSE(InstanceId::decode(r).has_value());
+}
+
+TEST(InstanceId, DecodeRejectsBadProtocolType) {
+  Writer w;
+  w.u8(1);
+  w.u8(0);  // type 0 is invalid
+  w.u64(0);
+  Reader r(w.data());
+  EXPECT_FALSE(InstanceId::decode(r).has_value());
+
+  Writer w2;
+  w2.u8(1);
+  w2.u8(200);  // out of range
+  w2.u64(0);
+  Reader r2(w2.data());
+  EXPECT_FALSE(InstanceId::decode(r2).has_value());
+}
+
+TEST(InstanceId, DecodeRejectsTruncation) {
+  Writer w;
+  w.u8(2);
+  w.u8(1);
+  w.u64(0);  // second component missing
+  Reader r(w.data());
+  EXPECT_FALSE(InstanceId::decode(r).has_value());
+}
+
+TEST(InstanceId, OrderingAndEquality) {
+  const InstanceId a = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  const InstanceId b = InstanceId::root(ProtocolType::kReliableBroadcast, 2);
+  const InstanceId c = a.child(rb(0));
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // prefix sorts first
+  EXPECT_EQ(a, InstanceId::root(ProtocolType::kReliableBroadcast, 1));
+  EXPECT_NE(a, b);
+}
+
+TEST(InstanceId, HashDistribution) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(InstanceId::root(ProtocolType::kReliableBroadcast, i).hash());
+    hashes.insert(ab(0).type == ProtocolType::kAtomicBroadcast
+                      ? InstanceId::root(ProtocolType::kAtomicBroadcast, 0)
+                            .child(rb(i))
+                            .hash()
+                      : 0);
+  }
+  EXPECT_GT(hashes.size(), 1990u);  // essentially no collisions
+}
+
+TEST(InstanceId, ToStringIsReadable) {
+  const InstanceId id =
+      InstanceId::root(ProtocolType::kAtomicBroadcast, 0).child(bc(3));
+  EXPECT_EQ(id.to_string(), "ab#0/bc#3");
+}
+
+}  // namespace
+}  // namespace ritas

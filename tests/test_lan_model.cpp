@@ -1,0 +1,165 @@
+#include "sim/lan_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ritas::sim {
+namespace {
+
+struct Rx {
+  ProcessId from;
+  ProcessId to;
+  Bytes frame;
+  Time at;
+};
+
+struct Net {
+  Scheduler sched;
+  SimNetwork net;
+  std::vector<Rx> rx;
+
+  explicit Net(LanModelConfig lan, std::uint32_t n = 4)
+      : net(sched, lan, n, 99) {
+    net.set_deliver([this](ProcessId f, ProcessId t, Bytes b) {
+      rx.push_back(Rx{f, t, std::move(b), sched.now()});
+    });
+  }
+};
+
+TEST(LanModel, WireBytesIncludeOverheads) {
+  LanModelConfig lan;
+  lan.frame_overhead_bytes = 70;
+  lan.ah_overhead_bytes = 24;
+  lan.ipsec = true;
+  EXPECT_EQ(lan.wire_bytes(10), 104u);
+  lan.ipsec = false;
+  EXPECT_EQ(lan.wire_bytes(10), 80u);  // the paper's 80-byte RB frame
+}
+
+TEST(LanModel, TxTimeMatchesBandwidth) {
+  LanModelConfig lan;
+  lan.bytes_per_sec = 1e6;  // 1 MB/s => 1000 bytes = 1 ms
+  EXPECT_EQ(lan.tx_time(1000), kMillisecond);
+}
+
+TEST(LanModel, IpsecAddsCpuCost) {
+  LanModelConfig with = {};
+  LanModelConfig without = {};
+  without.ipsec = false;
+  EXPECT_GT(with.send_cpu(100, with.wire_bytes(100)),
+            without.send_cpu(100, without.wire_bytes(100)));
+}
+
+TEST(SimNetwork, DeliversFrames) {
+  Net n({});
+  n.net.submit(0, 1, to_bytes("hello"));
+  n.sched.run();
+  ASSERT_EQ(n.rx.size(), 1u);
+  EXPECT_EQ(n.rx[0].from, 0u);
+  EXPECT_EQ(n.rx[0].to, 1u);
+  EXPECT_EQ(to_string(n.rx[0].frame), "hello");
+  EXPECT_GT(n.rx[0].at, 0u);
+}
+
+TEST(SimNetwork, FifoPerPair) {
+  LanModelConfig lan;
+  lan.jitter_ns = 500'000;  // heavy jitter must not break per-pair FIFO
+  Net n(lan);
+  for (int i = 0; i < 50; ++i) {
+    n.net.submit(0, 1, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  n.sched.run();
+  ASSERT_EQ(n.rx.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(n.rx[static_cast<std::size_t>(i)].frame[0], i);
+  }
+}
+
+TEST(SimNetwork, EgressSerializes) {
+  // Two big frames from the same host must take twice the wire time.
+  LanModelConfig lan;
+  lan.jitter_ns = 0;
+  Net n(lan);
+  const Bytes big(100000, 0xaa);
+  n.net.submit(0, 1, big);
+  n.net.submit(0, 2, big);
+  n.sched.run();
+  ASSERT_EQ(n.rx.size(), 2u);
+  const Time gap = n.rx[1].at - n.rx[0].at;
+  const Time tx = lan.tx_time(lan.wire_bytes(big.size()));
+  EXPECT_GE(gap, tx / 2);  // second frame waited for the first's egress
+}
+
+TEST(SimNetwork, IngressSerializes) {
+  // Two senders to the same receiver: deliveries cannot overlap on the
+  // receiving NIC.
+  LanModelConfig lan;
+  lan.jitter_ns = 0;
+  lan.cpu_send_ns = 0;
+  lan.cpu_recv_ns = 0;
+  lan.cpu_per_byte_ns = 0;
+  lan.ah_per_byte_ns = 0;
+  Net n(lan);
+  const Bytes big(50000, 0xbb);
+  n.net.submit(0, 2, big);
+  n.net.submit(1, 2, big);
+  n.sched.run();
+  ASSERT_EQ(n.rx.size(), 2u);
+  const Time tx = lan.tx_time(lan.wire_bytes(big.size()));
+  EXPECT_GE(n.rx[1].at - n.rx[0].at, tx);
+}
+
+TEST(SimNetwork, CrashedHostSendsAndReceivesNothing) {
+  Net n({});
+  n.net.crash(1);
+  n.net.submit(0, 1, to_bytes("to crashed"));
+  n.net.submit(1, 0, to_bytes("from crashed"));
+  n.net.submit(0, 2, to_bytes("ok"));
+  n.sched.run();
+  ASSERT_EQ(n.rx.size(), 1u);
+  EXPECT_EQ(to_string(n.rx[0].frame), "ok");
+}
+
+TEST(SimNetwork, IpsecSlowerThanPlain) {
+  LanModelConfig plain;
+  plain.ipsec = false;
+  LanModelConfig ipsec;
+  ipsec.ipsec = true;
+  Net a(plain), b(ipsec);
+  a.net.submit(0, 1, Bytes(1000, 1));
+  b.net.submit(0, 1, Bytes(1000, 1));
+  a.sched.run();
+  b.sched.run();
+  EXPECT_LT(a.rx[0].at, b.rx[0].at);
+}
+
+TEST(SimNetwork, JitterIsDeterministicPerSeed) {
+  LanModelConfig lan;
+  lan.jitter_ns = 200'000;
+  auto run = [&](std::uint64_t seed) {
+    Scheduler sched;
+    SimNetwork net(sched, lan, 4, seed);
+    std::vector<Time> times;
+    net.set_deliver([&](ProcessId, ProcessId, Bytes) { times.push_back(sched.now()); });
+    for (int i = 0; i < 20; ++i) net.submit(0, 1, Bytes{1});
+    sched.run();
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimNetwork, CountsTraffic) {
+  Net n({});
+  n.net.submit(0, 1, Bytes(10, 0));
+  n.net.submit(0, 2, Bytes(10, 0));
+  n.sched.run();
+  EXPECT_EQ(n.net.frames_delivered(), 2u);
+  EXPECT_EQ(n.net.wire_bytes_total(), 2 * n.net.lan().wire_bytes(10));
+}
+
+}  // namespace
+}  // namespace ritas::sim

@@ -1,0 +1,145 @@
+// Multi-valued consensus: agreement on arbitrary byte strings, the default
+// decision ⊥, and the paper's Byzantine faultload (⊥ in INIT and VECT).
+#include "core/multivalued_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::run_mvc;
+
+std::vector<Bytes> same(std::uint32_t n, const std::string& v) {
+  return std::vector<Bytes>(n, to_bytes(v));
+}
+
+TEST(MultiValuedConsensus, UnanimousProposalDecided) {
+  Cluster c(fast_lan(4, 1));
+  auto cap = run_mvc(c, same(4, "value-A"));
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "value-A");
+  }
+}
+
+TEST(MultiValuedConsensus, DecisionIsProposedValueOrDefault) {
+  // With conflicting proposals the protocol may decide one value or ⊥,
+  // never an invented value; all correct processes agree.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 30 + seed);
+    o.lan.jitter_ns = 200'000;
+    Cluster c(o);
+    auto cap = run_mvc(c, {to_bytes("A"), to_bytes("A"), to_bytes("B"), to_bytes("B")});
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    const auto& d = *cap.got[0];
+    if (d.has_value()) {
+      const std::string s = to_string(*d);
+      EXPECT_TRUE(s == "A" || s == "B") << s;
+    }
+  }
+}
+
+TEST(MultiValuedConsensus, AllDistinctProposalsDecideDefault) {
+  // No value can gather n-2f INIT matches, so every correct process echoes
+  // ⊥ and the binary consensus settles on 0 -> decision ⊥.
+  Cluster c(fast_lan(4, 2));
+  auto cap = run_mvc(c, {to_bytes("w"), to_bytes("x"), to_bytes("y"), to_bytes("z")});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    EXPECT_FALSE(cap.got[p]->has_value()) << "p" << p << " decided a value";
+  }
+  EXPECT_GT(c.total_metrics().mvc_decided_default, 0u);
+}
+
+TEST(MultiValuedConsensus, PaperByzantineCannotForceDefault) {
+  // §4.2: the attacker proposes ⊥ in INIT and VECT; correct processes all
+  // propose the same value and must still decide it.
+  test::ClusterOptions o = fast_lan(4, 3);
+  o.byzantine = {2};
+  Cluster c(o);
+  auto cap = run_mvc(c, same(4, "payload"));
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value()) << "attack forced the default value";
+    EXPECT_EQ(to_string(**cap.got[p]), "payload");
+  }
+}
+
+TEST(MultiValuedConsensus, CrashFaultloadDecides) {
+  test::ClusterOptions o = fast_lan(4, 4);
+  o.crashed = {1};
+  Cluster c(o);
+  auto cap = run_mvc(c, same(4, "survives"));
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "survives");
+  }
+}
+
+TEST(MultiValuedConsensus, LargeValues) {
+  Cluster c(fast_lan(4, 5));
+  const Bytes big(20000, 0x7e);
+  auto cap = run_mvc(c, std::vector<Bytes>(4, big));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_EQ(**cap.got[0], big);
+}
+
+TEST(MultiValuedConsensus, EmptyValueIsALegalProposal) {
+  Cluster c(fast_lan(4, 6));
+  auto cap = run_mvc(c, std::vector<Bytes>(4, Bytes{}));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  ASSERT_TRUE(cap.got[0]->has_value());
+  EXPECT_TRUE((*cap.got[0])->empty());
+}
+
+class MvcGroupSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MvcGroupSize, UnanimousAcrossGroupSizes) {
+  const std::uint32_t n = GetParam();
+  Cluster c(fast_lan(n, 50 + n));
+  auto cap = run_mvc(c, same(n, "sweep"));
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "sweep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, MvcGroupSize,
+                         ::testing::Values(4u, 5u, 7u, 10u));
+
+TEST(MultiValuedConsensus, ByzantinePlusJitterManySeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 100 + seed);
+    o.byzantine = {0};
+    o.lan.jitter_ns = 250'000;
+    Cluster c(o);
+    auto cap = run_mvc(c, same(4, "robust"));
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    // With all correct processes unanimous, the attack must not win.
+    ASSERT_TRUE(cap.got[1]->has_value()) << "seed " << seed;
+    EXPECT_EQ(to_string(**cap.got[1]), "robust");
+  }
+}
+
+TEST(MultiValuedConsensus, MetricsCountDecisions) {
+  Cluster c(fast_lan(4, 7));
+  auto cap = run_mvc(c, same(4, "m"));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  const Metrics m = c.total_metrics();
+  EXPECT_EQ(m.mvc_decided_value, 4u);
+  EXPECT_EQ(m.mvc_decided_default, 0u);
+  // MVC runs exactly one binary consensus per process.
+  EXPECT_EQ(m.bc_decided, 4u);
+}
+
+}  // namespace
+}  // namespace ritas

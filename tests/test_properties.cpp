@@ -1,0 +1,211 @@
+// Property sweeps: the protocol-stack invariants, checked over a matrix of
+// group size x faultload x seed with randomized delivery schedules. These
+// are the properties the paper's §2 definitions promise:
+//
+//   BC : agreement, validity (unanimous input decides that input),
+//        termination.
+//   MVC: agreement, decision is a proposed value or ⊥, termination.
+//   VC : agreement on one vector, entry i is p_i's proposal or ⊥, at least
+//        f+1 entries from correct processes.
+//   AB : agreement (prefix-identical delivery sequences), validity (every
+//        correct broadcast eventually delivered), integrity (no
+//        duplicates, no inventions).
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::kDeadline;
+
+enum class Fault { kNone, kCrash, kByzantine, kCrashAndByzantine };
+
+struct Params {
+  std::uint32_t n;
+  Fault fault;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const char* f = "";
+  switch (info.param.fault) {
+    case Fault::kNone: f = "ok"; break;
+    case Fault::kCrash: f = "crash"; break;
+    case Fault::kByzantine: f = "byz"; break;
+    case Fault::kCrashAndByzantine: f = "crashbyz"; break;
+  }
+  return "n" + std::to_string(info.param.n) + "_" + f + "_s" +
+         std::to_string(info.param.seed);
+}
+
+test::ClusterOptions options_for(const Params& p) {
+  test::ClusterOptions o = fast_lan(p.n, 5000 + p.seed * 131 + p.n);
+  o.lan.jitter_ns = 400'000;
+  const std::uint32_t f = max_faults(p.n);
+  switch (p.fault) {
+    case Fault::kNone:
+      break;
+    case Fault::kCrash:
+      for (std::uint32_t i = 0; i < f; ++i) o.crashed.push_back(p.n - 1 - i);
+      break;
+    case Fault::kByzantine:
+      for (std::uint32_t i = 0; i < f; ++i) o.byzantine.push_back(p.n - 1 - i);
+      break;
+    case Fault::kCrashAndByzantine:
+      // Split the fault budget (needs f >= 2).
+      o.crashed.push_back(p.n - 1);
+      for (std::uint32_t i = 1; i < f; ++i) o.byzantine.push_back(p.n - 1 - i);
+      break;
+  }
+  return o;
+}
+
+class StackProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(StackProperties, BinaryConsensus) {
+  Cluster c(options_for(GetParam()));
+  std::vector<bool> proposals(c.n());
+  // Seed-dependent proposal pattern, including splits.
+  for (ProcessId p = 0; p < c.n(); ++p) {
+    proposals[p] = ((GetParam().seed + p) % 3) != 0;
+  }
+  auto cap = test::run_binary_consensus(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
+  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
+  // Validity when the correct processes happen to be unanimous.
+  bool all_same = true;
+  for (ProcessId p : c.correct_set()) {
+    all_same = all_same && proposals[p] == proposals[c.correct_set().front()];
+  }
+  if (all_same) {
+    EXPECT_EQ(*cap.got[c.correct_set().front()],
+              proposals[c.correct_set().front()])
+        << "validity";
+  }
+}
+
+TEST_P(StackProperties, MultiValuedConsensus) {
+  Cluster c(options_for(GetParam()));
+  std::vector<Bytes> proposals(c.n());
+  // Two camps of proposals.
+  for (ProcessId p = 0; p < c.n(); ++p) {
+    proposals[p] = to_bytes(((GetParam().seed + p) % 2) ? "camp-A" : "camp-B");
+  }
+  auto cap = test::run_mvc(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
+  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
+  const auto& d = *cap.got[c.correct_set().front()];
+  if (d.has_value()) {
+    const std::string s = to_string(*d);
+    EXPECT_TRUE(s == "camp-A" || s == "camp-B") << "decided invented value " << s;
+  }
+}
+
+TEST_P(StackProperties, VectorConsensus) {
+  Cluster c(options_for(GetParam()));
+  std::vector<Bytes> proposals(c.n());
+  for (ProcessId p = 0; p < c.n(); ++p) {
+    proposals[p] = to_bytes("vc-" + std::to_string(p));
+  }
+  auto cap = test::run_vc(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
+  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
+  const auto& v = *cap.got[c.correct_set().front()];
+  ASSERT_EQ(v.size(), c.n());
+  std::uint32_t correct_entries = 0;
+  for (ProcessId p = 0; p < c.n(); ++p) {
+    if (!v[p].has_value()) continue;
+    if (c.correct(p)) {
+      EXPECT_EQ(*v[p], proposals[p]) << "entry " << p << " is not its proposal";
+      ++correct_entries;
+    }
+  }
+  EXPECT_GE(correct_entries, max_faults(c.n()) + 1 -
+                                 static_cast<std::uint32_t>(
+                                     c.n() - c.correct_set().size()) * 0)
+      << "f+1 correct entries";
+}
+
+TEST_P(StackProperties, AtomicBroadcast) {
+  Cluster c(options_for(GetParam()));
+  std::vector<AtomicBroadcast*> ab(c.n(), nullptr);
+  std::vector<std::vector<std::tuple<ProcessId, std::uint64_t, std::string>>> log(c.n());
+  const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+  for (ProcessId p : c.live()) {
+    ab[p] = &c.create_root<AtomicBroadcast>(
+        p, id, [&log, p](ProcessId origin, std::uint64_t rbid, Bytes payload) {
+          log[p].emplace_back(origin, rbid, to_string(payload));
+        });
+  }
+  const std::uint32_t kPer = 3;
+  for (std::uint32_t i = 0; i < kPer; ++i) {
+    for (ProcessId p : c.live()) {
+      c.call(p, [&, p, i] {
+        ab[p]->bcast(to_bytes("m" + std::to_string(p) + "." + std::to_string(i)));
+      });
+    }
+  }
+  // Validity: everything the CORRECT processes broadcast must arrive at
+  // every correct process (Byzantine senders' messages may or may not).
+  const std::size_t must = kPer * c.correct_set().size();
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p : c.correct_set()) {
+          std::size_t from_correct = 0;
+          for (const auto& [o, r, s] : log[p]) {
+            if (c.correct(o)) ++from_correct;
+          }
+          if (from_correct < must) return false;
+        }
+        return true;
+      },
+      kDeadline))
+      << "validity/termination";
+  c.run_all();
+
+  const auto& ref = log[c.correct_set().front()];
+  for (ProcessId p : c.correct_set()) {
+    // Agreement: prefix-identical orders.
+    const std::size_t k = std::min(ref.size(), log[p].size());
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(log[p][i], ref[i]) << "order diverged at " << i;
+    }
+    // Integrity: no duplicates; payload matches what the origin sent.
+    std::set<std::pair<ProcessId, std::uint64_t>> seen;
+    for (const auto& [o, r, s] : log[p]) {
+      EXPECT_TRUE(seen.emplace(o, r).second) << "duplicate delivery";
+      if (c.correct(o)) {
+        EXPECT_EQ(s, "m" + std::to_string(o) + "." + std::to_string(r))
+            << "payload forgery";
+      }
+    }
+  }
+}
+
+std::vector<Params> make_matrix() {
+  std::vector<Params> out;
+  for (std::uint32_t n : {4u, 7u}) {
+    for (Fault f : {Fault::kNone, Fault::kCrash, Fault::kByzantine}) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        out.push_back({n, f, seed});
+      }
+    }
+  }
+  // Mixed faults need f >= 2, i.e. n >= 7.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    out.push_back({7, Fault::kCrashAndByzantine, seed});
+  }
+  // One bigger group as a smoke-scale point.
+  out.push_back({10, Fault::kByzantine, 0});
+  out.push_back({10, Fault::kCrash, 0});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, StackProperties, ::testing::ValuesIn(make_matrix()),
+                         param_name);
+
+}  // namespace
+}  // namespace ritas

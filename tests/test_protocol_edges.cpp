@@ -1,0 +1,211 @@
+// Edge paths of the broadcast primitives that the happy-path suites do not
+// reach: reliable-broadcast totality amplification (deliver without ever
+// seeing the INIT), READY-before-ECHO, echo-broadcast MAT-before-INIT, and
+// the MVC-over-reliable-broadcast ablation variant.
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::DeliveryLog;
+using test::fast_lan;
+using test::kDeadline;
+
+TEST(ProtocolEdges, RbTotalityWithoutInitAtOneProcess) {
+  // A (corrupt) origin sends INIT to processes 0..2 only. They echo among
+  // everyone, so process 3 — which never sees an INIT — must still deliver
+  // through the ECHO/READY amplification (Bracha's totality).
+  Cluster c(fast_lan(4, 1));
+  DeliveryLog log(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  for (ProcessId p : c.live()) {
+    c.create_root<ReliableBroadcast>(p, id, /*origin=*/3, Attribution::kPayload,
+                                     log.sink(p));
+  }
+  Message init;
+  init.path = id;
+  init.tag = ReliableBroadcast::kInit;
+  init.payload = to_bytes("partial init");
+  for (ProcessId p : {0u, 1u, 2u}) {
+    c.stack(p).on_packet(3, init.encode());
+  }
+  ASSERT_TRUE(c.run_until([&] { return !log.by_process[3].empty(); }, kDeadline));
+  EXPECT_EQ(to_string(log.by_process[3][0]), "partial init");
+  // ... and of course 0..2 delivered the same thing.
+  for (ProcessId p : {0u, 1u, 2u}) {
+    ASSERT_EQ(log.by_process[p].size(), 1u);
+    EXPECT_EQ(to_string(log.by_process[p][0]), "partial init");
+  }
+}
+
+TEST(ProtocolEdges, RbInitToTooFewProcessesDeliversNowhere) {
+  // INIT reaching only 2 of 4 cannot assemble the echo quorum of 3; nobody
+  // may deliver (and nobody may wedge).
+  Cluster c(fast_lan(4, 2));
+  DeliveryLog log(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  for (ProcessId p : c.live()) {
+    c.create_root<ReliableBroadcast>(p, id, 3, Attribution::kPayload, log.sink(p));
+  }
+  Message init;
+  init.path = id;
+  init.tag = ReliableBroadcast::kInit;
+  init.payload = to_bytes("too partial");
+  for (ProcessId p : {0u, 1u}) {
+    c.stack(p).on_packet(3, init.encode());
+  }
+  c.run_all();
+  for (ProcessId p : c.live()) {
+    EXPECT_TRUE(log.by_process[p].empty()) << "p" << p;
+  }
+}
+
+TEST(ProtocolEdges, RbReadyAmplificationFromReadiesAlone) {
+  // f+1 = 2 READY(m) messages must trigger a READY even at a process that
+  // saw neither INIT nor enough ECHOs; 2f+1 READYs then deliver.
+  Cluster c(fast_lan(4, 3));
+  DeliveryLog log(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  for (ProcessId p : c.live()) {
+    c.create_root<ReliableBroadcast>(p, id, 3, Attribution::kPayload, log.sink(p));
+  }
+  // Forge READYs from peers 1 and 2 into p0 (as if they ran far ahead).
+  Message ready;
+  ready.path = id;
+  ready.tag = ReliableBroadcast::kReady;
+  ready.payload = to_bytes("amplified");
+  c.stack(0).on_packet(1, ready.encode());
+  c.stack(0).on_packet(2, ready.encode());
+  c.run_all();
+  // p0 relayed its own READY; that is 3 READYs total at p0 (1, 2, self):
+  // delivery threshold met at p0 alone.
+  ASSERT_EQ(log.by_process[0].size(), 1u);
+  EXPECT_EQ(to_string(log.by_process[0][0]), "amplified");
+}
+
+TEST(ProtocolEdges, EbMatBeforeInitIsBufferedThenVerified) {
+  // Only a corrupt origin can reorder MAT before INIT (channels are FIFO);
+  // the receiver must buffer the column and deliver once the INIT shows up
+  // and the hashes verify. We splice a correct origin's traffic by hand.
+  Cluster c(fast_lan(4, 4));
+  DeliveryLog log(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kEchoBroadcast, 1);
+  std::vector<EchoBroadcast*> eb(4, nullptr);
+  for (ProcessId p : c.live()) {
+    eb[p] = &c.create_root<EchoBroadcast>(p, id, 0, Attribution::kPayload,
+                                          log.sink(p));
+  }
+  c.call(0, [&] { eb[0]->bcast(to_bytes("spliced")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+
+  // Now replay the same dance against a fresh instance at p1, delivering
+  // the frames out of order: capture is impractical here, so instead drive
+  // the receiver directly with a hand-built matrix column for a known m.
+  const InstanceId id2 = InstanceId::root(ProtocolType::kEchoBroadcast, 2);
+  DeliveryLog log2(4);
+  auto& victim = c.create_root<EchoBroadcast>(1, id2, 0, Attribution::kPayload,
+                                              log2.sink(1));
+  (void)victim;
+  const Bytes m = to_bytes("reordered");
+  // Column for receiver 1: cell k = SHA-1(m || s_k1). We know s_k1 only
+  // for k = 1 (p1's own key); fill the rest with garbage — f+1 = 2 valid
+  // cells are needed, so add p0's cell using the cluster's dealt keys.
+  Bytes column(4 * Sha1::kDigestSize, 0);
+  for (ProcessId k : {0u, 1u}) {
+    Sha1 h;
+    h.update(m);
+    h.update(c.stack(1).keys().key(k));  // s_1k == s_k1
+    const auto d = h.finish();
+    std::copy(d.begin(), d.end(), column.begin() + k * Sha1::kDigestSize);
+  }
+  Message mat;
+  mat.path = id2;
+  mat.tag = EchoBroadcast::kMat;
+  mat.payload = column;
+  c.stack(1).on_packet(0, mat.encode());  // MAT first...
+  EXPECT_TRUE(log2.by_process[1].empty());
+  Message init;
+  init.path = id2;
+  init.tag = EchoBroadcast::kInit;
+  init.payload = m;
+  c.stack(1).on_packet(0, init.encode());  // ...INIT second
+  ASSERT_EQ(log2.by_process[1].size(), 1u);
+  EXPECT_EQ(to_string(log2.by_process[1][0]), "reordered");
+}
+
+TEST(ProtocolEdges, EbColumnWithTooFewValidCellsRejected) {
+  Cluster c(fast_lan(4, 5));
+  DeliveryLog log(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kEchoBroadcast, 1);
+  c.create_root<EchoBroadcast>(1, id, 0, Attribution::kPayload, log.sink(1));
+  const Bytes m = to_bytes("one good cell");
+  Bytes column(4 * Sha1::kDigestSize, 0);
+  {
+    Sha1 h;  // only p1's own cell is valid: 1 < f+1 = 2
+    h.update(m);
+    h.update(c.stack(1).keys().key(1));
+    const auto d = h.finish();
+    std::copy(d.begin(), d.end(), column.begin() + 1 * Sha1::kDigestSize);
+  }
+  Message init;
+  init.path = id;
+  init.tag = EchoBroadcast::kInit;
+  init.payload = m;
+  c.stack(1).on_packet(0, init.encode());
+  Message mat;
+  mat.path = id;
+  mat.tag = EchoBroadcast::kMat;
+  mat.payload = column;
+  c.stack(1).on_packet(0, mat.encode());
+  c.run_all();
+  EXPECT_TRUE(log.by_process[1].empty());
+  EXPECT_GT(c.stack(1).metrics().invalid_dropped, 0u);
+}
+
+TEST(ProtocolEdges, MvcOverReliableBroadcastVariantStillCorrect) {
+  // The ablation configuration (VECT phase via reliable broadcast) must
+  // preserve every MVC property — it is the unoptimized original protocol.
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.stack.mvc_vect_via_rb = true;
+  Cluster c(o);
+  auto cap = test::run_mvc(
+      c, {to_bytes("rbv"), to_bytes("rbv"), to_bytes("rbv"), to_bytes("rbv")});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+    EXPECT_EQ(to_string(**cap.got[p]), "rbv");
+  }
+  // And the echo-broadcast counter stays at zero — everything went via RB.
+  EXPECT_EQ(c.total_metrics().eb_started_payload +
+                c.total_metrics().eb_started_agreement,
+            0u);
+}
+
+TEST(ProtocolEdges, MvcOverRbVariantUnderByzantine) {
+  test::ClusterOptions o = fast_lan(4, 7);
+  o.stack.mvc_vect_via_rb = true;
+  o.byzantine = {0};
+  Cluster c(o);
+  auto cap = test::run_mvc(
+      c, {to_bytes("w"), to_bytes("w"), to_bytes("w"), to_bytes("w")});
+  for (ProcessId p : c.correct_set()) {
+    ASSERT_TRUE(cap.got[p].has_value());
+    ASSERT_TRUE(cap.got[p]->has_value());
+  }
+}
+
+TEST(ProtocolEdges, BcValidationDisabledStillTerminatesUnattacked) {
+  // The ablation switch must not break benign runs.
+  test::ClusterOptions o = fast_lan(4, 8);
+  o.stack.bc_disable_validation = true;
+  Cluster c(o);
+  auto cap = test::run_binary_consensus(c, {true, true, true, true});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,60 @@
+// Quorum arithmetic: the thresholds every protocol layer builds on.
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace ritas {
+namespace {
+
+TEST(Quorums, MaxFaults) {
+  EXPECT_EQ(max_faults(4), 1u);
+  EXPECT_EQ(max_faults(5), 1u);
+  EXPECT_EQ(max_faults(6), 1u);
+  EXPECT_EQ(max_faults(7), 2u);
+  EXPECT_EQ(max_faults(10), 3u);
+  EXPECT_EQ(max_faults(13), 4u);
+  EXPECT_EQ(max_faults(31), 10u);
+}
+
+TEST(Quorums, PaperValuesAtNFour) {
+  const Quorums q(4);
+  EXPECT_EQ(q.f, 1u);
+  EXPECT_EQ(q.n_minus_f(), 3u);
+  EXPECT_EQ(q.n_minus_2f(), 2u);
+  EXPECT_EQ(q.rb_echo_threshold(), 3u);   // floor((n+f)/2)+1
+  EXPECT_EQ(q.rb_ready_relay(), 2u);      // f+1
+  EXPECT_EQ(q.rb_deliver_threshold(), 3u);  // 2f+1
+  EXPECT_EQ(q.eb_deliver_threshold(), 2u);  // f+1
+  EXPECT_EQ(q.bc_decide_threshold(), 3u);
+  EXPECT_EQ(q.bc_adopt_threshold(), 2u);
+}
+
+class QuorumSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QuorumSweep, InvariantsHoldForAllGroupSizes) {
+  const std::uint32_t n = GetParam();
+  const Quorums q(n);
+  // Resilience bound.
+  EXPECT_GE(n, 3 * q.f + 1);
+  // A process can always wait for n-f messages (the rest may be faulty).
+  EXPECT_GE(q.n_minus_f(), 2 * q.f + 1);
+  // Two (n-f)-quorums intersect in at least f+1 processes: enough to pin a
+  // value through at least one correct process.
+  EXPECT_GE(2 * q.n_minus_f(), n + q.f + 1);
+  // Echo quorum majority: two echo quorums intersect in a correct process,
+  // preventing two different payloads from both reaching it.
+  EXPECT_GE(2 * q.rb_echo_threshold(), n + q.f + 1);
+  // Delivering on 2f+1 READYs means f+1 correct READYs, which guarantees
+  // every correct process eventually relays (f+1 reach the relay rule).
+  EXPECT_GT(q.rb_deliver_threshold(), 2 * q.f);
+  EXPECT_GE(q.rb_deliver_threshold(), q.rb_ready_relay() + q.f);
+  // n-2f responses always contain a correct one.
+  EXPECT_GE(q.n_minus_2f(), q.f + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, QuorumSweep,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u, 9u, 10u, 13u,
+                                           16u, 22u, 31u, 100u));
+
+}  // namespace
+}  // namespace ritas

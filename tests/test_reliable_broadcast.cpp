@@ -1,0 +1,207 @@
+// Reliable broadcast (Bracha) over the simulated LAN: validity, agreement,
+// totality, Byzantine equivocation, crash faults, group-size sweeps.
+#include "core/reliable_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::DeliveryLog;
+using test::fast_lan;
+using test::kDeadline;
+
+InstanceId rb_root(std::uint64_t seq = 1) {
+  return InstanceId::root(ProtocolType::kReliableBroadcast, seq);
+}
+
+/// Creates one RB instance (same id) at every live process; `origin` is the
+/// sender. Returns pointers indexed by process.
+std::vector<ReliableBroadcast*> make_rb(Cluster& c, DeliveryLog& log,
+                                        ProcessId origin,
+                                        std::uint64_t seq = 1) {
+  std::vector<ReliableBroadcast*> rb(c.n(), nullptr);
+  for (ProcessId p : c.live()) {
+    rb[p] = &c.create_root<ReliableBroadcast>(p, rb_root(seq), origin,
+                                              Attribution::kPayload, log.sink(p));
+  }
+  return rb;
+}
+
+TEST(ReliableBroadcast, DeliversToAllCorrectProcesses) {
+  Cluster c(fast_lan(4, 1));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(to_bytes("hello")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  for (ProcessId p : c.live()) {
+    ASSERT_EQ(log.by_process[p].size(), 1u);
+    EXPECT_EQ(to_string(log.by_process[p][0]), "hello");
+  }
+}
+
+TEST(ReliableBroadcast, SenderDeliversItsOwnMessage) {
+  Cluster c(fast_lan(4, 2));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 2);
+  c.call(2, [&] { rb[2]->bcast(to_bytes("self")); });
+  ASSERT_TRUE(c.run_until([&] { return !log.by_process[2].empty(); }, kDeadline));
+  EXPECT_EQ(to_string(log.by_process[2][0]), "self");
+  EXPECT_TRUE(rb[2]->delivered());
+}
+
+TEST(ReliableBroadcast, EmptyPayload) {
+  Cluster c(fast_lan(4, 3));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(Bytes{}); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  EXPECT_TRUE(log.by_process[3][0].empty());
+}
+
+TEST(ReliableBroadcast, LargePayload) {
+  Cluster c(fast_lan(4, 4));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  const Bytes big(64 * 1024, 0x5a);
+  c.call(0, [&] { rb[0]->bcast(big); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  EXPECT_EQ(log.by_process[1][0], big);
+}
+
+TEST(ReliableBroadcast, ToleratesCrashedReceiver) {
+  test::ClusterOptions o = fast_lan(4, 5);
+  o.crashed = {3};
+  Cluster c(o);
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(to_bytes("m")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  EXPECT_TRUE(log.by_process[3].empty());
+}
+
+TEST(ReliableBroadcast, CrashedOriginDeliversNothing) {
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.crashed = {0};
+  Cluster c(o);
+  DeliveryLog log(4);
+  make_rb(c, log, 0);  // origin crashed, never broadcasts
+  c.run_all();
+  for (ProcessId p : c.live()) EXPECT_TRUE(log.by_process[p].empty());
+}
+
+TEST(ReliableBroadcast, EquivocatingOriginCannotSplitDelivery) {
+  // Byzantine origin sends INIT "even" to even peers, "odd" to odd peers.
+  // Agreement: every correct process that delivers must deliver the same
+  // payload (with n=4, f=1 the echo quorum is 3, so at most one payload can
+  // gather it).
+  class Equivocator : public Adversary {
+   public:
+    std::optional<Bytes> rb_equivocate(const Bytes&) override {
+      return to_bytes("odd-payload");
+    }
+  };
+  test::ClusterOptions o = fast_lan(4, 7);
+  o.byzantine = {0};
+  o.adversary_factory = [] { return std::make_unique<Equivocator>(); };
+  Cluster c(o);
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(to_bytes("even-payload")); });
+  c.run_all();
+
+  std::optional<std::string> delivered;
+  for (ProcessId p : c.correct_set()) {
+    for (const Bytes& b : log.by_process[p]) {
+      const std::string s = to_string(b);
+      if (!delivered) delivered = s;
+      EXPECT_EQ(*delivered, s) << "correct processes split on the payload";
+    }
+  }
+}
+
+TEST(ReliableBroadcast, SecondInitFromOriginIgnored) {
+  Cluster c(fast_lan(4, 8));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(to_bytes("first")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  EXPECT_THROW(rb[0]->bcast(to_bytes("second")), std::logic_error);
+  EXPECT_EQ(log.by_process[1].size(), 1u);
+}
+
+TEST(ReliableBroadcast, NonOriginCannotBroadcast) {
+  Cluster c(fast_lan(4, 9));
+  DeliveryLog log(4);
+  auto rb = make_rb(c, log, 0);
+  EXPECT_THROW(rb[1]->bcast(to_bytes("not mine")), std::logic_error);
+}
+
+TEST(ReliableBroadcast, ConcurrentInstancesStayIsolated) {
+  Cluster c(fast_lan(4, 10));
+  DeliveryLog log_a(4), log_b(4);
+  auto a = make_rb(c, log_a, 0, 1);
+  auto b = make_rb(c, log_b, 1, 2);
+  c.call(0, [&] { a[0]->bcast(to_bytes("from-0")); });
+  c.call(1, [&] { b[1]->bcast(to_bytes("from-1")); });
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        return log_a.everyone_has(c.live(), 1) && log_b.everyone_has(c.live(), 1);
+      },
+      kDeadline));
+  EXPECT_EQ(to_string(log_a.by_process[2][0]), "from-0");
+  EXPECT_EQ(to_string(log_b.by_process[2][0]), "from-1");
+}
+
+class RbGroupSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RbGroupSize, DeliversAcrossGroupSizes) {
+  const std::uint32_t n = GetParam();
+  Cluster c(fast_lan(n, 11 + n));
+  DeliveryLog log(n);
+  auto rb = make_rb(c, log, n - 1);
+  c.call(n - 1, [&] { rb[n - 1]->bcast(to_bytes("sweep")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  for (ProcessId p : c.live()) {
+    EXPECT_EQ(to_string(log.by_process[p][0]), "sweep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, RbGroupSize,
+                         ::testing::Values(4u, 5u, 6u, 7u, 10u, 13u));
+
+class RbCrashSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RbCrashSweep, ToleratesMaxCrashes) {
+  // n = 3f+1 with f crashed receivers: delivery must still happen.
+  const std::uint32_t f = GetParam();
+  const std::uint32_t n = 3 * f + 1;
+  test::ClusterOptions o = fast_lan(n, 100 + f);
+  for (std::uint32_t i = 0; i < f; ++i) o.crashed.push_back(n - 1 - i);
+  Cluster c(o);
+  DeliveryLog log(n);
+  auto rb = make_rb(c, log, 0);
+  c.call(0, [&] { rb[0]->bcast(to_bytes("resilient")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, RbCrashSweep, ::testing::Values(1u, 2u, 3u));
+
+TEST(ReliableBroadcast, ManySeedsDeterministicAndAgreeing) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    test::ClusterOptions o = fast_lan(4, seed);
+    o.lan.jitter_ns = 100'000;
+    Cluster c(o);
+    DeliveryLog log(4);
+    auto rb = make_rb(c, log, 0);
+    c.call(0, [&] { rb[0]->bcast(to_bytes("seeded")); });
+    ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ritas

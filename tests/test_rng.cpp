@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ritas {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, CloseSeedsIndependent) {
+  // SplitMix64 seeding must decorrelate adjacent seeds.
+  Rng a(100), b(101);
+  int same_bit = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if ((a.next() >> 63) == (b.next() >> 63)) ++same_bit;
+  }
+  EXPECT_GT(same_bit, 400);
+  EXPECT_LT(same_bit, 600);
+}
+
+TEST(Rng, BelowRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[r.below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 - 800);
+    EXPECT_LT(b, kDraws / 10 + 800);
+  }
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng r(13);
+  int heads = 0;
+  const int kFlips = 100000;
+  for (int i = 0; i < kFlips; ++i) {
+    if (r.coin()) ++heads;
+  }
+  EXPECT_GT(heads, kFlips / 2 - 1000);
+  EXPECT_LT(heads, kFlips / 2 + 1000);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMixKnownSequence) {
+  // Reference values for the SplitMix64 algorithm, seed 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ritas

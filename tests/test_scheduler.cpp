@@ -1,0 +1,93 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ritas::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(300, [&] { order.push_back(3); });
+  s.at(100, [&] { order.push_back(1); });
+  s.at(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300u);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(50, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  Time seen = 0;
+  s.at(100, [&] {
+    s.at(10, [&] { seen = s.now(); });  // in the past: clamps to 100
+  });
+  s.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.after(10, chain);
+  };
+  s.after(0, chain);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 40u);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunMaxEvents) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.at(static_cast<Time>(i), [&] { ++count; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, RunUntilPredicate) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) s.at(static_cast<Time>(i * 10), [&] { ++count; });
+  EXPECT_TRUE(s.run_until([&] { return count >= 4; }, 1000));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.now(), 40u);
+}
+
+TEST(Scheduler, RunUntilDeadline) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) s.at(static_cast<Time>(i * 10), [&] { ++count; });
+  EXPECT_FALSE(s.run_until([&] { return count >= 100; }, 35));
+  EXPECT_EQ(count, 3);  // events at 10, 20, 30 ran; 40 is past the deadline
+}
+
+TEST(Scheduler, RunUntilEmptyQueue) {
+  Scheduler s;
+  EXPECT_FALSE(s.run_until([] { return false; }, 1000));
+}
+
+}  // namespace
+}  // namespace ritas::sim

@@ -1,0 +1,123 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ritas {
+namespace {
+
+TEST(Serialize, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, ExtremeValues) {
+  Writer w;
+  w.u64(0);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  Reader r(w.data());
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.bytes(Bytes{});
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedIntegerFails) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  r.u32();  // asks for more than available
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Serialize, TruncatedBytesFails) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, StickyFailure) {
+  Reader r(Bytes{});
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+  // Every later read also reports zero and failure.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, HugeLengthPrefixDoesNotAllocate) {
+  Writer w;
+  w.u32(0xffffffffu);  // absurd length; only 4 bytes of input exist
+  Reader r(w.data());
+  const Bytes b = r.bytes();
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, RawAndRemaining) {
+  Writer w;
+  w.raw(to_bytes("abcdef"));
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(to_string(r.raw(3)), "abc");
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(to_string(r.raw(3)), "def");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, MixedRoundTrip) {
+  Writer w;
+  w.u8(3);
+  w.str("key");
+  w.bytes(to_bytes("value"));
+  w.u64(42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_EQ(r.str(), "key");
+  EXPECT_EQ(to_string(r.bytes()), "value");
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace ritas

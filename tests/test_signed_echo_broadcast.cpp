@@ -1,0 +1,144 @@
+// The signature-based baseline primitive (Reiter's echo multicast):
+// correctness of the real-RSA implementation, rejection of forgeries, and
+// the modeled-CPU accounting that the comparison bench relies on.
+#include "core/signed_echo_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::DeliveryLog;
+using test::fast_lan;
+using test::kDeadline;
+
+std::vector<std::shared_ptr<const RsaDirectory>> make_dirs(std::uint32_t n,
+                                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RsaKeyPair> keys;
+  std::vector<RsaPublicKey> pubs;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    keys.push_back(RsaKeyPair::generate(rng, 300));  // era-sized, fast
+    pubs.push_back(keys.back().pub);
+  }
+  std::vector<std::shared_ptr<const RsaDirectory>> dirs;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    auto d = std::make_shared<RsaDirectory>();
+    d->pubs = pubs;
+    d->self = keys[p];
+    dirs.push_back(std::move(d));
+  }
+  return dirs;
+}
+
+InstanceId seb_root(std::uint64_t seq = 1) {
+  return InstanceId::root(ProtocolType::kEchoBroadcast, seq);
+}
+
+TEST(SignedEchoBroadcast, DeliversWithRealSignatures) {
+  Cluster c(fast_lan(4, 1));
+  const auto dirs = make_dirs(4, 11);
+  DeliveryLog log(4);
+  std::vector<SignedEchoBroadcast*> eb(4, nullptr);
+  for (ProcessId p : c.live()) {
+    eb[p] = &c.create_root<SignedEchoBroadcast>(p, seb_root(), 0,
+                                                Attribution::kPayload, dirs[p],
+                                                SignatureCosts{}, log.sink(p));
+  }
+  c.call(0, [&] { eb[0]->bcast(to_bytes("signed hello")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+  for (ProcessId p : c.live()) {
+    EXPECT_EQ(to_string(log.by_process[p][0]), "signed hello");
+  }
+}
+
+TEST(SignedEchoBroadcast, ForgedInitRejected) {
+  Cluster c(fast_lan(4, 2));
+  const auto dirs = make_dirs(4, 12);
+  DeliveryLog log(4);
+  c.create_root<SignedEchoBroadcast>(1, seb_root(), 0, Attribution::kPayload,
+                                     dirs[1], SignatureCosts{}, log.sink(1));
+  // INIT claiming to be from p0 but signed with p3's key (or garbage).
+  Writer w;
+  w.bytes(to_bytes("forged"));
+  w.bytes(rsa_sign(dirs[3]->self, to_bytes("forged")));
+  Message m;
+  m.path = seb_root();
+  m.tag = SignedEchoBroadcast::kInit;
+  m.payload = std::move(w).take();
+  c.stack(1).on_packet(0, m.encode());
+  c.run_all();
+  EXPECT_TRUE(log.by_process[1].empty());
+  EXPECT_GT(c.stack(1).metrics().invalid_dropped, 0u);
+}
+
+TEST(SignedEchoBroadcast, CommitWithTooFewSignaturesRejected) {
+  Cluster c(fast_lan(4, 3));
+  const auto dirs = make_dirs(4, 13);
+  DeliveryLog log(4);
+  c.create_root<SignedEchoBroadcast>(1, seb_root(), 0, Attribution::kPayload,
+                                     dirs[1], SignatureCosts{}, log.sink(1));
+  const Bytes msg = to_bytes("under-certified");
+  // A commit with only ONE (valid!) echo signature: below (n+f)/2+1 = 3.
+  Writer st;
+  st.str("echo");
+  const auto h = Sha256::hash(msg);
+  st.raw(ByteView(h.data(), h.size()));
+  Writer w;
+  w.bytes(msg);
+  w.u32(1);
+  w.u32(2);
+  w.bytes(rsa_sign(dirs[2]->self, st.data()));
+  Message m;
+  m.path = seb_root();
+  m.tag = SignedEchoBroadcast::kCommit;
+  m.payload = std::move(w).take();
+  c.stack(1).on_packet(0, m.encode());
+  c.run_all();
+  EXPECT_TRUE(log.by_process[1].empty());
+}
+
+TEST(SignedEchoBroadcast, ModeledCpuCostsShowUpInLatency) {
+  // The same broadcast with zero-cost vs era-cost signatures: the modeled
+  // per-signature CPU must dominate the simulated latency difference.
+  auto latency_with = [](SignatureCosts costs, std::uint64_t seed) {
+    Cluster c(fast_lan(4, seed));
+    const auto dirs = make_dirs(4, 14);
+    DeliveryLog log(4);
+    std::vector<SignedEchoBroadcast*> eb(4, nullptr);
+    for (ProcessId p : c.live()) {
+      eb[p] = &c.create_root<SignedEchoBroadcast>(
+          p, seb_root(), 0, Attribution::kPayload, dirs[p], costs, log.sink(p));
+    }
+    c.call(0, [&] { eb[0]->bcast(to_bytes("m")); });
+    c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline);
+    return c.now();
+  };
+  const auto free_crypto = latency_with(SignatureCosts{0, 0}, 5);
+  const auto era_crypto = latency_with(SignatureCosts{}, 5);
+  // At least 2 signs + several verifies on the critical path: >= 8 ms.
+  EXPECT_GT(era_crypto, free_crypto + 8 * sim::kMillisecond);
+}
+
+TEST(SignedEchoBroadcast, CrashedReceiverTolerated) {
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.crashed = {2};
+  Cluster c(o);
+  const auto dirs = make_dirs(4, 15);
+  DeliveryLog log(4);
+  std::vector<SignedEchoBroadcast*> eb(4, nullptr);
+  for (ProcessId p : c.live()) {
+    eb[p] = &c.create_root<SignedEchoBroadcast>(p, seb_root(), 0,
+                                                Attribution::kPayload, dirs[p],
+                                                SignatureCosts{}, log.sink(p));
+  }
+  c.call(0, [&] { eb[0]->bcast(to_bytes("m")); });
+  ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
+}
+
+}  // namespace
+}  // namespace ritas

@@ -1,0 +1,275 @@
+// ProtocolStack unit tests: demultiplexing, spawn-on-demand, the
+// out-of-context table (store/drain/evict/purge), and defensive drops.
+#include "core/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/message.h"
+
+namespace ritas {
+namespace {
+
+struct SentFrame {
+  ProcessId to;
+  Bytes frame;
+};
+
+class FakeTransport final : public Transport {
+ public:
+  void send(ProcessId to, Bytes frame) override {
+    sent.push_back(SentFrame{to, std::move(frame)});
+  }
+  std::vector<SentFrame> sent;
+};
+
+struct Rx {
+  InstanceId path;
+  ProcessId from;
+  std::uint8_t tag;
+  Bytes payload;
+};
+
+/// Test protocol: records inbound messages; can spawn children on demand.
+class Probe final : public Protocol {
+ public:
+  Probe(ProtocolStack& stack, Protocol* parent, InstanceId id,
+        std::vector<Rx>* log, bool spawnable = false, bool tombstone = false)
+      : Protocol(stack, parent, std::move(id)),
+        log_(log),
+        spawnable_(spawnable),
+        tombstone_(tombstone) {}
+
+  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override {
+    log_->push_back(Rx{id(), from, tag, Bytes(payload.begin(), payload.end())});
+  }
+
+  Protocol* spawn_child(const Component& c, bool& drop) override {
+    drop = tombstone_;
+    if (!spawnable_ || tombstone_) return nullptr;
+    auto child = std::make_unique<Probe>(stack_, this, id().child(c), log_,
+                                         spawnable_, tombstone_);
+    return &add_child(std::move(child));
+  }
+
+  void set_spawnable(bool s) { spawnable_ = s; }
+
+  using Protocol::broadcast;
+  using Protocol::destroy_child;
+  using Protocol::send;
+
+ private:
+  std::vector<Rx>* log_;
+  bool spawnable_;
+  bool tombstone_;
+};
+
+class StackTest : public ::testing::Test {
+ protected:
+  StackTest()
+      : keys_(KeyChain::deal(to_bytes("k"), 4, 0)), stack_(make_config(), transport_, keys_, 7) {}
+
+  static StackConfig make_config() {
+    StackConfig cfg;
+    cfg.n = 4;
+    cfg.self = 0;
+    cfg.ooc_per_sender = 4;  // small quota so eviction is testable
+    return cfg;
+  }
+
+  Bytes frame_for(const InstanceId& path, std::uint8_t tag, Bytes payload) {
+    Message m;
+    m.path = path;
+    m.tag = tag;
+    m.payload = std::move(payload);
+    return m.encode();
+  }
+
+  FakeTransport transport_;
+  KeyChain keys_;
+  ProtocolStack stack_;
+  std::vector<Rx> log_;
+};
+
+TEST_F(StackTest, DispatchToRegisteredInstance) {
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  Probe probe(stack_, nullptr, id, &log_);
+  stack_.on_packet(2, frame_for(id, 5, to_bytes("x")));
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].from, 2u);
+  EXPECT_EQ(log_[0].tag, 5);
+  EXPECT_EQ(to_string(log_[0].payload), "x");
+}
+
+TEST_F(StackTest, MalformedFrameDropped) {
+  stack_.on_packet(1, to_bytes("garbage"));
+  EXPECT_EQ(stack_.metrics().malformed_dropped, 1u);
+  EXPECT_TRUE(log_.empty());
+}
+
+TEST_F(StackTest, FrameFromSelfOrOutOfRangeDropped) {
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  Probe probe(stack_, nullptr, id, &log_);
+  stack_.on_packet(0, frame_for(id, 0, {}));  // from == self: impossible
+  stack_.on_packet(9, frame_for(id, 0, {}));  // out of range
+  EXPECT_EQ(stack_.metrics().malformed_dropped, 2u);
+  EXPECT_TRUE(log_.empty());
+}
+
+TEST_F(StackTest, DuplicateRegistrationThrows) {
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  Probe probe(stack_, nullptr, id, &log_);
+  EXPECT_THROW(Probe(stack_, nullptr, id, &log_), std::logic_error);
+}
+
+TEST_F(StackTest, OocStoredThenDrainedOnRegistration) {
+  const InstanceId id = InstanceId::root(ProtocolType::kEchoBroadcast, 9);
+  stack_.on_packet(1, frame_for(id, 2, to_bytes("early")));
+  EXPECT_EQ(stack_.metrics().ooc_stored, 1u);
+  EXPECT_EQ(stack_.ooc_size(), 1u);
+  EXPECT_TRUE(log_.empty());
+
+  Probe probe(stack_, nullptr, id, &log_);
+  stack_.pump();
+  EXPECT_EQ(stack_.metrics().ooc_drained, 1u);
+  EXPECT_EQ(stack_.ooc_size(), 0u);
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(to_string(log_[0].payload), "early");
+}
+
+TEST_F(StackTest, OocPerSenderQuotaEvictsOldest) {
+  // Sender 1 floods 6 messages; quota is 4 => the 2 oldest evicted.
+  for (int i = 0; i < 6; ++i) {
+    const auto id = InstanceId::root(ProtocolType::kReliableBroadcast,
+                                     static_cast<std::uint64_t>(100 + i));
+    stack_.on_packet(1, frame_for(id, 0, Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  EXPECT_EQ(stack_.metrics().ooc_evicted, 2u);
+  EXPECT_EQ(stack_.ooc_size(), 4u);
+}
+
+TEST_F(StackTest, OocQuotaIsPerSender) {
+  // A flooding sender must not evict another sender's parked messages.
+  const auto honest = InstanceId::root(ProtocolType::kReliableBroadcast, 50);
+  stack_.on_packet(2, frame_for(honest, 1, to_bytes("honest")));
+  for (int i = 0; i < 20; ++i) {
+    const auto id = InstanceId::root(ProtocolType::kReliableBroadcast,
+                                     static_cast<std::uint64_t>(1000 + i));
+    stack_.on_packet(1, frame_for(id, 0, {}));
+  }
+  Probe probe(stack_, nullptr, honest, &log_);
+  stack_.pump();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(to_string(log_[0].payload), "honest");
+}
+
+TEST_F(StackTest, OocPurgedOnInstanceDestruction) {
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  const InstanceId childpath = root.child({ProtocolType::kReliableBroadcast, 3});
+  {
+    Probe probe(stack_, nullptr, root, &log_);  // not spawnable
+    stack_.on_packet(1, frame_for(childpath, 0, {}));
+    EXPECT_EQ(stack_.ooc_size(), 1u);
+  }  // destroying the root purges the subtree's parked messages
+  EXPECT_EQ(stack_.ooc_size(), 0u);
+}
+
+TEST_F(StackTest, SpawnOnDemandWalksDownThePath) {
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  Probe probe(stack_, nullptr, root, &log_, /*spawnable=*/true);
+  const InstanceId deep = root.child({ProtocolType::kMultiValuedConsensus, 0})
+                              .child({ProtocolType::kBinaryConsensus, 0})
+                              .child({ProtocolType::kReliableBroadcast, 7});
+  stack_.on_packet(3, frame_for(deep, 1, to_bytes("deep")));
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].path, deep);
+  EXPECT_TRUE(stack_.has_instance(deep));
+  EXPECT_TRUE(stack_.has_instance(deep.parent()));
+}
+
+TEST_F(StackTest, TombstoneDropsPermanently) {
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  Probe probe(stack_, nullptr, root, &log_, /*spawnable=*/false, /*tombstone=*/true);
+  const InstanceId dead = root.child({ProtocolType::kReliableBroadcast, 1});
+  stack_.on_packet(1, frame_for(dead, 0, {}));
+  EXPECT_EQ(stack_.metrics().unroutable_dropped, 1u);
+  EXPECT_EQ(stack_.ooc_size(), 0u);
+}
+
+TEST_F(StackTest, SelfMessagesLoopWithoutTransport) {
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  Probe probe(stack_, nullptr, id, &log_);
+  probe.send(0, 9, to_bytes("loop"));
+  stack_.pump();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].from, 0u);
+  EXPECT_TRUE(transport_.sent.empty());
+}
+
+TEST_F(StackTest, BroadcastReachesAllPeersAndSelf) {
+  const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+  Probe probe(stack_, nullptr, id, &log_);
+  probe.broadcast(1, to_bytes("all"));
+  stack_.pump();
+  EXPECT_EQ(transport_.sent.size(), 3u);  // peers 1..3
+  ASSERT_EQ(log_.size(), 1u);             // self loopback
+  EXPECT_EQ(stack_.metrics().msgs_sent, 3u);
+}
+
+TEST_F(StackTest, RegisteringAncestorDrainsDescendantOoc) {
+  // Messages arriving before the application creates the root must be
+  // parked and then routed (via spawn-on-demand) once the root appears.
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  const InstanceId child = root.child({ProtocolType::kReliableBroadcast, 5});
+  stack_.on_packet(1, frame_for(child, 0, to_bytes("parked")));  // no root yet
+  EXPECT_EQ(stack_.ooc_size(), 1u);
+  Probe probe(stack_, nullptr, root, &log_, /*spawnable=*/true);
+  stack_.pump();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(to_string(log_[0].payload), "parked");
+  EXPECT_TRUE(stack_.has_instance(child));
+}
+
+TEST_F(StackTest, RetryOocRedispatchesAfterWindowAdvance) {
+  // A parent that refuses a spawn (flow-control window) parks the message;
+  // when the window advances it calls retry_ooc and the message flows.
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  Probe probe(stack_, nullptr, root, &log_, /*spawnable=*/false);
+  const InstanceId child = root.child({ProtocolType::kReliableBroadcast, 5});
+  stack_.on_packet(1, frame_for(child, 0, to_bytes("parked")));
+  EXPECT_EQ(stack_.ooc_size(), 1u);
+  EXPECT_TRUE(log_.empty());
+  probe.set_spawnable(true);  // "window advanced"
+  stack_.retry_ooc(root);
+  stack_.pump();
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(to_string(log_[0].payload), "parked");
+}
+
+TEST_F(StackTest, InstanceCountTracksTree) {
+  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 1);
+  EXPECT_EQ(stack_.instance_count(), 0u);
+  {
+    Probe probe(stack_, nullptr, root, &log_, true);
+    const InstanceId deep = root.child({ProtocolType::kBinaryConsensus, 0})
+                                .child({ProtocolType::kReliableBroadcast, 1});
+    stack_.on_packet(1, frame_for(deep, 0, {}));
+    EXPECT_EQ(stack_.instance_count(), 3u);
+  }
+  EXPECT_EQ(stack_.instance_count(), 0u);
+}
+
+TEST_F(StackTest, RejectsBadConfig) {
+  StackConfig bad;
+  bad.n = 3;  // below 3f+1 with f=1
+  bad.self = 0;
+  EXPECT_THROW(ProtocolStack(bad, transport_, keys_, 1), std::invalid_argument);
+  StackConfig bad2;
+  bad2.n = 4;
+  bad2.self = 4;
+  EXPECT_THROW(ProtocolStack(bad2, transport_, keys_, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ritas

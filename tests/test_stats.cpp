@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ritas {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 18.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(Sample, MeanAndStddev) {
+  Sample s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.2909944487, 1e-9);
+}
+
+TEST(Sample, Percentiles) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.percentile(50), 50.0);
+  EXPECT_EQ(s.percentile(90), 90.0);
+  EXPECT_EQ(s.percentile(100), 100.0);
+  EXPECT_EQ(s.percentile(0), 1.0);
+  EXPECT_EQ(s.median(), 50.0);
+}
+
+TEST(Sample, PercentileAfterLateAdd) {
+  Sample s;
+  s.add(10.0);
+  EXPECT_EQ(s.median(), 10.0);
+  s.add(20.0);
+  s.add(0.0);
+  EXPECT_EQ(s.median(), 10.0);  // sorted cache must invalidate
+  EXPECT_EQ(s.max(), 20.0);
+}
+
+TEST(Sample, EmptyPercentileThrows) {
+  Sample s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Sample, MatchesOnlineStats) {
+  Sample sample;
+  OnlineStats online;
+  double x = 0.1;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 1.07 + static_cast<double>(i % 13);
+    sample.add(x);
+    online.add(x);
+  }
+  EXPECT_NEAR(sample.mean(), online.mean(), 1e-6 * std::abs(online.mean()));
+  EXPECT_NEAR(sample.stddev(), online.stddev(), 1e-6 * online.stddev());
+}
+
+}  // namespace
+}  // namespace ritas

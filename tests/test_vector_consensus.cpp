@@ -1,0 +1,148 @@
+// Vector consensus: agreement on a vector with n-f-ish entries, the
+// f+1-correct-entries property, and faultloads.
+#include "core/vector_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::run_vc;
+
+std::vector<Bytes> indexed(std::uint32_t n) {
+  std::vector<Bytes> v;
+  for (std::uint32_t p = 0; p < n; ++p) v.push_back(to_bytes("v" + std::to_string(p)));
+  return v;
+}
+
+TEST(VectorConsensus, AllCorrectDecideSameVector) {
+  Cluster c(fast_lan(4, 1));
+  auto cap = run_vc(c, indexed(4));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+}
+
+TEST(VectorConsensus, VectorEntriesAreProposalsOrBottom) {
+  Cluster c(fast_lan(4, 2));
+  const auto proposals = indexed(4);
+  auto cap = run_vc(c, proposals);
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  const auto& v = *cap.got[0];
+  ASSERT_EQ(v.size(), 4u);
+  std::uint32_t filled = 0;
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (v[p].has_value()) {
+      EXPECT_EQ(*v[p], proposals[p]) << "entry " << p << " is not p's proposal";
+      ++filled;
+    }
+  }
+  // At least n-f entries are present, and at least f+1 from correct
+  // processes (here all processes are correct).
+  EXPECT_GE(filled, 3u);
+}
+
+TEST(VectorConsensus, CrashedProcessEntryMayBeBottomButOthersPresent) {
+  test::ClusterOptions o = fast_lan(4, 3);
+  o.crashed = {2};
+  Cluster c(o);
+  auto cap = run_vc(c, indexed(4));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+  const auto& v = *cap.got[0];
+  EXPECT_FALSE(v[2].has_value());  // the crashed process proposed nothing
+  std::uint32_t correct_entries = 0;
+  for (ProcessId p : c.correct_set()) {
+    if (v[p].has_value()) ++correct_entries;
+  }
+  EXPECT_GE(correct_entries, 2u);  // f+1 with f=1
+}
+
+TEST(VectorConsensus, ByzantineFaultloadStillAgrees) {
+  test::ClusterOptions o = fast_lan(4, 4);
+  o.byzantine = {3};
+  Cluster c(o);
+  auto cap = run_vc(c, indexed(4));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+  const auto& v = *cap.got[0];
+  // f+1 = 2 entries from correct processes.
+  std::uint32_t correct_entries = 0;
+  for (ProcessId p : c.correct_set()) {
+    if (v[p].has_value()) ++correct_entries;
+  }
+  EXPECT_GE(correct_entries, 2u);
+}
+
+TEST(VectorConsensus, JitterManySeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    test::ClusterOptions o = fast_lan(4, 20 + seed);
+    o.lan.jitter_ns = 250'000;
+    Cluster c(o);
+    auto cap = run_vc(c, indexed(4));
+    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
+    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+  }
+}
+
+class VcGroupSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VcGroupSize, AgreesAcrossGroupSizes) {
+  const std::uint32_t n = GetParam();
+  Cluster c(fast_lan(n, 60 + n));
+  auto cap = run_vc(c, indexed(n));
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  EXPECT_TRUE(cap.agree(c.correct_set()));
+  // f+1 correct entries.
+  const auto& v = *cap.got[0];
+  std::uint32_t correct_entries = 0;
+  for (ProcessId p : c.correct_set()) {
+    if (v[p].has_value()) ++correct_entries;
+  }
+  EXPECT_GE(correct_entries, max_faults(n) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, VcGroupSize, ::testing::Values(4u, 7u, 10u));
+
+TEST(VectorConsensus, EncodingRoundTrips) {
+  VectorConsensus::Vector v(4);
+  v[0] = to_bytes("a");
+  v[2] = Bytes{};
+  const Bytes enc = VectorConsensus::encode_vector(v);
+  auto dec = VectorConsensus::decode_vector(enc, 4);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, v);
+  // Wrong n rejected.
+  EXPECT_FALSE(VectorConsensus::decode_vector(enc, 5).has_value());
+  // Truncation rejected.
+  Bytes cut(enc.begin(), enc.end() - 1);
+  EXPECT_FALSE(VectorConsensus::decode_vector(cut, 4).has_value());
+}
+
+TEST(VectorConsensus, RoundsUsedStaysWithinF) {
+  test::ClusterOptions o = fast_lan(7, 9);
+  o.crashed = {5, 6};  // f = 2 for n = 7
+  Cluster c(o);
+  test::Capture<VectorConsensus::Vector> cap(7);
+  std::vector<VectorConsensus*> insts(7, nullptr);
+  const InstanceId id = InstanceId::root(ProtocolType::kVectorConsensus, 1);
+  for (ProcessId p : c.live()) {
+    insts[p] = &c.create_root<VectorConsensus>(p, id, Attribution::kAgreement,
+                                               cap.sink(p));
+  }
+  auto props = indexed(7);
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] { insts[p]->propose(props[p]); });
+  }
+  ASSERT_TRUE(c.run_until([&] { return cap.all_set(c.correct_set()); },
+                          test::kDeadline));
+  for (ProcessId p : c.correct_set()) {
+    EXPECT_LE(insts[p]->rounds_used(), max_faults(7));
+  }
+}
+
+}  // namespace
+}  // namespace ritas
