@@ -13,6 +13,11 @@
 //   multi-valued:       4 INIT RB + 4 VECT EB + BC                = 4*27+4*9+648 = 792
 //   vector consensus:   4 proposal RB + MVC                       = 108+792 = 900
 //   atomic broadcast:   1 AB_MSG RB + 4 AB_VECT RB + MVC          = 27+108+792 = 927
+//
+// Every run executes with tracing enabled; the frame counts are
+// cross-checked against the trace-derived send count, the atomic-broadcast
+// trace is written out as Chrome trace_event JSON (trace_fig2.json, load in
+// chrome://tracing or Perfetto), and BENCH_fig2.json captures the table.
 #include <cstdio>
 
 #include "paper_harness.h"
@@ -25,7 +30,10 @@ using namespace ritas::bench;
 struct Census {
   std::uint64_t frames;
   std::uint64_t wire_bytes;
-  std::uint64_t broadcasts;  // RB/EB instances started
+  std::uint64_t broadcasts;    // RB/EB instances started
+  std::uint64_t trace_events;  // total events across all 4 tracers
+  std::uint64_t trace_sends;   // kSend events (should equal `frames`)
+  std::string chrome_json;     // Chrome trace of the whole run
 };
 
 Census census_of(Proto proto) {
@@ -33,6 +41,7 @@ Census census_of(Proto proto) {
   o.n = 4;
   o.seed = 3;
   o.lan = paper_lan(true);
+  o.trace = true;
   Cluster c(o);
 
   bool done = false;
@@ -126,7 +135,18 @@ Census census_of(Proto proto) {
   out.frames = m.msgs_sent;
   out.wire_bytes = c.network().wire_bytes_total();
   out.broadcasts = m.broadcasts_total();
+  const TraceSummary ts = summarize(c.tracers());
+  out.trace_events = ts.events;
+  out.trace_sends = ts.sends;
+  out.chrome_json = c.chrome_trace_json();
   return out;
+}
+
+bool write_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -139,29 +159,61 @@ int main() {
 
   struct Row {
     Proto proto;
+    const char* key;
     std::uint64_t analytic_frames;
   };
   const Row rows[] = {
-      {Proto::kEB, 9},    {Proto::kRB, 27},  {Proto::kBC, 648},
-      {Proto::kMVC, 792}, {Proto::kVC, 900}, {Proto::kAB, 927},
+      {Proto::kEB, "eb", 9},   {Proto::kRB, "rb", 27},
+      {Proto::kBC, "bc", 648}, {Proto::kMVC, "mvc", 792},
+      {Proto::kVC, "vc", 900}, {Proto::kAB, "ab", 927},
   };
 
-  std::printf("%-24s %10s %10s %12s %12s\n", "protocol", "analytic", "frames",
-              "wire bytes", "broadcasts");
+  BenchReport report("fig2");
+  report.meta("seed", std::uint64_t{3});
+  report.meta("n", 4);
+
+  std::printf("%-24s %10s %10s %12s %12s %12s\n", "protocol", "analytic",
+              "frames", "wire bytes", "broadcasts", "trace evts");
   bool all_match = true;
+  bool trace_sends_match = true;
+  std::string ab_chrome;
   for (const Row& r : rows) {
-    const Census cs = census_of(r.proto);
+    Census cs = census_of(r.proto);
     const bool match = cs.frames == r.analytic_frames;
     all_match = all_match && match;
-    std::printf("%-24s %10llu %10llu %12llu %12llu  %s\n", proto_name(r.proto),
+    trace_sends_match = trace_sends_match && cs.trace_sends == cs.frames;
+    if (r.proto == Proto::kAB) ab_chrome = std::move(cs.chrome_json);
+    std::printf("%-24s %10llu %10llu %12llu %12llu %12llu  %s\n",
+                proto_name(r.proto),
                 static_cast<unsigned long long>(r.analytic_frames),
                 static_cast<unsigned long long>(cs.frames),
                 static_cast<unsigned long long>(cs.wire_bytes),
                 static_cast<unsigned long long>(cs.broadcasts),
+                static_cast<unsigned long long>(cs.trace_events),
                 match ? "" : "<- differs");
+    report.add_row([&](ritas::JsonWriter& w) {
+      w.field("protocol", r.key);
+      w.field("analytic_frames", r.analytic_frames);
+      w.field("frames", cs.frames);
+      w.field("wire_bytes", cs.wire_bytes);
+      w.field("broadcasts", cs.broadcasts);
+      w.field("trace_events", cs.trace_events);
+      w.field("trace_sends", cs.trace_sends);
+    });
   }
   std::printf("\nshape check:\n");
   std::printf("  measured frame counts match the Figure-2 analysis : %s\n",
               all_match ? "PASS" : "FAIL");
-  return all_match ? 0 : 1;
+  std::printf("  trace-derived send counts match stack metrics     : %s\n",
+              trace_sends_match ? "PASS" : "FAIL");
+
+  report.meta("all_match", all_match);
+  report.meta("trace_sends_match", trace_sends_match);
+  const bool wrote = report.write();
+  std::printf("  wrote %s : %s\n", report.path().c_str(),
+              wrote ? "PASS" : "FAIL");
+  const bool wrote_trace = write_file("trace_fig2.json", ab_chrome);
+  std::printf("  wrote trace_fig2.json (atomic broadcast, Chrome trace) : %s\n",
+              wrote_trace ? "PASS" : "FAIL");
+  return all_match && trace_sends_match && wrote && wrote_trace ? 0 : 1;
 }

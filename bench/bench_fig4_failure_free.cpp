@@ -8,6 +8,6 @@ int main() {
   // T_max 721/650/465/81 msgs/s.
   const PaperReference ref{{1386, 1539, 2150, 12340}, {721, 650, 465, 81}};
   return run_burst_figure(
-      "Figure 4: atomic broadcast, failure-free faultload (n=4)",
+      "Figure 4: atomic broadcast, failure-free faultload (n=4)", "fig4",
       Faultload::kFailureFree, ref);
 }

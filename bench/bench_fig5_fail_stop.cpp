@@ -9,12 +9,12 @@ int main() {
   const PaperReference ref{{988, 1164, 1607, 8655}, {858, 621, 834, 115}};
   const int rc = run_burst_figure(
       "Figure 5: atomic broadcast, fail-stop faultload (n=4, one crashed)",
-      Faultload::kFailStop, ref);
+      "fig5", Faultload::kFailStop, ref);
 
   // Extra shape check: the paper found fail-stop *faster* than failure-free
   // (fewer processes -> less contention). Compare one representative point.
-  const auto ff = run_burst_avg(500, 100, Faultload::kFailureFree, 3);
-  const auto fs = run_burst_avg(500, 100, Faultload::kFailStop, 3);
+  const auto ff = run_burst_avg(500, 100, Faultload::kFailureFree, bench_runs(3));
+  const auto fs = run_burst_avg(500, 100, Faultload::kFailStop, bench_runs(3));
   std::printf("  fail-stop faster than failure-free (k=500) : %s (%.1f vs %.1f ms)\n",
               fs.latency_ms < ff.latency_ms ? "PASS" : "FAIL", fs.latency_ms,
               ff.latency_ms);

@@ -11,11 +11,11 @@ int main() {
   const PaperReference ref{{1404, 1576, 2175, 12347}, {711, 634, 460, 81}};
   const int rc = run_burst_figure(
       "Figure 6: atomic broadcast, Byzantine faultload (n=4, one attacker)",
-      Faultload::kByzantine, ref);
+      "fig6", Faultload::kByzantine, ref);
 
   // The paper's headline: performance is basically immune to the attack.
-  const auto ff = run_burst_avg(500, 100, Faultload::kFailureFree, 3);
-  const auto byz = run_burst_avg(500, 100, Faultload::kByzantine, 3);
+  const auto ff = run_burst_avg(500, 100, Faultload::kFailureFree, bench_runs(3));
+  const auto byz = run_burst_avg(500, 100, Faultload::kByzantine, bench_runs(3));
   const double delta = (byz.latency_ms - ff.latency_ms) / ff.latency_ms * 100.0;
   std::printf(
       "  Byzantine within 10%% of failure-free (k=500): %s (%.1f vs %.1f ms, "

@@ -14,16 +14,26 @@ int main() {
 
   const std::vector<std::uint32_t> bursts = {4,  8,   16,  32,  64,
                                              128, 256, 512, 1000};
+  const int kRuns = bench_runs(3);
   std::printf("%-8s %18s %14s %12s\n", "burst", "agreement ratio", "(paper)",
               "AB rounds");
+
+  BenchReport report("fig7");
+  report.meta("runs", kRuns);
+  report.meta("n", 4);
 
   double first_ratio = 0, last_ratio = 0;
   std::uint64_t last_rounds = 0;
   for (std::uint32_t k : bursts) {
-    const BurstResult r = run_burst_avg(k, 10, Faultload::kFailureFree, 3);
+    const BurstResult r = run_burst_avg(k, 10, Faultload::kFailureFree, kRuns);
     const char* paper = k == 4 ? "~92%" : (k == 1000 ? "2.4%" : "");
     std::printf("%-8u %17.1f%% %14s %12llu\n", k, r.agreement_ratio * 100, paper,
                 static_cast<unsigned long long>(r.ab_rounds));
+    report.add_row([&](ritas::JsonWriter& w) {
+      w.field("burst", k);
+      w.field("agreement_ratio", r.agreement_ratio);
+      w.field("ab_rounds", r.ab_rounds);
+    });
     if (k == bursts.front()) first_ratio = r.agreement_ratio;
     if (k == bursts.back()) {
       last_ratio = r.agreement_ratio;
@@ -43,5 +53,11 @@ int main() {
   std::printf("  burst of 1000 needs only a handful of rounds: %s (%llu)\n",
               few_agreements ? "PASS" : "FAIL",
               static_cast<unsigned long long>(last_rounds));
-  return (high_small && low_large && few_agreements) ? 0 : 1;
+
+  report.meta("agreement_dominates_small", high_small);
+  report.meta("agreement_amortized_large", low_large);
+  const bool wrote = report.write();
+  std::printf("  wrote %s : %s\n", report.path().c_str(),
+              wrote ? "PASS" : "FAIL");
+  return (high_small && low_large && few_agreements && wrote) ? 0 : 1;
 }

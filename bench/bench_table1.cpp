@@ -9,6 +9,9 @@
 //   Multi-valued Consensus   16359       11186        46%
 //   Vector Consensus         20673       15382        34%
 //   Atomic Broadcast         23744       18604        27%
+//
+// Besides the printed table this emits BENCH_table1.json with the same
+// numbers for CI tracking (see docs/OBSERVABILITY.md).
 #include <cstdio>
 
 #include "paper_harness.h"
@@ -17,30 +20,37 @@ namespace {
 
 struct Row {
   ritas::bench::Proto proto;
+  const char* key;
   double paper_with;
   double paper_without;
 };
 
 constexpr Row kRows[] = {
-    {ritas::bench::Proto::kEB, 1724, 1497},
-    {ritas::bench::Proto::kRB, 2134, 1641},
-    {ritas::bench::Proto::kBC, 8922, 6816},
-    {ritas::bench::Proto::kMVC, 16359, 11186},
-    {ritas::bench::Proto::kVC, 20673, 15382},
-    {ritas::bench::Proto::kAB, 23744, 18604},
+    {ritas::bench::Proto::kEB, "eb", 1724, 1497},
+    {ritas::bench::Proto::kRB, "rb", 2134, 1641},
+    {ritas::bench::Proto::kBC, "bc", 8922, 6816},
+    {ritas::bench::Proto::kMVC, "mvc", 16359, 11186},
+    {ritas::bench::Proto::kVC, "vc", 20673, 15382},
+    {ritas::bench::Proto::kAB, "ab", 23744, 18604},
 };
 
 }  // namespace
 
 int main() {
   using namespace ritas::bench;
-  constexpr int kIterations = 100;  // the paper's N = 100
+  const int kIterations = bench_runs(100);  // the paper's N = 100
 
   print_header(
       "Table 1: average latency for isolated executions of each protocol\n"
       "(n=4, 10-byte payloads, 100 runs; simulated 100 Mbps LAN; all times us)");
   std::printf("%-24s %11s %11s %11s %11s %9s %9s\n", "protocol", "paper w/",
               "sim w/", "paper w/o", "sim w/o", "paper ovh", "sim ovh");
+
+  BenchReport report("table1");
+  report.meta("seed", std::uint64_t{42});
+  report.meta("iterations", kIterations);
+  report.meta("n", 4);
+  report.meta("payload_bytes", 10);
 
   double prev_sim = 0;
   bool ordering_ok = true;
@@ -52,6 +62,15 @@ int main() {
     std::printf("%-24s %11.0f %11.0f %11.0f %11.0f %8.0f%% %8.0f%%\n",
                 proto_name(row.proto), row.paper_with, with, row.paper_without,
                 without, paper_ovh, sim_ovh);
+    report.add_row([&](ritas::JsonWriter& w) {
+      w.field("protocol", row.key);
+      w.field("paper_with_ipsec_us", row.paper_with);
+      w.field("sim_with_ipsec_us", with);
+      w.field("paper_without_ipsec_us", row.paper_without);
+      w.field("sim_without_ipsec_us", without);
+      w.field("paper_overhead_pct", paper_ovh);
+      w.field("sim_overhead_pct", sim_ovh);
+    });
     if (with < prev_sim) ordering_ok = false;
     prev_sim = with;
   }
@@ -59,5 +78,10 @@ int main() {
   std::printf("\nshape checks:\n");
   std::printf("  stack ordering EB < RB < BC < MVC < VC < AB : %s\n",
               ordering_ok ? "PASS" : "FAIL");
-  return ordering_ok ? 0 : 1;
+
+  report.meta("ordering_ok", ordering_ok);
+  const bool wrote = report.write();
+  std::printf("  wrote %s : %s\n", report.path().c_str(),
+              wrote ? "PASS" : "FAIL");
+  return ordering_ok && wrote ? 0 : 1;
 }

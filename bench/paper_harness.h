@@ -6,9 +6,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "core/atomic_broadcast.h"
 #include "core/binary_consensus.h"
@@ -259,5 +262,62 @@ inline void print_header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Run-count override for CI smoke runs: RITAS_BENCH_RUNS=N caps every
+/// bench's iteration count so the whole suite finishes in seconds.
+inline int bench_runs(int default_runs) {
+  if (const char* env = std::getenv("RITAS_BENCH_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v < default_runs ? v : default_runs;
+  }
+  return default_runs;
+}
+
+/// Machine-readable artifact emitted next to each bench's printed table:
+/// BENCH_<name>.json with top-level metadata plus one JSON object per
+/// table row. The CI bench-smoke job uploads and validates these files.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one top-level metadata field (seed, runs, ...).
+  template <typename T>
+  void meta(std::string_view key, T v) {
+    meta_.field(key, v);
+  }
+
+  /// Adds one row; `fill` writes the row object's fields.
+  void add_row(const std::function<void(JsonWriter&)>& fill) {
+    JsonWriter w;
+    w.begin_object();
+    fill(w);
+    w.end_object();
+    rows_.push_back(w.take());
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the artifact into the current directory; true on success.
+  /// Assembled by hand so the pre-rendered meta/row fragments splice
+  /// verbatim (bench names are identifier-safe, no escaping needed).
+  bool write() const {
+    std::string out = "{\"bench\":\"" + name_ + "\",\"meta\":{" + meta_.str() +
+                      "},\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) out += ",";
+      out += rows_[i];
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::string name_;
+  JsonWriter meta_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace ritas::bench

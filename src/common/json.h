@@ -1,0 +1,53 @@
+// Minimal streaming JSON writer for bench/trace artifacts.
+//
+// Just enough for the machine-readable outputs this repo emits
+// (BENCH_*.json summaries, trace exports): objects, arrays, strings,
+// integers, doubles, booleans, with automatic comma placement. Doubles are
+// rendered with "%.6g" via snprintf so output is locale-independent and
+// stable across runs — the CI bench-smoke job diffs these files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ritas {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":` — must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  void escaped(std::string_view s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace ritas

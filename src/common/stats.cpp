@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,6 +69,45 @@ double Sample::percentile(double p) const {
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
   return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+void Histogram::add(std::uint64_t v) {
+  ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+  ++count_;
+  total_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t i) {
+  return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+std::uint64_t Histogram::percentile_bound(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i, clamped to the actual observed max.
+      const std::uint64_t bound = i == 0 ? 0 : i >= 64 ? ~0ull : (1ull << i) - 1;
+      return std::min(bound, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_ += other.total_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return *this;
 }
 
 }  // namespace ritas

@@ -3,10 +3,13 @@
 // `OnlineStats` keeps running mean/variance (Welford); `Sample` stores the
 // raw observations for percentile queries — the paper reports averages of
 // 100 isolated runs (Table 1) and of 10 burst runs (Figures 4-6), so both
-// forms are needed.
+// forms are needed. `Histogram` is the cheap always-on form carried inside
+// `Metrics`: power-of-two buckets, O(1) add, mergeable across processes.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ritas {
@@ -49,6 +52,41 @@ class Sample {
   std::vector<double> xs_;
   mutable std::vector<double> sorted_;
   mutable bool dirty_ = false;
+};
+
+/// Power-of-two bucketed histogram of unsigned values (latencies in ns,
+/// round counts, ...). Bucket i holds values whose bit width is i, i.e.
+/// bucket 0 = {0}, bucket i = [2^(i-1), 2^i). Adding is branch-free and
+/// allocation-free, so `Metrics` can carry these unconditionally; merging
+/// with += matches the cluster-wide `Metrics::operator+=` aggregation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total() const { return total_; }
+  double mean() const { return count_ ? static_cast<double>(total_) / static_cast<double>(count_) : 0.0; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t i);
+
+  /// Upper bound of the bucket containing the p-th percentile observation
+  /// (nearest-rank over the bucketed distribution), p in [0,100].
+  std::uint64_t percentile_bound(double p) const;
+
+  Histogram& operator+=(const Histogram& other);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace ritas

@@ -1,0 +1,305 @@
+#include "common/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/serialize.h"
+
+namespace ritas {
+
+std::string TracePath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (i) out.push_back('/');
+    out += trace_proto_name(type[i]);
+    out.push_back('#');
+    out += std::to_string(seq[i]);
+  }
+  return out.empty() ? "<stack>" : out;
+}
+
+const char* trace_proto_name(std::uint8_t type_code) {
+  switch (type_code) {
+    case 1: return "rb";
+    case 2: return "eb";
+    case 3: return "bc";
+    case 4: return "mvc";
+    case 5: return "vc";
+    case 6: return "ab";
+  }
+  return "?";
+}
+
+const char* trace_phase_name(TracePhase ph) {
+  switch (ph) {
+    case TracePhase::kRbInit: return "rb.init";
+    case TracePhase::kRbEcho: return "rb.echo";
+    case TracePhase::kRbReady: return "rb.ready";
+    case TracePhase::kRbDeliver: return "rb.deliver";
+    case TracePhase::kEbInit: return "eb.init";
+    case TracePhase::kEbVect: return "eb.vect";
+    case TracePhase::kEbMat: return "eb.mat";
+    case TracePhase::kEbDeliver: return "eb.deliver";
+    case TracePhase::kBcPropose: return "bc.propose";
+    case TracePhase::kBcRound: return "bc.round";
+    case TracePhase::kBcStep: return "bc.step";
+    case TracePhase::kBcCoin: return "bc.coin";
+    case TracePhase::kBcDecide: return "bc.decide";
+    case TracePhase::kMvcPropose: return "mvc.propose";
+    case TracePhase::kMvcVect: return "mvc.vect";
+    case TracePhase::kMvcBcPropose: return "mvc.bc_propose";
+    case TracePhase::kMvcDecide: return "mvc.decide";
+    case TracePhase::kVcPropose: return "vc.propose";
+    case TracePhase::kVcRound: return "vc.round";
+    case TracePhase::kVcDecide: return "vc.decide";
+    case TracePhase::kAbBcast: return "ab.bcast";
+    case TracePhase::kAbRound: return "ab.round";
+    case TracePhase::kAbDeliver: return "ab.deliver";
+    case TracePhase::kSebInit: return "seb.init";
+    case TracePhase::kSebEcho: return "seb.echo";
+    case TracePhase::kSebCommit: return "seb.commit";
+    case TracePhase::kSebDeliver: return "seb.deliver";
+  }
+  return "phase?";
+}
+
+const char* trace_drop_name(TraceDrop d) {
+  switch (d) {
+    case TraceDrop::kMalformed: return "drop.malformed";
+    case TraceDrop::kUnroutable: return "drop.unroutable";
+    case TraceDrop::kInvalid: return "drop.invalid";
+  }
+  return "drop?";
+}
+
+Bytes Tracer::encode() const {
+  Writer w(32 + events_.size() * 32);
+  w.u32(0x43525452u);  // "RTRC"
+  w.u16(1);            // version
+  w.u32(pid_);
+  w.u64(events_.size());
+  for (const TraceEvent& e : events_) {
+    w.u64(e.ts_ns);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u8(e.code);
+    w.u8(e.sub);
+    w.u32(e.peer);
+    w.u64(e.arg);
+    w.u8(e.path.depth);
+    for (std::size_t i = 0; i < e.path.depth; ++i) {
+      w.u8(e.path.type[i]);
+      w.u64(e.path.seq[i]);
+    }
+  }
+  return std::move(w).take();
+}
+
+namespace {
+
+void append_ts_us(std::string& out, std::uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ts_ns / 1000,
+                static_cast<unsigned>(ts_ns % 1000));
+  out += buf;
+}
+
+/// Emits the shared fields of one trace_event record (caller opens/closes
+/// the braces around it). All strings we emit are controlled ASCII, so no
+/// JSON escaping is needed.
+void append_common(std::string& out, const char* name, const char* ph,
+                   std::uint32_t pid, std::uint64_t tid, std::uint64_t ts_ns) {
+  out += "\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts_us(out, ts_ns);
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+  out += ",\"args\":{\"path\":\"";
+  out += e.path.to_string();
+  out += "\",\"arg\":";
+  out += std::to_string(e.arg);
+  out += ",\"code\":";
+  out += std::to_string(e.code);
+  if (e.sub != 0) {
+    out += ",\"sub\":";
+    out += std::to_string(e.sub);
+  }
+  if (e.peer != 0xffffffffu) {
+    out += ",\"peer\":";
+    out += std::to_string(e.peer);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<const Tracer*>& tracers) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{";
+  };
+
+  for (const Tracer* t : tracers) {
+    if (t == nullptr) continue;
+    const std::uint32_t pid = t->pid();
+
+    sep();
+    append_common(out, "process_name", "M", pid, 0, 0);
+    out += ",\"args\":{\"name\":\"ritas p" + std::to_string(pid) + "\"}}";
+
+    // Rows: tid 0 is the stack itself (sends/receives/drops with no or
+    // foreign paths); each root instance gets its own row, named after it.
+    std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> tids;
+    auto tid_of = [&](const TracePath& p) -> std::uint64_t {
+      if (p.depth == 0) return 0;
+      const auto key = std::make_pair(p.type[0], p.seq[0]);
+      auto it = tids.find(key);
+      if (it != tids.end()) return it->second;
+      const std::uint64_t tid = tids.size() + 1;
+      tids.emplace(key, tid);
+      sep();
+      append_common(out, "thread_name", "M", pid, tid, 0);
+      std::string label = trace_proto_name(p.type[0]);
+      label += "#" + std::to_string(p.seq[0]);
+      out += ",\"args\":{\"name\":\"" + label + "\"}}";
+      return tid;
+    };
+
+    // Spawn timestamps per live path, so kComplete can close an "X" slice.
+    std::map<std::string, std::uint64_t> spawn_ts;
+
+    for (const TraceEvent& e : t->events()) {
+      const std::uint64_t tid = tid_of(e.path);
+      switch (e.kind) {
+        case TraceEventKind::kInstanceSpawn:
+          spawn_ts[e.path.to_string()] = e.ts_ns;
+          break;
+        case TraceEventKind::kInstanceDestroy:
+          spawn_ts.erase(e.path.to_string());
+          break;
+        case TraceEventKind::kComplete: {
+          const std::string key = e.path.to_string();
+          auto it = spawn_ts.find(key);
+          if (it != spawn_ts.end()) {
+            std::string label = trace_proto_name(e.path.leaf_type());
+            label += "#" + std::to_string(
+                               e.path.depth ? e.path.seq[e.path.depth - 1] : 0);
+            sep();
+            append_common(out, label.c_str(), "X", pid, tid, it->second);
+            out += ",\"dur\":";
+            append_ts_us(out, e.ts_ns - it->second);
+            append_args(out, e);
+            out += "}";
+            spawn_ts.erase(it);
+          }
+          break;
+        }
+        case TraceEventKind::kPhase: {
+          sep();
+          append_common(out, trace_phase_name(static_cast<TracePhase>(e.code)),
+                        "i", pid, tid, e.ts_ns);
+          out += ",\"s\":\"t\"";
+          append_args(out, e);
+          out += "}";
+          break;
+        }
+        case TraceEventKind::kDrop: {
+          sep();
+          append_common(out, trace_drop_name(static_cast<TraceDrop>(e.code)),
+                        "i", pid, tid, e.ts_ns);
+          out += ",\"s\":\"t\"";
+          append_args(out, e);
+          out += "}";
+          break;
+        }
+        case TraceEventKind::kSend:
+        case TraceEventKind::kRecv:
+        case TraceEventKind::kOocStore:
+        case TraceEventKind::kOocDrain:
+        case TraceEventKind::kOocEvict:
+        case TraceEventKind::kWire: {
+          const char* name = "?";
+          switch (e.kind) {
+            case TraceEventKind::kSend: name = "send"; break;
+            case TraceEventKind::kRecv: name = "recv"; break;
+            case TraceEventKind::kOocStore: name = "ooc.store"; break;
+            case TraceEventKind::kOocDrain: name = "ooc.drain"; break;
+            case TraceEventKind::kOocEvict: name = "ooc.evict"; break;
+            default: name = "wire"; break;
+          }
+          sep();
+          append_common(out, name, "i", pid, tid, e.ts_ns);
+          out += ",\"s\":\"t\"";
+          append_args(out, e);
+          out += "}";
+          break;
+        }
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+TraceSummary summarize(const Tracer& tracer) {
+  return summarize(std::vector<const Tracer*>{&tracer});
+}
+
+TraceSummary summarize(const std::vector<const Tracer*>& tracers) {
+  TraceSummary s;
+  for (const Tracer* t : tracers) {
+    if (t == nullptr) continue;
+    s.events += t->size();
+    for (const TraceEvent& e : t->events()) {
+      const std::uint8_t leaf = e.path.leaf_type() % kTraceProtoSlots;
+      switch (e.kind) {
+        case TraceEventKind::kInstanceSpawn:
+          ++s.spawns[leaf];
+          break;
+        case TraceEventKind::kComplete:
+          ++s.completes[leaf];
+          s.latency_total_ns[leaf] += e.arg;
+          break;
+        case TraceEventKind::kSend:
+          ++s.sends;
+          s.bytes_sent += e.arg;
+          break;
+        case TraceEventKind::kRecv:
+          ++s.recvs;
+          break;
+        case TraceEventKind::kDrop:
+          ++s.drops;
+          break;
+        case TraceEventKind::kPhase:
+          switch (static_cast<TracePhase>(e.code)) {
+            case TracePhase::kRbInit:
+              (e.arg == 0 ? s.rb_started_payload : s.rb_started_agreement)++;
+              break;
+            case TracePhase::kEbInit:
+              (e.arg == 0 ? s.eb_started_payload : s.eb_started_agreement)++;
+              break;
+            default:
+              break;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace ritas

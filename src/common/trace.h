@@ -1,0 +1,214 @@
+// Structured per-instance event tracing for the protocol stack.
+//
+// The paper's whole evaluation (§4, Table 1, Figures 4-7) is built on
+// counting and timing protocol events; this is the machinery that records
+// them. A `Tracer` is a per-process append-only event log: instance
+// spawn/destroy, phase transitions (INIT/ECHO/READY, VECT/MAT, consensus
+// round/step/coin, ...), message send/receive with byte sizes, and
+// defensive drops — every event tagged with the instance path it belongs
+// to and a timestamp supplied by the *caller* (the stack takes timestamps
+// from its Transport, so src/core never reads a clock and simulated runs
+// stay deterministic: same seed => bit-identical trace bytes).
+//
+// This header is layering-clean: it knows nothing about src/core. The
+// instance path is mirrored as `TracePath` (protocol-type code + sequence
+// pairs); core converts InstanceId -> TracePath at the recording site.
+//
+// Exporters: `encode()` produces a compact deterministic binary form (the
+// determinism tests compare these bytes), `chrome_trace_json()` renders
+// one or more tracers as a Chrome trace_event JSON document loadable in
+// chrome://tracing or https://ui.perfetto.dev, and `summarize()` derives
+// the per-protocol counts/latency breakdowns the benches and tests check
+// against `Metrics`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+/// Mirror of core's InstanceId without the dependency: a bounded path of
+/// (protocol-type code, sequence) components. Type codes match
+/// ritas::ProtocolType (1 = rb .. 6 = ab); 0 is "no protocol".
+struct TracePath {
+  static constexpr std::size_t kMaxDepth = 6;
+
+  std::array<std::uint8_t, kMaxDepth> type{};
+  std::array<std::uint64_t, kMaxDepth> seq{};
+  std::uint8_t depth = 0;
+
+  std::uint8_t leaf_type() const { return depth ? type[depth - 1] : 0; }
+  std::uint8_t root_type() const { return depth ? type[0] : 0; }
+
+  /// "rb#1/bc#3" — same rendering as InstanceId::to_string().
+  std::string to_string() const;
+
+  friend bool operator==(const TracePath&, const TracePath&) = default;
+};
+
+/// Highest protocol-type code + 1; sizes per-protocol breakdown arrays.
+constexpr std::size_t kTraceProtoSlots = 7;
+
+/// Short name for a protocol-type code ("rb", "eb", ..., "?").
+const char* trace_proto_name(std::uint8_t type_code);
+
+enum class TraceEventKind : std::uint8_t {
+  kInstanceSpawn = 1,   // control block registered
+  kInstanceDestroy = 2, // control block unregistered
+  kPhase = 3,           // protocol phase transition; code = TracePhase
+  kSend = 4,            // wire frame out; code = msg tag, peer = to, arg = bytes
+  kRecv = 5,            // wire frame in; code = msg tag, peer = from, arg = bytes
+  kDrop = 6,            // defensive drop; code = TraceDrop
+  kComplete = 7,        // terminal deliver/decide; arg = spawn->now latency ns
+  kOocStore = 8,        // parked in the out-of-context table; peer = sender
+  kOocDrain = 9,        // re-dispatched from the out-of-context table
+  kOocEvict = 10,       // evicted by the per-sender quota; peer = sender
+  kWire = 11,           // sim transport: frame submitted; peer = to, arg = wire bytes
+};
+
+/// Phase transitions, one namespace across all six protocols (plus the
+/// signed-echo baseline). The `arg`/`code` conventions per phase are
+/// documented in docs/OBSERVABILITY.md.
+enum class TracePhase : std::uint8_t {
+  // Reliable broadcast (Bracha): INIT -> ECHO -> READY -> deliver.
+  kRbInit = 1,    // origin started the broadcast; arg = Attribution
+  kRbEcho = 2,    // this process broadcast its ECHO
+  kRbReady = 3,   // this process broadcast its READY
+  kRbDeliver = 4, // 2f+1 READYs: delivered
+
+  // Echo broadcast (hash matrix): INIT -> VECT -> MAT -> deliver.
+  kEbInit = 10,    // origin started the broadcast; arg = Attribution
+  kEbVect = 11,    // this process sent its hash vector to the origin
+  kEbMat = 12,     // origin distributed the matrix columns
+  kEbDeliver = 13, // f+1 column cells verified: delivered
+
+  // Binary consensus: 3-step rounds with a coin.
+  kBcPropose = 20, // activated; sub = proposed bit
+  kBcRound = 21,   // entered a new round; arg = round
+  kBcStep = 22,    // broadcast a step value; arg = round, sub = step*8 | value
+  kBcCoin = 23,    // tossed the coin; arg = round, sub = outcome
+  kBcDecide = 24,  // decided; arg = round, sub = decision
+
+  // Multi-valued consensus: INIT -> VECT -> BC -> decide.
+  kMvcPropose = 30,   // activated
+  kMvcVect = 31,      // sent VECT; sub = 1 if it carries a value, 0 for ⊥
+  kMvcBcPropose = 32, // proposed to the inner binary consensus; sub = bit
+  kMvcDecide = 33,    // decided; sub = 1 value, 0 default ⊥
+
+  // Vector consensus: rounds of MVC over proposal snapshots.
+  kVcPropose = 40, // activated
+  kVcRound = 41,   // started an MVC round; arg = round
+  kVcDecide = 42,  // decided a vector
+
+  // Atomic broadcast: dissemination + agreement rounds.
+  kAbBcast = 50,   // application message submitted; arg = rbid
+  kAbRound = 51,   // agreement round started; arg = round
+  kAbDeliver = 52, // message delivered in total order; arg = rbid, sub = origin
+
+  // Signed echo broadcast (RSA baseline): INIT -> ECHO -> COMMIT -> deliver.
+  kSebInit = 60,    // arg = Attribution
+  kSebEcho = 61,    // echo signature sent to the origin
+  kSebCommit = 62,  // origin distributed the signature certificate
+  kSebDeliver = 63, // certificate verified: delivered
+};
+
+const char* trace_phase_name(TracePhase ph);
+
+enum class TraceDrop : std::uint8_t {
+  kMalformed = 1,  // undecodable frame
+  kUnroutable = 2, // spawn refused with tombstone
+  kInvalid = 3,    // protocol-level validation failure
+};
+
+const char* trace_drop_name(TraceDrop d);
+
+/// One recorded event. Fixed-size POD so a run's trace is cheap to hold
+/// and deterministic to serialize.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  TraceEventKind kind{};
+  std::uint8_t code = 0;        // phase / drop kind / message tag
+  std::uint32_t peer = 0xffffffffu; // counterpart process for send/recv/ooc
+  std::uint64_t arg = 0;        // bytes, round, rbid, latency, ...
+  TracePath path;
+  std::uint8_t sub = 0;         // phase-specific detail (see TracePhase docs)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Per-process event log. Recording is append-only and allocation-amortized;
+/// when disabled (or simply not attached to a stack) no events are stored
+/// and the stack's fast paths only pay one pointer test.
+class Tracer {
+ public:
+  explicit Tracer(std::uint32_t pid = 0) : pid_(pid) {}
+
+  std::uint32_t pid() const { return pid_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(const TraceEvent& e) {
+    if (enabled_) events_.push_back(e);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Compact deterministic binary serialization (magic "RTRC", version 1).
+  /// Two runs with the same seed produce byte-identical encodings.
+  Bytes encode() const;
+
+ private:
+  std::uint32_t pid_;
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+/// Renders the tracers (one per process) as a Chrome trace_event JSON
+/// document: {"traceEvents": [...]}. Instance lifetimes with a terminal
+/// kComplete event become duration ("X") slices; everything else becomes
+/// instant ("i") events. Rows (tids) group events by root instance.
+std::string chrome_trace_json(const std::vector<const Tracer*>& tracers);
+
+/// Counts and latency breakdowns derived purely from a trace; tests check
+/// these against the stack's Metrics counters (Figure 7 attribution, §4.3
+/// round accounting).
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t drops = 0;
+
+  // Indexed by protocol-type code (1..6; slot 0 unused).
+  std::array<std::uint64_t, kTraceProtoSlots> spawns{};
+  std::array<std::uint64_t, kTraceProtoSlots> completes{};
+  std::array<std::uint64_t, kTraceProtoSlots> latency_total_ns{};
+
+  // Broadcast starts by attribution, from the kRbInit/kEbInit phase args
+  // (0 = payload, 1 = agreement) — the Figure-7 numerator/denominator.
+  std::uint64_t rb_started_payload = 0;
+  std::uint64_t rb_started_agreement = 0;
+  std::uint64_t eb_started_payload = 0;
+  std::uint64_t eb_started_agreement = 0;
+
+  std::uint64_t broadcasts_total() const {
+    return rb_started_payload + rb_started_agreement + eb_started_payload +
+           eb_started_agreement;
+  }
+  std::uint64_t broadcasts_agreement() const {
+    return rb_started_agreement + eb_started_agreement;
+  }
+};
+
+TraceSummary summarize(const Tracer& tracer);
+/// Aggregates over several processes' tracers.
+TraceSummary summarize(const std::vector<const Tracer*>& tracers);
+
+}  // namespace ritas

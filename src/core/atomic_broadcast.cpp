@@ -132,12 +132,13 @@ AtomicBroadcast::VectState& AtomicBroadcast::vect_state(std::uint32_t round) {
 
 std::uint64_t AtomicBroadcast::bcast(Bytes payload) {
   const std::uint64_t rbid = next_rbid_++;
+  trace(TracePhase::kAbBcast, rbid);
   ensure_msg_rb(stack_.self(), rbid).bcast(std::move(payload));
   return rbid;
 }
 
 void AtomicBroadcast::on_message(ProcessId, std::uint8_t, ByteView) {
-  ++stack_.metrics().invalid_dropped;  // traffic flows through children only
+  drop_invalid();  // traffic flows through children only
 }
 
 bool AtomicBroadcast::enqueued_contains(const MsgId& id) const {
@@ -180,6 +181,7 @@ void AtomicBroadcast::try_start_round() {
   in_round_ = true;
   proposed_mvc_ = false;
   ++stack_.metrics().ab_rounds;
+  trace(TracePhase::kAbRound, round_);
 
   // Eagerly create this round's agreement instances so peer traffic routes
   // without out-of-context detours.
@@ -196,7 +198,7 @@ void AtomicBroadcast::on_vect_deliver(std::uint32_t round, ProcessId origin,
   if (round < round_) return;  // stale round; we already decided it
   auto ids = decode_ids(payload);
   if (!ids) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   VectState& vs = vect_state(round);
@@ -273,6 +275,8 @@ void AtomicBroadcast::flush_deliveries() {
     gc_candidates_.push_back(id);
     ++delivered_count_;
     ++stack_.metrics().ab_delivered;
+    trace(TracePhase::kAbDeliver, id.rbid,
+          static_cast<std::uint8_t>(id.origin & 0xff));
     if (deliver_) deliver_(id.origin, id.rbid, std::move(payload));
   }
 }

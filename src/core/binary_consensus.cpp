@@ -80,6 +80,8 @@ void BinaryConsensus::propose(bool v) {
   value_ = v ? 1 : 0;
   round_ = 1;
   step_ = 1;
+  trace(TracePhase::kBcPropose, 0, value_);
+  trace(TracePhase::kBcRound, 1);
   ensure_round_children(1);
   broadcast_step(1, 1, value_);
   // Messages may have been tallied before activation; try to make progress.
@@ -93,6 +95,8 @@ void BinaryConsensus::broadcast_step(std::uint32_t r, int step,
     v = adv->bc_step_value(r, step, value);
   }
   if (!v) return;  // adversary chose to stay silent
+  trace(TracePhase::kBcStep, r,
+        static_cast<std::uint8_t>(step * 8 | std::min<int>(*v, 7)));
   ensure_round_children(r);
   const Component c{ProtocolType::kReliableBroadcast,
                     child_seq(r, step, stack_.self(), stack_.n())};
@@ -104,7 +108,7 @@ void BinaryConsensus::broadcast_step(std::uint32_t r, int step,
 void BinaryConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
   // All BC traffic flows through reliable broadcast children; a direct
   // message addressed to the BC instance is Byzantine noise.
-  ++stack_.metrics().invalid_dropped;
+  drop_invalid();
 }
 
 Protocol* BinaryConsensus::spawn_child(const Component& c, bool& drop) {
@@ -129,13 +133,13 @@ Protocol* BinaryConsensus::spawn_child(const Component& c, bool& drop) {
 void BinaryConsensus::on_rb_deliver(std::uint32_t r, int step, ProcessId origin,
                                     ByteView payload) {
   if (payload.size() != 1) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   const std::uint8_t v = payload[0];
   const bool ok_range = (step == 3) ? v <= kBot : v <= 1;
   if (!ok_range) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   StepState& ss = round_state(r).steps[step - 1];
@@ -278,6 +282,7 @@ void BinaryConsensus::try_advance() {
       } else {
         value_ = toss_coin(round_) ? 1 : 0;
         ++stack_.metrics().bc_coin_flips;
+        trace(TracePhase::kBcCoin, round_, value_);
       }
       if (decided_ && round_ >= halt_after_round_) {
         halted_ = true;
@@ -285,6 +290,7 @@ void BinaryConsensus::try_advance() {
       }
       ++round_;
       step_ = 1;
+      trace(TracePhase::kBcRound, round_);
       ensure_round_children(round_);
       // Round advanced: messages parked beyond the spawn window may now be
       // routable.
@@ -318,6 +324,9 @@ void BinaryConsensus::decide(bool w, std::uint32_t r) {
   halt_after_round_ = r + 1;
   ++stack_.metrics().bc_decided;
   stack_.metrics().bc_rounds_total += r;
+  stack_.metrics().bc_round_hist.add(r);
+  trace(TracePhase::kBcDecide, r, w ? 1 : 0);
+  complete();
   if (decide_) decide_(w);
 }
 

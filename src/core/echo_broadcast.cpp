@@ -32,6 +32,7 @@ void EchoBroadcast::bcast(Bytes payload) {
   }
   sent_init_ = true;
   stack_.metrics().count_broadcast_start(ProtocolType::kEchoBroadcast, attr_);
+  trace(TracePhase::kEbInit, static_cast<std::uint64_t>(attr_));
   broadcast(kInit, std::move(payload));
 }
 
@@ -55,13 +56,13 @@ void EchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
       on_mat(from, payload);
       return;
     default:
-      ++stack_.metrics().invalid_dropped;
+      drop_invalid();
   }
 }
 
 void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
   if (from != origin_ || seen_init_) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   seen_init_ = true;
@@ -74,6 +75,7 @@ void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
     const auto d = cell(msg_, j);
     vect.insert(vect.end(), d.begin(), d.end());
   }
+  trace(TracePhase::kEbVect);
   send(origin_, kVect, std::move(vect));
 
   if (!pending_column_.empty()) {
@@ -83,14 +85,14 @@ void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
 
 void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
   if (stack_.self() != origin_) {
-    ++stack_.metrics().invalid_dropped;  // VECT addressed to a non-origin
+    drop_invalid();  // VECT addressed to a non-origin
     return;
   }
   if (rows_[from].has_value() || sent_mat_) {
     return;  // duplicate or post-quorum straggler: normal, not suspicious
   }
   if (payload.size() != stack_.n() * kHash) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   rows_[from] = Bytes(payload.begin(), payload.end());
@@ -99,6 +101,7 @@ void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
   // Gathered n-f rows: emit column j of the matrix to each p_j. Missing
   // rows are all-zero cells, which can never verify.
   sent_mat_ = true;
+  trace(TracePhase::kEbMat);
   Adversary* adv = stack_.adversary();
   const bool corrupt = adv != nullptr && adv->eb_corrupt_matrix();
   for (ProcessId j = 0; j < stack_.n(); ++j) {
@@ -119,11 +122,11 @@ void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
 
 void EchoBroadcast::on_mat(ProcessId from, ByteView payload) {
   if (from != origin_ || seen_mat_) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   if (payload.size() != stack_.n() * kHash) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   seen_mat_ = true;
@@ -145,9 +148,11 @@ void EchoBroadcast::verify_and_deliver() {
   }
   if (good >= stack_.quorums().eb_deliver_threshold()) {
     delivered_ = true;
+    trace(TracePhase::kEbDeliver);
+    complete();
     if (deliver_) deliver_(msg_);
   } else {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
   }
 }
 

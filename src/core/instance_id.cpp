@@ -94,6 +94,16 @@ std::string InstanceId::to_string() const {
   return out.empty() ? "<root>" : out;
 }
 
+TracePath InstanceId::trace_path() const {
+  TracePath p;
+  p.depth = depth_;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    p.type[i] = static_cast<std::uint8_t>(comps_[i].type);
+    p.seq[i] = comps_[i].seq;
+  }
+  return p;
+}
+
 std::uint64_t InstanceId::hash() const {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ depth_;
   for (std::size_t i = 0; i < depth_; ++i) {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/serialize.h"
+#include "common/trace.h"
 
 namespace ritas {
 
@@ -75,6 +76,9 @@ class InstanceId {
 
   std::string to_string() const;
   std::uint64_t hash() const;
+
+  /// Layering-clean mirror for the tracer (common cannot see core).
+  TracePath trace_path() const;
 
   friend bool operator==(const InstanceId& a, const InstanceId& b);
   friend std::strong_ordering operator<=>(const InstanceId& a, const InstanceId& b);

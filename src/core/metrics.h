@@ -6,8 +6,11 @@
 // across processes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
+#include "common/stats.h"
+#include "common/trace.h"
 #include "core/instance_id.h"
 #include "core/types.h"
 
@@ -49,6 +52,15 @@ struct Metrics {
   std::uint64_t ab_rounds = 0;
   std::uint64_t ab_delivered = 0;
 
+  // Per-protocol spawn->terminal latency, indexed by ProtocolType code
+  // (1..6; slot 0 unused). Timestamps come from Transport::now_ns(), so in
+  // the sim these are virtual nanoseconds and on clock-less test loopbacks
+  // every observation is 0 — the counts still track completions.
+  std::array<Histogram, kTraceProtoSlots> proto_latency_ns{};
+  // Rounds needed per decided binary consensus (paper §4.3 reports the
+  // distribution is concentrated at 1).
+  Histogram bc_round_hist;
+
   void count_broadcast_start(ProtocolType type, Attribution attr) {
     if (type == ProtocolType::kReliableBroadcast) {
       (attr == Attribution::kPayload ? rb_started_payload : rb_started_agreement)++;
@@ -86,6 +98,10 @@ struct Metrics {
     mvc_decided_default += o.mvc_decided_default;
     ab_rounds += o.ab_rounds;
     ab_delivered += o.ab_delivered;
+    for (std::size_t i = 0; i < proto_latency_ns.size(); ++i) {
+      proto_latency_ns[i] += o.proto_latency_ns[i];
+    }
+    bc_round_hist += o.bc_round_hist;
     return *this;
   }
 };

@@ -39,6 +39,7 @@ MultiValuedConsensus::MultiValuedConsensus(ProtocolStack& stack,
 void MultiValuedConsensus::propose(Bytes v) {
   if (active_) throw std::logic_error("MultiValuedConsensus::propose: already active");
   active_ = true;
+  trace(TracePhase::kMvcPropose);
 
   std::optional<Bytes> value = std::move(v);
   if (Adversary* adv = stack_.adversary()) {
@@ -59,7 +60,7 @@ void MultiValuedConsensus::propose(Bytes v) {
 }
 
 void MultiValuedConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
-  ++stack_.metrics().invalid_dropped;  // traffic flows through children only
+  drop_invalid();  // traffic flows through children only
 }
 
 void MultiValuedConsensus::on_init_deliver(ProcessId origin, Bytes payload) {
@@ -69,7 +70,7 @@ void MultiValuedConsensus::on_init_deliver(ProcessId origin, Bytes payload) {
   std::optional<Bytes> value;
   if (has_value) value = r.raw(r.remaining());
   if (!r.ok()) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   init_[origin] = std::move(value);
@@ -111,7 +112,7 @@ void MultiValuedConsensus::on_vect_deliver(ProcessId origin, Bytes payload) {
   if (vects_[origin].has_value()) return;  // EB delivers once; defensive
   Vect v;
   if (!decode_vect(payload, v)) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   vects_[origin] = std::move(v);
@@ -186,6 +187,7 @@ void MultiValuedConsensus::maybe_send_vect() {
     }
   }
   const Bytes body = encode_vect(w, justification);
+  trace(TracePhase::kMvcVect, 0, w ? 1 : 0);
   if (stack_.config().mvc_vect_via_rb) {
     auto* rb = static_cast<ReliableBroadcast*>(
         find_child(vect_rb_component(stack_.self())));
@@ -223,7 +225,9 @@ void MultiValuedConsensus::maybe_propose_bc() {
     }
     if (count >= q.n_minus_2f()) have_value = true;
   }
-  bc_->propose(!conflict && have_value);
+  const bool proposal = !conflict && have_value;
+  trace(TracePhase::kMvcBcPropose, 0, proposal ? 1 : 0);
+  bc_->propose(proposal);
 }
 
 void MultiValuedConsensus::on_bc_decide(bool b) {
@@ -259,6 +263,8 @@ void MultiValuedConsensus::decide(std::optional<Bytes> v) {
   if (decided_) return;
   decided_ = true;
   decision_ = std::move(v);
+  trace(TracePhase::kMvcDecide, 0, decision_ ? 1 : 0);
+  complete();
   if (decide_) decide_(decision_);
 }
 

@@ -10,6 +10,7 @@ namespace ritas {
 Protocol::Protocol(ProtocolStack& stack, Protocol* parent, InstanceId id)
     : stack_(stack), parent_(parent), id_(std::move(id)) {
   assert(!id_.empty());
+  spawn_ns_ = stack_.now_ns();
   stack_.register_instance(this);
 }
 
@@ -59,5 +60,13 @@ void Protocol::broadcast(std::uint8_t tag, Bytes payload) const {
   m.payload = std::move(payload);
   stack_.broadcast_message(m);
 }
+
+void Protocol::trace(TracePhase ph, std::uint64_t arg, std::uint8_t sub) const {
+  stack_.trace_phase(id_, ph, arg, sub);
+}
+
+void Protocol::drop_invalid() const { stack_.note_invalid(id_); }
+
+void Protocol::complete() const { stack_.note_complete(id_, spawn_ns_); }
 
 }  // namespace ritas

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "common/bytes.h"
+#include "common/trace.h"
 #include "core/instance_id.h"
 #include "core/types.h"
 
@@ -51,6 +52,10 @@ class Protocol {
   Protocol* find_child(const Component& c) const;
   std::size_t child_count() const { return children_.size(); }
 
+  /// Transport timestamp at construction; with note_complete() this yields
+  /// the instance's spawn->terminal latency.
+  std::uint64_t spawn_ns() const { return spawn_ns_; }
+
  protected:
   /// Takes ownership; the child must have been constructed with
   /// id() == this->id().child(c).
@@ -64,11 +69,21 @@ class Protocol {
   /// Sends to every process in the group, self included (local loopback).
   void broadcast(std::uint8_t tag, Bytes payload) const;
 
+  /// Records a phase-transition trace event for this instance.
+  void trace(TracePhase ph, std::uint64_t arg = 0, std::uint8_t sub = 0) const;
+  /// Counts + traces a protocol-level validation drop (replaces direct
+  /// `++stack_.metrics().invalid_dropped`).
+  void drop_invalid() const;
+  /// Marks the instance's terminal event (deliver/decide): bills the
+  /// per-protocol latency histogram and emits a kComplete trace event.
+  void complete() const;
+
   ProtocolStack& stack_;
 
  private:
   Protocol* const parent_;
   const InstanceId id_;
+  std::uint64_t spawn_ns_ = 0;
   std::map<Component, std::unique_ptr<Protocol>> children_;
 };
 

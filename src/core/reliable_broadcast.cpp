@@ -27,6 +27,7 @@ void ReliableBroadcast::bcast(Bytes payload) {
   }
   sent_init_ = true;
   stack_.metrics().count_broadcast_start(ProtocolType::kReliableBroadcast, attr_);
+  trace(TracePhase::kRbInit, static_cast<std::uint64_t>(attr_));
 
   Adversary* adv = stack_.adversary();
   std::optional<Bytes> equivocation =
@@ -54,26 +55,27 @@ void ReliableBroadcast::on_message(ProcessId from, std::uint8_t tag,
       on_ready(from, payload);
       return;
     default:
-      ++stack_.metrics().invalid_dropped;
+      drop_invalid();
   }
 }
 
 void ReliableBroadcast::on_init(ProcessId from, ByteView payload) {
   // Only the origin may INIT, and only its first INIT counts.
   if (from != origin_ || seen_init_) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   seen_init_ = true;
   if (!sent_echo_) {
     sent_echo_ = true;
+    trace(TracePhase::kRbEcho);
     broadcast(kEcho, Bytes(payload.begin(), payload.end()));
   }
 }
 
 void ReliableBroadcast::on_echo(ProcessId from, ByteView payload) {
   if (echoed_[from]) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   echoed_[from] = true;
@@ -84,7 +86,7 @@ void ReliableBroadcast::on_echo(ProcessId from, ByteView payload) {
 
 void ReliableBroadcast::on_ready(ProcessId from, ByteView payload) {
   if (readied_[from]) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   readied_[from] = true;
@@ -108,6 +110,7 @@ void ReliableBroadcast::maybe_send_ready(Tally& t) {
   if (sent_ready_) return;
   if (t.echoes >= q.rb_echo_threshold() || t.readies >= q.rb_ready_relay()) {
     sent_ready_ = true;
+    trace(TracePhase::kRbReady);
     broadcast(kReady, t.payload);
   }
 }
@@ -116,6 +119,8 @@ void ReliableBroadcast::maybe_deliver(Tally& t) {
   if (delivered_) return;
   if (t.readies >= stack_.quorums().rb_deliver_threshold()) {
     delivered_ = true;
+    trace(TracePhase::kRbDeliver);
+    complete();
     if (deliver_) deliver_(t.payload);
   }
 }

@@ -40,6 +40,7 @@ void SignedEchoBroadcast::bcast(Bytes payload) {
   }
   sent_init_ = true;
   stack_.metrics().count_broadcast_start(ProtocolType::kEchoBroadcast, attr_);
+  trace(TracePhase::kSebInit, static_cast<std::uint64_t>(attr_));
 
   stack_.charge_cpu(costs_.sign_ns);
   const Bytes sig = rsa_sign(dir_->self, payload);
@@ -62,49 +63,51 @@ void SignedEchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
       on_commit(from, payload);
       return;
     default:
-      ++stack_.metrics().invalid_dropped;
+      drop_invalid();
   }
 }
 
 void SignedEchoBroadcast::on_init(ProcessId from, ByteView payload) {
   if (from != origin_ || seen_init_) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   Reader r(payload);
   const Bytes m = r.bytes();
   const Bytes sig = r.bytes();
   if (!r.done()) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   stack_.charge_cpu(costs_.verify_ns);
   if (!rsa_verify(dir_->pubs[origin_], m, sig)) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   seen_init_ = true;
   msg_ = m;
   stack_.charge_cpu(costs_.sign_ns);
+  trace(TracePhase::kSebEcho);
   send(origin_, kEcho, rsa_sign(dir_->self, echo_statement(m)));
 }
 
 void SignedEchoBroadcast::on_echo(ProcessId from, ByteView payload) {
   if (stack_.self() != origin_ || sent_commit_ || echo_sigs_[from].has_value()) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   if (!seen_init_) return;  // our own INIT has not looped back yet
   stack_.charge_cpu(costs_.verify_ns);
   if (!rsa_verify(dir_->pubs[from], echo_statement(msg_),
                   ByteView(payload.data(), payload.size()))) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   echo_sigs_[from] = Bytes(payload.begin(), payload.end());
   if (++echo_count_ < stack_.quorums().rb_echo_threshold()) return;
 
   sent_commit_ = true;
+  trace(TracePhase::kSebCommit);
   Writer w;
   w.bytes(msg_);
   w.u32(echo_count_);
@@ -119,14 +122,14 @@ void SignedEchoBroadcast::on_echo(ProcessId from, ByteView payload) {
 
 void SignedEchoBroadcast::on_commit(ProcessId from, ByteView payload) {
   if (from != origin_ || seen_commit_) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   Reader r(payload);
   const Bytes m = r.bytes();
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > stack_.n()) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   const Bytes statement = echo_statement(m);
@@ -141,12 +144,14 @@ void SignedEchoBroadcast::on_commit(ProcessId from, ByteView payload) {
     if (rsa_verify(dir_->pubs[i], statement, sig)) ++valid;
   }
   if (!r.done() || valid < stack_.quorums().rb_echo_threshold()) {
-    ++stack_.metrics().invalid_dropped;
+    drop_invalid();
     return;
   }
   seen_commit_ = true;
   if (!delivered_) {
     delivered_ = true;
+    trace(TracePhase::kSebDeliver);
+    complete();
     if (deliver_) deliver_(m);
   }
 }

@@ -28,19 +28,42 @@ ProtocolStack::~ProtocolStack() = default;
 void ProtocolStack::on_packet(ProcessId from, ByteView frame) {
   if (from >= cfg_.n || from == cfg_.self) {
     ++metrics_.malformed_dropped;
+    trace_drop(TraceDrop::kMalformed, from, {});
     return;
   }
   auto msg = Message::decode(frame);
   if (!msg) {
     ++metrics_.malformed_dropped;
+    trace_drop(TraceDrop::kMalformed, from, {});
     return;
   }
   ++metrics_.msgs_received;
+  if (tracer_ != nullptr) {
+    tracer_->record({now_ns(), TraceEventKind::kRecv, msg->tag, from,
+                     frame.size(), msg->path.trace_path()});
+  }
   dispatch(from, std::move(*msg));
   pump();
 }
 
 void ProtocolStack::charge_cpu(std::uint64_t ns) { transport_.charge_cpu(ns); }
+
+void ProtocolStack::note_complete(const InstanceId& id, std::uint64_t spawn_ns) {
+  const std::uint64_t now = now_ns();
+  const std::uint64_t latency = now >= spawn_ns ? now - spawn_ns : 0;
+  metrics_.proto_latency_ns[static_cast<std::size_t>(id.leaf().type) %
+                            kTraceProtoSlots]
+      .add(latency);
+  if (tracer_ != nullptr) {
+    tracer_->record({now, TraceEventKind::kComplete, 0, 0xffffffffu, latency,
+                     id.trace_path()});
+  }
+}
+
+void ProtocolStack::note_invalid(const InstanceId& id) {
+  ++metrics_.invalid_dropped;
+  trace_drop(TraceDrop::kInvalid, 0xffffffffu, id.trace_path());
+}
 
 void ProtocolStack::send_message(ProcessId to, const Message& m) {
   if (to >= cfg_.n) throw std::invalid_argument("send_message: bad destination");
@@ -52,6 +75,10 @@ void ProtocolStack::send_message(ProcessId to, const Message& m) {
   Bytes frame = m.encode();
   ++metrics_.msgs_sent;
   metrics_.bytes_sent += frame.size();
+  if (tracer_ != nullptr) {
+    tracer_->record({now_ns(), TraceEventKind::kSend, m.tag, to, frame.size(),
+                     m.path.trace_path()});
+  }
   transport_.send(to, std::move(frame));
 }
 
@@ -67,6 +94,10 @@ void ProtocolStack::register_instance(Protocol* p) {
   if (!inserted) {
     throw std::logic_error("duplicate protocol instance: " + p->id().to_string());
   }
+  if (tracer_ != nullptr) {
+    tracer_->record({now_ns(), TraceEventKind::kInstanceSpawn, 0, 0xffffffffu,
+                     0, p->id().trace_path()});
+  }
   // Drain parked messages for this instance AND for paths below it — the
   // new instance may spawn the children on demand during redispatch.
   if (ooc_total_ > 0) {
@@ -79,6 +110,10 @@ void ProtocolStack::register_instance(Protocol* p) {
 
 void ProtocolStack::unregister_instance(Protocol* p) {
   registry_.erase(p->id());
+  if (tracer_ != nullptr) {
+    tracer_->record({now_ns(), TraceEventKind::kInstanceDestroy, 0,
+                     0xffffffffu, 0, p->id().trace_path()});
+  }
   // Paper §3.4: purge out-of-context messages for destroyed instances so
   // they are not kept indefinitely.
   ooc_purge_prefix(p->id());
@@ -120,6 +155,10 @@ void ProtocolStack::pump() {
         --ooc_count_[e.from];
         --ooc_total_;
         ++metrics_.ooc_drained;
+        if (tracer_ != nullptr) {
+          tracer_->record({now_ns(), TraceEventKind::kOocDrain, 0, e.from, 0,
+                           e.msg.path.trace_path()});
+        }
         dispatch(e.from, std::move(e.msg));
       }
       continue;
@@ -140,6 +179,7 @@ void ProtocolStack::dispatch(ProcessId from, Message m) {
   }
   if (drop) {
     ++metrics_.unroutable_dropped;
+    trace_drop(TraceDrop::kUnroutable, from, m.path.trace_path());
     return;
   }
   if (from == cfg_.self) {
@@ -147,6 +187,7 @@ void ProtocolStack::dispatch(ProcessId from, Message m) {
     // a correct process (we never send before creating); drop loudly.
     LOG_WARN("self message to unknown instance %s", m.path.to_string().c_str());
     ++metrics_.unroutable_dropped;
+    trace_drop(TraceDrop::kUnroutable, from, m.path.trace_path());
     return;
   }
   ooc_store(from, std::move(m));
@@ -195,11 +236,19 @@ void ProtocolStack::ooc_store(ProcessId from, Message m) {
     --ooc_count_[from];
     --ooc_total_;
     ++metrics_.ooc_evicted;
+    if (tracer_ != nullptr) {
+      tracer_->record({now_ns(), TraceEventKind::kOocEvict, 0, from, 0,
+                       path.trace_path()});
+    }
     LOG_WARN("ooc quota: evicted message from p%u", from);
   }
   if (ooc_count_[from] >= cfg_.ooc_per_sender) return;  // quota 0 corner
 
   const std::uint64_t seq = ++ooc_seq_;
+  if (tracer_ != nullptr) {
+    tracer_->record({now_ns(), TraceEventKind::kOocStore, 0, from, 0,
+                     m.path.trace_path()});
+  }
   fifo.emplace_back(seq, m.path);
   ooc_[m.path].push_back(OocEntry{from, std::move(m), seq});
   ++ooc_count_[from];

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/adversary.h"
 #include "crypto/keychain.h"
 #include "core/message.h"
@@ -98,6 +99,35 @@ class ProtocolStack {
   /// Transport::charge_cpu).
   void charge_cpu(std::uint64_t ns);
 
+  // --- observability -----------------------------------------------------
+  /// Attaches a per-process event tracer (nullptr detaches). Not owned;
+  /// must outlive the stack or be detached first. With no tracer attached
+  /// every trace site is a single pointer test.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  /// Timestamp source for traces and latency histograms: virtual time in
+  /// the sim, monotonic clock on the TCP transport, constant 0 on
+  /// clock-less test loopbacks. Only differences are meaningful.
+  std::uint64_t now_ns() const { return transport_.now_ns(); }
+
+  /// Records a protocol phase transition (no-op without a tracer). `sub`
+  /// carries the phase-specific detail byte documented on TracePhase.
+  void trace_phase(const InstanceId& id, TracePhase ph, std::uint64_t arg = 0,
+                   std::uint8_t sub = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->record(
+          {now_ns(), TraceEventKind::kPhase, static_cast<std::uint8_t>(ph),
+           0xffffffffu, arg, id.trace_path(), sub});
+    }
+  }
+  /// Terminal deliver/decide: bills the per-protocol latency histogram and
+  /// records a kComplete event carrying the spawn->now latency.
+  void note_complete(const InstanceId& id, std::uint64_t spawn_ns);
+  /// Protocol-level validation failure: counts the drop and traces it.
+  void note_invalid(const InstanceId& id);
+
   /// Outbound path used by protocols. `to == self` loops back locally
   /// without touching the transport.
   void send_message(ProcessId to, const Message& m);
@@ -131,6 +161,13 @@ class ProtocolStack {
     std::uint64_t seq;
   };
 
+  void trace_drop(TraceDrop d, std::uint32_t peer, TracePath path) {
+    if (tracer_ != nullptr) {
+      tracer_->record({now_ns(), TraceEventKind::kDrop,
+                       static_cast<std::uint8_t>(d), peer, 0, path});
+    }
+  }
+
   void dispatch(ProcessId from, Message m);
   /// Finds or spawns the instance for `path`. nullptr with drop=false means
   /// "out of context"; drop=true means discard.
@@ -145,6 +182,7 @@ class ProtocolStack {
   Rng rng_;
   Metrics metrics_;
   Adversary* adversary_;
+  Tracer* tracer_ = nullptr;
 
   std::unordered_map<InstanceId, Protocol*, InstanceIdHash> registry_;
 

@@ -27,6 +27,13 @@ class Transport {
   /// baseline's RSA, notably) delay subsequent sends and receives the way
   /// they would on the paper's 500 MHz testbed.
   virtual void charge_cpu(std::uint64_t ns) { (void)ns; }
+
+  /// Current time in nanoseconds for trace timestamps and latency
+  /// histograms. The sim reports virtual time (keeping traces
+  /// deterministic), real transports report a monotonic clock, and the
+  /// default keeps clock-less test loopbacks working — core code must only
+  /// ever *difference* these values, never interpret them as wall time.
+  virtual std::uint64_t now_ns() const { return 0; }
 };
 
 }  // namespace ritas

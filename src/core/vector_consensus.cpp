@@ -47,6 +47,7 @@ std::optional<VectorConsensus::Vector> VectorConsensus::decode_vector(
 void VectorConsensus::propose(Bytes v) {
   if (active_) throw std::logic_error("VectorConsensus::propose: already active");
   active_ = true;
+  trace(TracePhase::kVcPropose);
   auto* rb = static_cast<ReliableBroadcast*>(
       find_child(proposal_component(stack_.self())));
   assert(rb != nullptr);
@@ -55,7 +56,7 @@ void VectorConsensus::propose(Bytes v) {
 }
 
 void VectorConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
-  ++stack_.metrics().invalid_dropped;
+  drop_invalid();
 }
 
 void VectorConsensus::on_proposal_deliver(ProcessId origin, Bytes payload) {
@@ -87,6 +88,7 @@ void VectorConsensus::try_start_round() {
   // Snapshot the proposals received so far as this round's W vector.
   Vector w(proposals_.begin(), proposals_.end());
   mvc_running_ = true;
+  trace(TracePhase::kVcRound, round_);
   MultiValuedConsensus& mvc = ensure_mvc(round_);
   mvc.propose(encode_vector(w));
 }
@@ -100,6 +102,8 @@ void VectorConsensus::on_mvc_decide(std::uint32_t round,
     if (vec) {
       decided_ = true;
       decision_ = std::move(*vec);
+      trace(TracePhase::kVcDecide, round);
+      complete();
       if (decide_) decide_(decision_);
       return;
     }

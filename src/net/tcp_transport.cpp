@@ -206,6 +206,13 @@ bool TcpTransport::write_all(int fd, ByteView data) {
   return true;
 }
 
+std::uint64_t TcpTransport::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void TcpTransport::send(ProcessId to, Bytes frame) {
   if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
   Conn& c = conns_[to];

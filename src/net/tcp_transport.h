@@ -93,6 +93,10 @@ class TcpTransport final : public Transport {
 
   void send(ProcessId to, Bytes frame) override;
 
+  /// Monotonic wall clock for trace timestamps (real transports are
+  /// outside the deterministic core, so reading a clock here is fine).
+  std::uint64_t now_ns() const override;
+
   const Stats& stats() const { return stats_; }
 
  private:

@@ -38,6 +38,15 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
         cfg, net_->transport(p), keys_[p], proc_seed, adversaries_[p].get()));
   }
 
+  if (opts_.trace) {
+    tracers_.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      tracers_.push_back(std::make_unique<Tracer>(p));
+      stacks_[p]->set_tracer(tracers_[p].get());
+      net_->set_tracer(p, tracers_[p].get());
+    }
+  }
+
   net_->set_deliver([this](ProcessId from, ProcessId to, Bytes frame) {
     stacks_[to]->on_packet(from, frame);
   });
@@ -72,6 +81,23 @@ std::vector<ProcessId> Cluster::correct_set() const {
 
 bool Cluster::run_until(const std::function<bool()>& done, Time deadline) {
   return sched_.run_until(done, deadline);
+}
+
+std::vector<const Tracer*> Cluster::tracers() const {
+  std::vector<const Tracer*> out;
+  out.reserve(tracers_.size());
+  for (const auto& t : tracers_) out.push_back(t.get());
+  return out;
+}
+
+Bytes Cluster::trace_bytes() const {
+  Bytes out;
+  for (const auto& t : tracers_) append(out, t->encode());
+  return out;
+}
+
+std::string Cluster::chrome_trace_json() const {
+  return ritas::chrome_trace_json(tracers());
 }
 
 Metrics Cluster::total_metrics() const {

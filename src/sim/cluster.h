@@ -34,6 +34,9 @@ struct ClusterOptions {
   std::vector<ProcessId> byzantine;
   std::function<std::unique_ptr<Adversary>()> adversary_factory =
       [] { return std::make_unique<PaperByzantineAdversary>(); };
+  /// Attach a Tracer to every stack (and the network's wire events).
+  /// Timestamps are virtual time, so same seed => bit-identical traces.
+  bool trace = false;
 };
 
 class Cluster {
@@ -84,6 +87,17 @@ class Cluster {
   /// Sum of per-process metrics over non-crashed processes.
   Metrics total_metrics() const;
 
+  // --- tracing (opts.trace) ----------------------------------------------
+  /// Process p's tracer, or nullptr when tracing is off.
+  Tracer* tracer(ProcessId p) { return p < tracers_.size() ? tracers_[p].get() : nullptr; }
+  /// All per-process tracers (empty when tracing is off).
+  std::vector<const Tracer*> tracers() const;
+  /// Deterministic binary form of the whole cluster's trace, processes
+  /// concatenated in pid order — what the determinism tests compare.
+  Bytes trace_bytes() const;
+  /// Chrome trace_event JSON over all processes.
+  std::string chrome_trace_json() const;
+
  private:
   ClusterOptions opts_;
   Scheduler sched_;
@@ -91,6 +105,7 @@ class Cluster {
   std::vector<KeyChain> keys_;
   std::vector<std::unique_ptr<Adversary>> adversaries_;
   std::vector<std::unique_ptr<ProtocolStack>> stacks_;
+  std::vector<std::unique_ptr<Tracer>> tracers_;
   std::vector<std::vector<std::unique_ptr<Protocol>>> roots_;
 };
 

@@ -57,6 +57,9 @@ void SimNetwork::submit(ProcessId from, ProcessId to, Bytes frame) {
 
   ++frames_delivered_;
   wire_bytes_total_ += wire;
+  if (!tracers_.empty() && tracers_[from] != nullptr) {
+    tracers_[from]->record({now, TraceEventKind::kWire, 0, to, wire, {}});
+  }
 
   sched_.at(done, [this, from, to, f = std::move(frame)]() mutable {
     if (crashed_[to]) return;

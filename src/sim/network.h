@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/transport.h"
 #include "sim/lan_model.h"
 #include "sim/scheduler.h"
@@ -48,6 +49,13 @@ class SimNetwork {
   /// Per-host Transport facade bound to this network.
   Transport& transport(ProcessId p) { return *transports_[p]; }
 
+  /// Attaches per-host tracers (nullptr entries allowed): submit() records
+  /// a kWire event on the sender's tracer with the modeled wire size.
+  void set_tracer(ProcessId p, Tracer* t) {
+    if (tracers_.empty()) tracers_.resize(crashed_.size(), nullptr);
+    tracers_[p] = t;
+  }
+
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t wire_bytes_total() const { return wire_bytes_total_; }
 
@@ -61,6 +69,8 @@ class SimNetwork {
       net_.submit(self_, to, std::move(frame));
     }
     void charge_cpu(std::uint64_t ns) override { net_.charge(self_, ns); }
+    /// Virtual time: deterministic, so traces are seed-reproducible.
+    std::uint64_t now_ns() const override { return net_.sched_.now(); }
 
    private:
     SimNetwork& net_;
@@ -81,6 +91,7 @@ class SimNetwork {
   std::vector<Time> ingress_free_;
   std::vector<bool> crashed_;
   std::vector<std::unique_ptr<HostTransport>> transports_;
+  std::vector<Tracer*> tracers_;
 
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t wire_bytes_total_ = 0;

@@ -96,6 +96,41 @@ TEST(Determinism, AtomicBroadcastBurstReplays) {
   EXPECT_NE(run(11).second, run(12).second);
 }
 
+TEST(Determinism, TraceBytesAreBitIdentical) {
+  // The observability layer inherits the determinism guarantee: a traced
+  // run serializes to the exact same bytes every time for a given seed.
+  auto traced = [](std::uint64_t seed) {
+    test::ClusterOptions o = fast_lan(4, seed);
+    o.lan.jitter_ns = 500'000;
+    o.trace = true;
+    Cluster c(o);
+    test::run_binary_consensus(c, {true, false, true, false});
+    c.run_all();
+    return c.trace_bytes();
+  };
+  const Bytes a = traced(21);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, traced(21));
+  EXPECT_NE(a, traced(22));
+}
+
+TEST(Determinism, TracingDoesNotPerturbExecution) {
+  // Attaching tracers must not change the schedule, the traffic or the
+  // decisions — it is a pure observer.
+  auto fingerprint = [](bool trace) {
+    test::ClusterOptions o = fast_lan(4, 13);
+    o.lan.jitter_ns = 500'000;
+    o.trace = trace;
+    Cluster c(o);
+    auto cap = test::run_binary_consensus(c, {true, false, false, true});
+    c.run_all();
+    const Metrics m = c.total_metrics();
+    return std::tuple(m.msgs_sent, m.bytes_sent, m.bc_coin_flips,
+                      m.bc_rounds_total, c.now(), cap.got[0]);
+  };
+  EXPECT_EQ(fingerprint(false), fingerprint(true));
+}
+
 TEST(Determinism, ClusterMetricsAreStableAcrossRuns) {
   auto metrics_of = [](std::uint64_t seed) {
     test::ClusterOptions o = fast_lan(4, seed);

@@ -101,6 +101,50 @@ TEST(Metrics, RoundAccountingMatchesDecisions) {
   EXPECT_EQ(m.bc_coin_flips, 0u);
 }
 
+TEST(Metrics, TraceDerivedAttributionMatchesCounters) {
+  // Figure 7's numbers can be computed two ways: from the stack's counters
+  // or by folding the trace. They must agree exactly.
+  test::ClusterOptions o = fast_lan(4, 8);
+  o.trace = true;
+  Cluster c(o);
+  auto cap = test::run_vc(
+      c, {to_bytes("a"), to_bytes("b"), to_bytes("c"), to_bytes("d")});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  c.run_all();
+  const Metrics m = c.total_metrics();
+  const TraceSummary s = summarize(c.tracers());
+  EXPECT_EQ(s.rb_started_payload, m.rb_started_payload);
+  EXPECT_EQ(s.rb_started_agreement, m.rb_started_agreement);
+  EXPECT_EQ(s.eb_started_payload, m.eb_started_payload);
+  EXPECT_EQ(s.eb_started_agreement, m.eb_started_agreement);
+  EXPECT_EQ(s.broadcasts_total(), m.broadcasts_total());
+  EXPECT_EQ(s.broadcasts_agreement(), m.broadcasts_agreement());
+  EXPECT_EQ(s.sends, m.msgs_sent);
+  EXPECT_EQ(s.bytes_sent, m.bytes_sent);
+}
+
+TEST(Metrics, LatencyHistogramsCountCompletions) {
+  test::ClusterOptions o = fast_lan(4, 10);
+  Cluster c(o);
+  auto cap = test::run_mvc(
+      c, {to_bytes("v"), to_bytes("v"), to_bytes("v"), to_bytes("v")});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  c.run_all();
+  const Metrics m = c.total_metrics();
+  // Every decided consensus recorded one latency observation; the inner BC
+  // round histogram saw one entry per decision.
+  const auto& bc_lat =
+      m.proto_latency_ns[static_cast<std::size_t>(ProtocolType::kBinaryConsensus)];
+  const auto& mvc_lat = m.proto_latency_ns[static_cast<std::size_t>(
+      ProtocolType::kMultiValuedConsensus)];
+  EXPECT_EQ(bc_lat.count(), m.bc_decided);
+  EXPECT_EQ(mvc_lat.count(), 4u);
+  EXPECT_GT(mvc_lat.mean(), 0.0);
+  EXPECT_EQ(m.bc_round_hist.count(), m.bc_decided);
+  // Latencies are virtual-time and nonzero (the LAN model delays frames).
+  EXPECT_GT(bc_lat.min(), 0u);
+}
+
 TEST(Metrics, DefensiveDropCountersStartAtZero) {
   Cluster c(fast_lan(4, 5));
   const Metrics m = c.total_metrics();

@@ -86,5 +86,56 @@ TEST(Sample, MatchesOnlineStats) {
   EXPECT_NEAR(sample.stddev(), online.stddev(), 1e-6 * online.stddev());
 }
 
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, PowerOfTwoBucketing) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1000ull}) h.add(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.total(), 1010u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.buckets()[0], 1u);  // {0}
+  EXPECT_EQ(h.buckets()[1], 1u);  // {1}
+  EXPECT_EQ(h.buckets()[2], 2u);  // {2,3}
+  EXPECT_EQ(h.buckets()[3], 1u);  // {4..7}
+  EXPECT_EQ(h.buckets()[10], 1u); // {512..1023}
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(10), 512u);
+}
+
+TEST(Histogram, PercentileBounds) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);    // bucket 4 (8..15)
+  for (int i = 0; i < 10; ++i) h.add(5000);  // bucket 13 (4096..8191)
+  EXPECT_EQ(h.percentile_bound(50), 15u);
+  // The tail bound is clamped to the observed max.
+  EXPECT_EQ(h.percentile_bound(100), 5000u);
+  Histogram empty;
+  EXPECT_EQ(empty.percentile_bound(99), 0u);
+}
+
+TEST(Histogram, MergePreservesMoments) {
+  Histogram a, b;
+  a.add(3);
+  a.add(100);
+  b.add(7);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total(), 110u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_EQ(a.buckets()[2] + a.buckets()[3], 2u);  // 3 and 7
+}
+
 }  // namespace
 }  // namespace ritas

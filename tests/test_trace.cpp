@@ -1,0 +1,260 @@
+// The observability layer: TracePath rendering, event recording, the
+// deterministic binary encoding, the Chrome trace_event exporter and the
+// trace-derived summary — both on hand-built tracers and against full
+// simulated cluster runs (same seed => bit-identical trace bytes).
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+
+namespace ritas {
+namespace {
+
+using test::Cluster;
+using test::fast_lan;
+using test::kDeadline;
+
+TracePath path_of(std::initializer_list<std::pair<std::uint8_t, std::uint64_t>> comps) {
+  TracePath p;
+  for (const auto& [t, s] : comps) {
+    p.type[p.depth] = t;
+    p.seq[p.depth] = s;
+    ++p.depth;
+  }
+  return p;
+}
+
+TEST(TracePath, ToStringMatchesInstanceIdRendering) {
+  EXPECT_EQ(path_of({}).to_string(), "<stack>");
+  EXPECT_EQ(path_of({{1, 7}}).to_string(), "rb#7");
+  EXPECT_EQ(path_of({{6, 1}, {4, 0}, {3, 2}}).to_string(), "ab#1/mvc#0/bc#2");
+  // And it agrees with core's InstanceId for the same path.
+  const InstanceId id =
+      InstanceId::root(ProtocolType::kAtomicBroadcast, 1)
+          .child(Component{ProtocolType::kMultiValuedConsensus, 0});
+  EXPECT_EQ(id.trace_path().to_string(), id.to_string());
+}
+
+TEST(TracePath, LeafAndRootTypes) {
+  const TracePath p = path_of({{6, 1}, {3, 2}});
+  EXPECT_EQ(p.root_type(), 6);
+  EXPECT_EQ(p.leaf_type(), 3);
+  EXPECT_EQ(path_of({}).leaf_type(), 0);
+}
+
+TEST(Tracer, RecordsWhenEnabledOnly) {
+  Tracer t(2);
+  EXPECT_EQ(t.pid(), 2u);
+  t.record({10, TraceEventKind::kSend, 1, 3, 100, path_of({{1, 1}})});
+  EXPECT_EQ(t.size(), 1u);
+  t.set_enabled(false);
+  t.record({20, TraceEventKind::kSend, 1, 3, 100, path_of({{1, 1}})});
+  EXPECT_EQ(t.size(), 1u);
+  t.set_enabled(true);
+  t.record({30, TraceEventKind::kRecv, 1, 3, 100, path_of({{1, 1}})});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[1].ts_ns, 30u);
+}
+
+TEST(Tracer, EncodeIsDeterministicAndVersioned) {
+  auto build = [] {
+    Tracer t(1);
+    t.record({5, TraceEventKind::kInstanceSpawn, 0, 0xffffffffu, 0,
+              path_of({{3, 9}})});
+    TraceEvent step{7, TraceEventKind::kPhase,
+                    static_cast<std::uint8_t>(TracePhase::kBcStep), 0xffffffffu,
+                    1, path_of({{3, 9}})};
+    step.sub = 0x0a;
+    t.record(step);
+    return t.encode();
+  };
+  const Bytes a = build();
+  const Bytes b = build();
+  EXPECT_EQ(a, b);
+  ASSERT_GE(a.size(), 4u);
+  // Little-endian magic "RTRC" = 0x43525452.
+  EXPECT_EQ(a[0], 0x52);  // 'R'
+  EXPECT_EQ(a[1], 0x54);  // 'T'
+}
+
+TEST(Tracer, EncodeCoversTheSubByte) {
+  auto with_sub = [](std::uint8_t sub) {
+    Tracer t(1);
+    TraceEvent e{7, TraceEventKind::kPhase,
+                 static_cast<std::uint8_t>(TracePhase::kBcStep), 0xffffffffu, 1,
+                 TracePath{}};
+    e.sub = sub;
+    t.record(e);
+    return t.encode();
+  };
+  EXPECT_NE(with_sub(0x0a), with_sub(0x0b));
+}
+
+TEST(Tracer, EncodeDiffersWhenEventsDiffer) {
+  Tracer t1(1), t2(1);
+  t1.record({5, TraceEventKind::kSend, 1, 2, 10, path_of({{1, 1}})});
+  t2.record({5, TraceEventKind::kSend, 1, 2, 11, path_of({{1, 1}})});
+  EXPECT_NE(t1.encode(), t2.encode());
+}
+
+TEST(TraceNames, AreStable) {
+  EXPECT_STREQ(trace_proto_name(1), "rb");
+  EXPECT_STREQ(trace_proto_name(6), "ab");
+  EXPECT_STREQ(trace_proto_name(0), "?");
+  EXPECT_STREQ(trace_drop_name(TraceDrop::kMalformed), "drop.malformed");
+  EXPECT_STREQ(trace_phase_name(TracePhase::kRbInit), "rb.init");
+}
+
+TEST(Summarize, CountsByKindAndAttribution) {
+  Tracer t(0);
+  const TracePath rb = path_of({{1, 1}});
+  t.record({1, TraceEventKind::kInstanceSpawn, 0, 0xffffffffu, 0, rb});
+  // kRbInit arg = Attribution (0 payload, 1 agreement).
+  t.record({2, TraceEventKind::kPhase,
+            static_cast<std::uint8_t>(TracePhase::kRbInit), 0xffffffffu, 0, rb});
+  t.record({3, TraceEventKind::kSend, 1, 2, 40, rb});
+  t.record({4, TraceEventKind::kRecv, 1, 3, 40, rb});
+  t.record({5, TraceEventKind::kDrop,
+            static_cast<std::uint8_t>(TraceDrop::kInvalid), 3, 0, rb});
+  t.record({9, TraceEventKind::kComplete, 0, 0xffffffffu, 8, rb});
+  const TraceSummary s = summarize(t);
+  EXPECT_EQ(s.events, 6u);
+  EXPECT_EQ(s.sends, 1u);
+  EXPECT_EQ(s.recvs, 1u);
+  EXPECT_EQ(s.bytes_sent, 40u);
+  EXPECT_EQ(s.drops, 1u);
+  EXPECT_EQ(s.spawns[1], 1u);
+  EXPECT_EQ(s.completes[1], 1u);
+  EXPECT_EQ(s.latency_total_ns[1], 8u);
+  EXPECT_EQ(s.rb_started_payload, 1u);
+  EXPECT_EQ(s.broadcasts_total(), 1u);
+  EXPECT_EQ(s.broadcasts_agreement(), 0u);
+}
+
+TEST(ChromeExport, EmitsValidSkeleton) {
+  Tracer t(0);
+  const TracePath rb = path_of({{1, 1}});
+  t.record({1000, TraceEventKind::kInstanceSpawn, 0, 0xffffffffu, 0, rb});
+  t.record({2000, TraceEventKind::kSend, 1, 2, 40, rb});
+  t.record({5000, TraceEventKind::kComplete, 0, 0xffffffffu, 4000, rb});
+  const std::string json = chrome_trace_json({&t});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // spawn->complete slice
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // send instant
+  EXPECT_NE(json.find("rb#1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- full-cluster integration ---------------------------------------------
+
+Bytes traced_run_bytes(std::uint64_t seed) {
+  test::ClusterOptions o = fast_lan(4, seed);
+  o.lan.jitter_ns = 400'000;
+  o.trace = true;
+  Cluster c(o);
+  auto cap = test::run_binary_consensus(c, {true, false, true, false});
+  c.run_all();
+  return c.trace_bytes();
+}
+
+TEST(TraceCluster, SameSeedBitIdenticalTrace) {
+  for (std::uint64_t seed : {1ULL, 42ULL}) {
+    EXPECT_EQ(traced_run_bytes(seed), traced_run_bytes(seed)) << "seed " << seed;
+  }
+}
+
+TEST(TraceCluster, DifferentSeedsDiverge) {
+  EXPECT_NE(traced_run_bytes(1), traced_run_bytes(2));
+}
+
+TEST(TraceCluster, DisabledTracingHasZeroEventsAndSameBehavior) {
+  auto fingerprint = [](bool trace) {
+    test::ClusterOptions o = fast_lan(4, 77);
+    o.trace = trace;
+    Cluster c(o);
+    auto cap = test::run_mvc(
+        c, {to_bytes("m"), to_bytes("m"), to_bytes("m"), to_bytes("m")});
+    c.run_all();
+    const Metrics m = c.total_metrics();
+    if (!trace) {
+      EXPECT_EQ(c.tracer(0), nullptr);
+      EXPECT_TRUE(c.trace_bytes().empty());
+    }
+    return std::tuple(m.msgs_sent, m.bytes_sent, m.broadcasts_total(), c.now());
+  };
+  // Tracing must be a pure observer: identical execution either way.
+  EXPECT_EQ(fingerprint(false), fingerprint(true));
+}
+
+TEST(TraceCluster, SummaryMatchesStackMetrics) {
+  test::ClusterOptions o = fast_lan(4, 9);
+  o.trace = true;
+  Cluster c(o);
+  auto cap = test::run_mvc(
+      c, {to_bytes("v"), to_bytes("v"), to_bytes("v"), to_bytes("v")});
+  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  c.run_all();
+  const Metrics m = c.total_metrics();
+  const TraceSummary s = summarize(c.tracers());
+  // Figure-7 attribution, derived two independent ways.
+  EXPECT_EQ(s.rb_started_payload, m.rb_started_payload);
+  EXPECT_EQ(s.rb_started_agreement, m.rb_started_agreement);
+  EXPECT_EQ(s.eb_started_payload, m.eb_started_payload);
+  EXPECT_EQ(s.eb_started_agreement, m.eb_started_agreement);
+  EXPECT_EQ(s.broadcasts_total(), m.broadcasts_total());
+  EXPECT_EQ(s.broadcasts_agreement(), m.broadcasts_agreement());
+  // Wire accounting.
+  EXPECT_EQ(s.sends, m.msgs_sent);
+  EXPECT_EQ(s.bytes_sent, m.bytes_sent);
+  // Completion counts align with the latency histograms.
+  EXPECT_EQ(s.completes[static_cast<std::size_t>(ProtocolType::kMultiValuedConsensus)],
+            m.proto_latency_ns[static_cast<std::size_t>(
+                                   ProtocolType::kMultiValuedConsensus)]
+                .count());
+  EXPECT_EQ(s.completes[static_cast<std::size_t>(ProtocolType::kBinaryConsensus)],
+            m.bc_decided);
+}
+
+TEST(TraceCluster, ChromeJsonIsDeterministic) {
+  auto render = [] {
+    test::ClusterOptions o = fast_lan(4, 5);
+    o.trace = true;
+    Cluster c(o);
+    auto cap = test::run_binary_consensus(c, {true, true, true, true});
+    c.run_all();
+    return c.chrome_trace_json();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("bc#1"), std::string::npos);
+}
+
+TEST(TraceCluster, PhaseEventsCoverConsensusLifecycle) {
+  test::ClusterOptions o = fast_lan(4, 6);
+  o.trace = true;
+  Cluster c(o);
+  auto cap = test::run_binary_consensus(c, {true, true, true, true});
+  c.run_all();
+  bool saw_propose = false, saw_step = false, saw_decide = false;
+  bool saw_rb_deliver = false;
+  for (const Tracer* t : c.tracers()) {
+    for (const TraceEvent& e : t->events()) {
+      if (e.kind != TraceEventKind::kPhase) continue;
+      const auto ph = static_cast<TracePhase>(e.code);
+      saw_propose = saw_propose || ph == TracePhase::kBcPropose;
+      saw_step = saw_step || ph == TracePhase::kBcStep;
+      saw_decide = saw_decide || ph == TracePhase::kBcDecide;
+      saw_rb_deliver = saw_rb_deliver || ph == TracePhase::kRbDeliver;
+    }
+  }
+  EXPECT_TRUE(saw_propose);
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_decide);
+  EXPECT_TRUE(saw_rb_deliver);
+}
+
+}  // namespace
+}  // namespace ritas
