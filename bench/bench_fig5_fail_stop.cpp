@@ -9,7 +9,7 @@ int main() {
   const PaperReference ref{{988, 1164, 1607, 8655}, {858, 621, 834, 115}};
   const int rc = run_burst_figure(
       "Figure 5: atomic broadcast, fail-stop faultload (n=4, one crashed)",
-      "fig5", Faultload::kFailStop, ref);
+      "fig5_fail_stop", Faultload::kFailStop, ref);
 
   // Extra shape check: the paper found fail-stop *faster* than failure-free
   // (fewer processes -> less contention). Compare one representative point.

@@ -11,7 +11,7 @@ int main() {
   const PaperReference ref{{1404, 1576, 2175, 12347}, {711, 634, 460, 81}};
   const int rc = run_burst_figure(
       "Figure 6: atomic broadcast, Byzantine faultload (n=4, one attacker)",
-      "fig6", Faultload::kByzantine, ref);
+      "fig6_byzantine", Faultload::kByzantine, ref);
 
   // The paper's headline: performance is basically immune to the attack.
   const auto ff = run_burst_avg(500, 100, Faultload::kFailureFree, bench_runs(3));

@@ -1,35 +1,68 @@
-// Intrusion-tolerant replicated key-value store.
+// Intrusion-tolerant replicated key-value store over real TCP.
 //
 // State machine replication (the canonical application the paper's
-// introduction motivates), built on the reusable SMR layer (src/smr):
-// implement a deterministic StateMachine, hand it to a Replica per
-// process, and the RITAS atomic broadcast keeps all correct replicas
-// identical — even while one replica is Byzantine and actively attacks
-// the consensus layers (the paper's §4.2 faultload). Client requests are
-// deduplicated, so retrying a command through two replicas applies once.
+// introduction motivates) on the public ritas::Context API: every node
+// subscribes to the atomic broadcast (ab_subscribe), applies the decided
+// command stream to a deterministic KvMachine, and stays identical to its
+// peers. Client commands are deduplicated by (client, seq), so retrying a
+// command through a second node applies once; payload batching
+// (Options::batch) packs bursts of small commands into shared
+// dissemination broadcasts. For the same state machine surviving an
+// actively Byzantine replica, see examples/faultload_explorer.cpp (the
+// deterministic sim applies the paper's §4.2 attack there).
 //
 //   $ ./replicated_kv
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/serialize.h"
-#include "sim/cluster.h"
-#include "smr/replica.h"
+#include "ritas/context.h"
 
 using namespace ritas;
 
 namespace {
 
-// Commands: SET key value | DEL key | CAS key expected value.
+constexpr std::uint32_t kN = 4;
+
+std::vector<net::PeerAddr> reserve_local_ports(std::uint32_t n) {
+  std::vector<net::PeerAddr> peers;
+  std::vector<int> fds;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    peers.push_back(net::PeerAddr{"127.0.0.1", ntohs(addr.sin_port)});
+    fds.push_back(fd);
+  }
+  for (int fd : fds) ::close(fd);
+  return peers;
+}
+
+// Commands: SET key value | DEL key | CAS key expected value, tagged with
+// (client, seq) for exactly-once application.
 struct Command {
   enum class Op : std::uint8_t { kSet = 0, kDel = 1, kCas = 2 };
   Op op;
   std::string key, value, expected;
 
-  Bytes encode() const {
+  Bytes encode(std::uint64_t client, std::uint64_t seq) const {
     Writer w;
+    w.u64(client);
+    w.u64(seq);
     w.u8(static_cast<std::uint8_t>(op));
     w.str(key);
     w.str(value);
@@ -38,72 +71,101 @@ struct Command {
   }
 };
 
-/// The deterministic state machine replicated across the group.
-class KvMachine final : public smr::StateMachine {
+/// One replica: the deterministic KV map plus the (client, seq) dedup set.
+/// apply() runs on the Context's reactor thread (the ab_subscribe
+/// callback); readers take the mutex.
+class KvReplica {
  public:
-  Bytes apply(ByteView command) override {
+  void apply(ByteView command) {
     Reader r(command);
+    const std::uint64_t client = r.u64();
+    const std::uint64_t seq = r.u64();
     const std::uint8_t op = r.u8();
     const std::string key = r.str();
     const std::string value = r.str();
     const std::string expected = r.str();
-    if (!r.done() || op > 2) return to_bytes("ERR");
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!r.ok() || !r.done() || op > 2) return;  // byzantine payload: ignore
+    if (!seen_.insert({client, seq}).second) {
+      ++duplicates_;
+      return;
+    }
     switch (static_cast<Command::Op>(op)) {
       case Command::Op::kSet:
         map_[key] = value;
-        return to_bytes("OK");
+        break;
       case Command::Op::kDel:
-        return to_bytes(map_.erase(key) ? "OK" : "MISS");
+        map_.erase(key);
+        break;
       case Command::Op::kCas: {
         auto it = map_.find(key);
-        if (it != map_.end() && it->second == expected) {
-          it->second = value;
-          return to_bytes("OK");
-        }
-        return to_bytes("FAIL");
+        if (it != map_.end() && it->second == expected) it->second = value;
+        break;
       }
     }
-    return to_bytes("ERR");
+    ++applied_;
   }
 
-  Bytes snapshot() const override {
+  std::string snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string d;
     for (const auto& [k, v] : map_) d += k + "=" + v + ";";
-    return to_bytes(d);
+    return d;
   }
-  std::size_t size() const { return map_.size(); }
+  std::uint64_t applied() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return applied_;
+  }
+  std::uint64_t duplicates() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return duplicates_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::string> map_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t duplicates_ = 0;
 };
 
 }  // namespace
 
 int main() {
-  sim::ClusterOptions options;
-  options.n = 4;
-  options.seed = 7;
-  options.byzantine = {3};  // replica 3 runs the paper's §4.2 attack
-  sim::Cluster cluster(options);
+  const auto peers = reserve_local_ports(kN);
 
-  const InstanceId root = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
-  std::vector<KvMachine> machines(options.n);
-  std::vector<std::unique_ptr<smr::Replica>> replicas(options.n);
-  for (ProcessId p = 0; p < options.n; ++p) {
-    replicas[p] = std::make_unique<smr::Replica>(cluster.stack(p), root, machines[p]);
-    cluster.stack(p).pump();
+  std::vector<KvReplica> replicas(kN);
+  std::vector<std::unique_ptr<Context>> nodes;
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    Context::Options o;
+    o.n = kN;
+    o.self = p;
+    o.peers = peers;
+    o.master_secret = to_bytes("kv-shared-secret");
+    o.batch.enabled = true;  // wire-format switch: identical at every node
+    nodes.push_back(std::make_unique<Context>(o));
+    // Subscribe before start(): the decided command stream drives apply()
+    // directly on the reactor thread, in total order.
+    nodes[p]->ab_subscribe([&replicas, p](Context::AbDelivery d) {
+      replicas[p].apply(d.payload);
+    });
   }
 
-  // Clients submit commands at different replicas concurrently — including
-  // the Byzantine one, whose *payloads* are fine (its consensus behaviour
-  // is what attacks the system). One command is retried through a second
-  // replica to exercise exactly-once application.
+  std::printf("establishing the TCP mesh (4 replicas, batching on)...\n");
+  {
+    std::vector<std::thread> starters;
+    for (auto& node : nodes) starters.emplace_back([&node] { node->start(); });
+    for (auto& t : starters) t.join();
+  }
+
+  // Clients submit commands at different replicas concurrently. One
+  // command is retried through a second replica to exercise exactly-once
+  // application, and two CAS operations race: the total order decides the
+  // winner, the same winner everywhere.
   const std::vector<Command> workload = {
       {Command::Op::kSet, "user:1", "alice", ""},
       {Command::Op::kSet, "user:2", "bob", ""},
       {Command::Op::kSet, "balance:1", "100", ""},
-      // Two racing CAS operations through different replicas: the total
-      // order decides the winner, and it is the same winner everywhere.
       {Command::Op::kCas, "balance:1", "90", "100"},
       {Command::Op::kCas, "balance:1", "80", "100"},
       {Command::Op::kSet, "user:3", "carol", ""},
@@ -112,45 +174,47 @@ int main() {
   };
   constexpr std::uint64_t kClient = 42;
   for (std::size_t i = 0; i < workload.size(); ++i) {
-    const ProcessId via = static_cast<ProcessId>(i % options.n);
-    const Bytes cmd = workload[i].encode();
-    cluster.call(via, [&, via] { replicas[via]->submit(kClient, i, cmd); });
-    if (i == 2) {  // impatient client retries through another replica
-      cluster.call(0, [&] { replicas[0]->submit(kClient, i, cmd); });
-    }
+    const std::uint32_t via = static_cast<std::uint32_t>(i % kN);
+    const Bytes cmd = workload[i].encode(kClient, i);
+    nodes[via]->ab_bcast(cmd);
+    if (i == 2) nodes[0]->ab_bcast(cmd);  // impatient client retries
   }
+  for (auto& node : nodes) node->ab_flush();  // seal the submission tails
 
-  const bool ok = cluster.run_until(
-      [&] {
-        for (ProcessId p = 0; p < options.n; ++p) {
-          if (replicas[p]->applied_count() < workload.size()) return false;
-        }
-        return true;
-      },
-      60 * sim::kSecond);
-  if (!ok) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  auto all_applied = [&] {
+    for (const KvReplica& r : replicas) {
+      if (r.applied() < workload.size()) return false;
+    }
+    return true;
+  };
+  while (!all_applied() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!all_applied()) {
     std::fprintf(stderr, "replication did not complete\n");
     return 1;
   }
-  cluster.run_all();
 
-  std::printf("replicated KV store, n=4, replica 3 Byzantine (attacks BC+MVC)\n");
-  std::printf("final state at replica 0 (%zu keys): %s\n", machines[0].size(),
-              to_string(machines[0].snapshot()).c_str());
+  std::printf("replicated KV store, n=4, subscribe-driven apply\n");
+  std::printf("final state at replica 0: %s\n", replicas[0].snapshot().c_str());
   bool consistent = true;
-  for (ProcessId p = 0; p < options.n; ++p) {
-    const bool same = machines[p].snapshot() == machines[0].snapshot();
-    std::printf("replica %u%s: %s, %llu applied, %llu duplicates skipped\n", p,
-                cluster.byzantine(p) ? " (byz)" : "",
+  std::uint64_t duplicates = 0;
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    const bool same = replicas[p].snapshot() == replicas[0].snapshot();
+    std::printf("replica %u: %s, %llu applied, %llu duplicates skipped\n", p,
                 same ? "state identical" : "STATE DIVERGED",
-                static_cast<unsigned long long>(replicas[p]->applied_count()),
-                static_cast<unsigned long long>(replicas[p]->duplicates_skipped()));
+                static_cast<unsigned long long>(replicas[p].applied()),
+                static_cast<unsigned long long>(replicas[p].duplicates()));
     consistent = consistent && same;
+    duplicates += replicas[p].duplicates();
   }
-  const std::string digest = to_string(machines[0].snapshot());
+  const std::string digest = replicas[0].snapshot();
   const bool won90 = digest.find("balance:1=90") != std::string::npos;
   const bool won80 = digest.find("balance:1=80") != std::string::npos;
   std::printf("exactly one racing CAS won (%s): %s\n", won90 ? "90" : "80",
               (won90 ^ won80) ? "yes" : "NO");
-  return (consistent && (won90 ^ won80)) ? 0 : 1;
+  std::printf("retried command deduplicated at every replica: %s\n",
+              duplicates == kN ? "yes" : "NO");
+  return (consistent && (won90 ^ won80) && duplicates == kN) ? 0 : 1;
 }

@@ -56,6 +56,8 @@ const char* trace_phase_name(TracePhase ph) {
     case TracePhase::kAbBcast: return "ab.bcast";
     case TracePhase::kAbRound: return "ab.round";
     case TracePhase::kAbDeliver: return "ab.deliver";
+    case TracePhase::kAbBatchSeal: return "ab.batch_seal";
+    case TracePhase::kAbBatchUnpack: return "ab.batch_unpack";
     case TracePhase::kSebInit: return "seb.init";
     case TracePhase::kSebEcho: return "seb.echo";
     case TracePhase::kSebCommit: return "seb.commit";

@@ -108,6 +108,8 @@ enum class TracePhase : std::uint8_t {
   kAbBcast = 50,   // application message submitted; arg = rbid
   kAbRound = 51,   // agreement round started; arg = round
   kAbDeliver = 52, // message delivered in total order; arg = rbid, sub = origin
+  kAbBatchSeal = 53,   // open batch sealed into one AB_MSG; arg = rbid, sub = min(msgs, 255)
+  kAbBatchUnpack = 54, // delivered batch unpacked; arg = rbid, sub = min(msgs, 255)
 
   // Signed echo broadcast (RSA baseline): INIT -> ECHO -> COMMIT -> deliver.
   kSebInit = 60,    // arg = Attribution

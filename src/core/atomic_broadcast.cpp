@@ -130,11 +130,79 @@ AtomicBroadcast::VectState& AtomicBroadcast::vect_state(std::uint32_t round) {
   return it->second;
 }
 
+Bytes AtomicBroadcast::encode_batch(const std::vector<Bytes>& msgs) {
+  std::size_t total = 4;
+  for (const Bytes& m : msgs) total += 4 + m.size();
+  Writer w(total);
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const Bytes& m : msgs) w.bytes(m);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Bytes>> AtomicBroadcast::decode_batch(
+    ByteView payload) {
+  Reader r(payload);
+  const std::uint32_t count = r.u32();
+  // Every message costs at least its u32 length prefix, so any count the
+  // payload cannot physically hold is rejected before the reserve.
+  if (!r.ok() || count == 0 ||
+      static_cast<std::size_t>(count) > payload.size() / 4) {
+    return std::nullopt;
+  }
+  std::vector<Bytes> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(r.bytes());
+    if (!r.ok()) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
 std::uint64_t AtomicBroadcast::bcast(Bytes payload) {
-  const std::uint64_t rbid = next_rbid_++;
+  if (!stack_.config().ab_batch.enabled) {
+    const std::uint64_t rbid = next_rbid_++;
+    trace(TracePhase::kAbBcast, rbid);
+    ensure_msg_rb(stack_.self(), rbid).bcast(std::move(payload));
+    return rbid;
+  }
+  const std::uint64_t rbid = next_rbid_;  // the batch this message rides in
   trace(TracePhase::kAbBcast, rbid);
-  ensure_msg_rb(stack_.self(), rbid).bcast(std::move(payload));
+  open_batch_bytes_ += 4 + payload.size();
+  open_batch_.push_back(std::move(payload));
+  maybe_seal();
   return rbid;
+}
+
+void AtomicBroadcast::flush() {
+  if (!stack_.config().ab_batch.enabled || open_batch_.empty()) return;
+  seal_batch();
+}
+
+void AtomicBroadcast::maybe_seal() {
+  const AbBatchConfig& cfg = stack_.config().ab_batch;
+  if (open_batch_.empty()) return;
+  // Seal when a limit is hit, or when the dissemination pipeline is idle:
+  // with no own batch in flight nothing else would ever trigger a seal, and
+  // an idle pipeline means batching further buys nothing.
+  if (own_inflight_ > 0 && open_batch_.size() < cfg.max_batch_msgs &&
+      open_batch_bytes_ < cfg.max_batch_bytes) {
+    return;
+  }
+  seal_batch();
+}
+
+void AtomicBroadcast::seal_batch() {
+  const std::uint64_t rbid = next_rbid_++;
+  ++own_inflight_;
+  ++stack_.metrics().ab_batches_sealed;
+  stack_.metrics().ab_batch_msgs += open_batch_.size();
+  trace(TracePhase::kAbBatchSeal, rbid,
+        static_cast<std::uint8_t>(std::min<std::size_t>(open_batch_.size(), 255)));
+  Bytes framed = encode_batch(open_batch_);
+  open_batch_.clear();
+  open_batch_bytes_ = 0;
+  ensure_msg_rb(stack_.self(), rbid).bcast(std::move(framed));
 }
 
 void AtomicBroadcast::on_message(ProcessId, std::uint8_t, ByteView) {
@@ -163,9 +231,31 @@ void AtomicBroadcast::enqueued_insert(const MsgId& id) {
 
 void AtomicBroadcast::on_msg_deliver(ProcessId origin, std::uint64_t rbid,
                                      Bytes payload) {
+  const bool batched = stack_.config().ab_batch.enabled;
+  if (batched && origin == stack_.self()) {
+    // Our own batch completed dissemination locally: the pipeline has room,
+    // so the open batch (if any) may seal now.
+    if (own_inflight_ > 0) --own_inflight_;
+    maybe_seal();
+  }
   const MsgId id{origin, rbid};
   if (done_.contains(id) || contents_.contains(id)) return;  // defensive
-  contents_.emplace(id, std::move(payload));
+  std::vector<Bytes> msgs;
+  if (batched) {
+    auto decoded = decode_batch(payload);
+    if (!decoded) {
+      // RB agreement: every correct process sees the same bytes, so all
+      // drop this identifier alike — it can never gather the f+1 vector
+      // votes needed to be decided, and nobody wedges on it.
+      drop_invalid();
+      ++stack_.metrics().ab_batch_malformed;
+      return;
+    }
+    msgs = std::move(*decoded);
+  } else {
+    msgs.push_back(std::move(payload));
+  }
+  contents_.emplace(id, std::move(msgs));
   if (enqueued_contains(id)) {
     // Decided before the content arrived locally; it may now be at the
     // head of the delivery queue.
@@ -261,6 +351,9 @@ void AtomicBroadcast::on_mvc_decide(std::uint32_t round,
   flush_deliveries();
   stack_.defer_gc(this);
   try_start_round();
+  // Round machinery ticked: re-check the seal conditions so an open batch
+  // never outlives the agreement activity that would carry it.
+  maybe_seal();
 }
 
 void AtomicBroadcast::flush_deliveries() {
@@ -268,16 +361,22 @@ void AtomicBroadcast::flush_deliveries() {
     const MsgId id = delivery_queue_.front();
     auto it = contents_.find(id);
     if (it == contents_.end()) return;  // totality will bring the content
-    Bytes payload = std::move(it->second);
+    std::vector<Bytes> msgs = std::move(it->second);
     contents_.erase(it);
     delivery_queue_.pop_front();
     done_.insert(id);
     gc_candidates_.push_back(id);
-    ++delivered_count_;
-    ++stack_.metrics().ab_delivered;
-    trace(TracePhase::kAbDeliver, id.rbid,
-          static_cast<std::uint8_t>(id.origin & 0xff));
-    if (deliver_) deliver_(id.origin, id.rbid, std::move(payload));
+    if (stack_.config().ab_batch.enabled) {
+      trace(TracePhase::kAbBatchUnpack, id.rbid,
+            static_cast<std::uint8_t>(std::min<std::size_t>(msgs.size(), 255)));
+    }
+    for (Bytes& m : msgs) {
+      ++delivered_count_;
+      ++stack_.metrics().ab_delivered;
+      trace(TracePhase::kAbDeliver, id.rbid,
+            static_cast<std::uint8_t>(id.origin & 0xff));
+      if (deliver_) deliver_(id.origin, id.rbid, std::move(m));
+    }
   }
 }
 

@@ -17,6 +17,22 @@
 // queue (reliable-broadcast totality guarantees the content shows up);
 // total order follows from every correct process appending the same
 // decided identifier sequence to that queue.
+//
+// Batching (StackConfig::ab_batch): when enabled, bcast() appends to a
+// per-origin open batch instead of starting an RB per message. The batch
+// is sealed into ONE AB_MSG dissemination RB — whose payload is the
+// length-prefixed framing documented in docs/PROTOCOLS.md — when it
+// reaches max_batch_bytes/max_batch_msgs, when a protocol event frees the
+// dissemination pipeline (our previous batch RB-delivers locally, or an
+// agreement round completes), or on an explicit flush(). No clocks are
+// involved: sealing is driven purely by protocol events, so simulated
+// runs stay deterministic. Delivery unpacks batches message by message,
+// keeping per-message total order, delivered_count() and the Figure-7
+// agreement-cost accounting unchanged; identifiers (origin, rbid) then
+// name batches, and every message in a batch shares its batch's rbid.
+// Malformed batch framing from a Byzantine origin is a counted drop
+// (ab_batch_malformed + invalid_dropped), never a throw, and is dropped
+// identically at every correct process (RB agreement on the bytes).
 #pragma once
 
 #include <deque>
@@ -48,8 +64,17 @@ class AtomicBroadcast final : public Protocol {
                   DeliverFn deliver);
 
   /// Atomically broadcasts `payload` to the group. Returns the local
-  /// identifier (rbid) assigned to the message.
+  /// identifier (rbid) assigned to the message — with batching enabled,
+  /// the identifier of the batch the message rides in (shared by every
+  /// message of that batch).
   std::uint64_t bcast(Bytes payload);
+
+  /// Seals the open batch immediately. No-op when batching is disabled or
+  /// the open batch is empty.
+  void flush();
+
+  /// Messages sitting in the open (unsealed) batch.
+  std::size_t open_batch_msgs() const { return open_batch_.size(); }
 
   void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
@@ -72,6 +97,14 @@ class AtomicBroadcast final : public Protocol {
   static Bytes encode_ids(const std::vector<MsgId>& ids);
   static std::optional<std::vector<MsgId>> decode_ids(ByteView payload);
 
+  // Batch framing (AB_MSG payloads when ab_batch.enabled):
+  //   u32 count (>= 1) | count x (u32 len | len bytes)
+  // decode_batch returns nullopt on any malformed framing: zero count,
+  // count impossible for the payload size, truncated length prefix or
+  // body, trailing bytes.
+  static Bytes encode_batch(const std::vector<Bytes>& msgs);
+  static std::optional<std::vector<Bytes>> decode_batch(ByteView payload);
+
  private:
   struct VectState {
     std::vector<std::optional<std::vector<MsgId>>> vectors;
@@ -81,6 +114,10 @@ class AtomicBroadcast final : public Protocol {
   void on_msg_deliver(ProcessId origin, std::uint64_t rbid, Bytes payload);
   void on_vect_deliver(std::uint32_t round, ProcessId origin, Bytes payload);
   void on_mvc_decide(std::uint32_t round, std::optional<Bytes> value);
+  /// Seals the open batch if a limit is hit or the dissemination pipeline
+  /// is idle (no own batch in flight).
+  void maybe_seal();
+  void seal_batch();
   void try_start_round();
   void maybe_propose_mvc();
   void flush_deliveries();
@@ -95,8 +132,14 @@ class AtomicBroadcast final : public Protocol {
 
   std::uint64_t next_rbid_ = 0;
 
-  // Dissemination state.
-  std::map<MsgId, Bytes> contents_;  // RB-delivered, not yet AB-delivered
+  // Batching state (unused when ab_batch.enabled is false).
+  std::vector<Bytes> open_batch_;        // messages awaiting a seal
+  std::size_t open_batch_bytes_ = 0;     // framed size of the open batch
+  std::uint64_t own_inflight_ = 0;       // own sealed batches not yet RB-delivered
+
+  // Dissemination state. Each entry holds the unpacked messages of one
+  // RB-delivered identifier (a single message when batching is off).
+  std::map<MsgId, std::vector<Bytes>> contents_;
   std::set<MsgId> pending_;          // RB-delivered, not yet decided
 
   // Identifiers that entered the delivery queue, compressed per origin as

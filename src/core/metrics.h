@@ -52,6 +52,13 @@ struct Metrics {
   std::uint64_t ab_rounds = 0;
   std::uint64_t ab_delivered = 0;
 
+  // Atomic broadcast batching (StackConfig::ab_batch). Sealed batches and
+  // the messages they carried (sender side), plus undecodable batch frames
+  // from Byzantine origins (also counted in invalid_dropped).
+  std::uint64_t ab_batches_sealed = 0;
+  std::uint64_t ab_batch_msgs = 0;
+  std::uint64_t ab_batch_malformed = 0;
+
   // Per-protocol spawn->terminal latency, indexed by ProtocolType code
   // (1..6; slot 0 unused). Timestamps come from Transport::now_ns(), so in
   // the sim these are virtual nanoseconds and on clock-less test loopbacks
@@ -98,6 +105,9 @@ struct Metrics {
     mvc_decided_default += o.mvc_decided_default;
     ab_rounds += o.ab_rounds;
     ab_delivered += o.ab_delivered;
+    ab_batches_sealed += o.ab_batches_sealed;
+    ab_batch_msgs += o.ab_batch_msgs;
+    ab_batch_malformed += o.ab_batch_malformed;
     for (std::size_t i = 0; i < proto_latency_ns.size(); ++i) {
       proto_latency_ns[i] += o.proto_latency_ns[i];
     }

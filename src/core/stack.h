@@ -38,11 +38,30 @@ namespace ritas {
 /// expected-constant-round termination on split proposals.
 enum class CoinMode : std::uint8_t { kLocal = 0, kDealt = 1 };
 
+/// Payload batching for the atomic broadcast: many application messages
+/// ride one AB_MSG dissemination RB (length-prefixed framing, see
+/// docs/PROTOCOLS.md "Batched AB_MSG framing"), amortizing the per-message
+/// dissemination and agreement cost. The flag changes the AB_MSG wire
+/// format, so all correct processes in a group must configure it
+/// identically (like every other StackConfig protocol switch).
+struct AbBatchConfig {
+  /// Off by default: AB_MSG payloads are the raw application bytes,
+  /// exactly the paper's wire format.
+  bool enabled = false;
+  /// Seal the open batch once it holds this many messages...
+  std::uint32_t max_batch_msgs = 64;
+  /// ...or once its framed payload reaches this many bytes.
+  std::uint32_t max_batch_bytes = 16 * 1024;
+};
+
 struct StackConfig {
   std::uint32_t n = 4;
   ProcessId self = 0;
 
   CoinMode coin_mode = CoinMode::kLocal;
+
+  /// Atomic broadcast payload batching (see AbBatchConfig).
+  AbBatchConfig ab_batch;
 
   /// Out-of-context quota per *sender*: a Byzantine flooder can only evict
   /// its own buffered messages, never another process's (extension beyond

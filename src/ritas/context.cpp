@@ -11,8 +11,34 @@
 
 namespace ritas {
 
+namespace {
+
+/// Rejects inconsistent Options before any member (keychain, transport,
+/// stack) is built from them — a wrong membership must never reach the
+/// mesh layer.
+Context::Options validate(Context::Options o) {
+  if (o.n < 4) {
+    throw std::invalid_argument("ritas::Context: n must be >= 4 (n >= 3f+1, f >= 1)");
+  }
+  if (o.self >= o.n) {
+    throw std::invalid_argument("ritas::Context: self must be < n");
+  }
+  if (o.peers.size() != o.n) {
+    throw std::invalid_argument("ritas::Context: peers.size() must equal n");
+  }
+  if (o.recv_window == 0) {
+    throw std::invalid_argument("ritas::Context: recv_window must be > 0");
+  }
+  if (o.batch.enabled && (o.batch.max_msgs == 0 || o.batch.max_bytes == 0)) {
+    throw std::invalid_argument("ritas::Context: batch limits must be > 0");
+  }
+  return o;
+}
+
+}  // namespace
+
 Context::Context(Options opts)
-    : opts_(std::move(opts)),
+    : opts_(validate(std::move(opts))),
       keys_(KeyChain::deal(opts_.master_secret, opts_.n, opts_.self)),
       rb_created_(opts_.n, 0),
       eb_created_(opts_.n, 0),
@@ -28,6 +54,9 @@ Context::Context(Options opts)
   StackConfig cfg = opts_.stack;
   cfg.n = opts_.n;
   cfg.self = opts_.self;
+  cfg.ab_batch.enabled = opts_.batch.enabled;
+  cfg.ab_batch.max_batch_msgs = opts_.batch.max_msgs;
+  cfg.ab_batch.max_batch_bytes = opts_.batch.max_bytes;
   std::uint64_t seed = opts_.rng_seed;
   if (seed == 0) {
     std::random_device rd;
@@ -53,7 +82,12 @@ void Context::start() {
     auto ab = std::make_unique<AtomicBroadcast>(
         *stack_, nullptr, InstanceId::root(ProtocolType::kAtomicBroadcast, 0),
         [this](ProcessId origin, std::uint64_t rbid, Bytes payload) {
-          ab_rx_.push(AbDelivery{origin, rbid, std::move(payload)});
+          AbDelivery d{origin, rbid, std::move(payload)};
+          if (ab_sub_) {
+            ab_sub_(std::move(d));  // reactor thread; subscriber must not block
+          } else {
+            ab_rx_.push(std::move(d));
+          }
         });
     ab_ = ab.get();
     roots_.emplace(ab_->id(), std::move(ab));
@@ -187,7 +221,17 @@ void Context::eb_bcast(Bytes payload) {
 }
 
 Context::Delivery Context::rb_recv() { return rb_rx_.pop(); }
+std::optional<Context::Delivery> Context::rb_try_recv() { return rb_rx_.try_pop(); }
+std::optional<Context::Delivery> Context::rb_recv_for(
+    std::chrono::milliseconds timeout) {
+  return rb_rx_.pop_for(timeout);
+}
 Context::Delivery Context::eb_recv() { return eb_rx_.pop(); }
+std::optional<Context::Delivery> Context::eb_try_recv() { return eb_rx_.try_pop(); }
+std::optional<Context::Delivery> Context::eb_recv_for(
+    std::chrono::milliseconds timeout) {
+  return eb_rx_.pop_for(timeout);
+}
 
 std::uint64_t Context::ab_bcast(Bytes payload) {
   std::uint64_t rbid = 0;
@@ -196,6 +240,25 @@ std::uint64_t Context::ab_bcast(Bytes payload) {
 }
 
 Context::AbDelivery Context::ab_recv() { return ab_rx_.pop(); }
+std::optional<Context::AbDelivery> Context::ab_try_recv() {
+  return ab_rx_.try_pop();
+}
+std::optional<Context::AbDelivery> Context::ab_recv_for(
+    std::chrono::milliseconds timeout) {
+  return ab_rx_.pop_for(timeout);
+}
+
+void Context::ab_flush() {
+  run_on_reactor([this] { ab_->flush(); });
+}
+
+void Context::ab_subscribe(AbSubscriber fn) {
+  if (!running_.load()) {
+    ab_sub_ = std::move(fn);  // reactor not running yet; plain write is safe
+    return;
+  }
+  run_on_reactor([this, f = std::move(fn)]() mutable { ab_sub_ = std::move(f); });
+}
 
 bool Context::bc(bool proposal) {
   std::promise<bool> decided;

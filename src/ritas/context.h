@@ -22,6 +22,7 @@
 // (kAB, 0) serves the whole session.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,14 @@
 #include "net/tcp_transport.h"
 
 namespace ritas {
+
+/// Thrown by the blocking receive calls when the session stops underneath
+/// them (stop() or destruction). Derives from std::runtime_error so code
+/// written against the v1 API keeps catching it.
+class ShutdownError : public std::runtime_error {
+ public:
+  ShutdownError() : std::runtime_error("ritas::Context stopped") {}
+};
 
 class Context {
  public:
@@ -55,6 +65,16 @@ class Context {
     std::uint64_t rng_seed = 0;  // 0 = seed from std::random_device
     /// Receive-side broadcast instances pre-created per origin.
     std::uint32_t recv_window = 64;
+    /// Atomic-broadcast payload batching (StackConfig::ab_batch). This is
+    /// the authoritative knob: it overwrites stack.ab_batch, and — being a
+    /// wire-format switch — must be configured identically at every
+    /// correct process.
+    struct Batch {
+      bool enabled = false;
+      std::uint32_t max_msgs = 64;
+      std::uint32_t max_bytes = 16 * 1024;
+    };
+    Batch batch;
   };
 
   struct Delivery {
@@ -67,6 +87,10 @@ class Context {
     Bytes payload;
   };
 
+  /// Validates `opts` up front — throws std::invalid_argument on an
+  /// inconsistent membership (peers.size() != n, self >= n, n < 3f+1 for
+  /// f >= 1, i.e. n < 4) or nonsensical knobs (zero recv_window, zero
+  /// batch limits) instead of letting them reach the mesh layer.
   explicit Context(Options opts);
   ~Context();
 
@@ -79,12 +103,36 @@ class Context {
   void stop();
 
   // --- broadcast services -------------------------------------------------
+  // Each service offers three receive modes: blocking recv() (the paper's
+  // §3.1 semantics), non-blocking try_recv() (nullopt when nothing is
+  // queued), and deadline recv_for() (nullopt on timeout). All of them
+  // throw ShutdownError once the session has stopped and the queue has
+  // drained.
   void rb_bcast(Bytes payload);
   Delivery rb_recv();
+  std::optional<Delivery> rb_try_recv();
+  std::optional<Delivery> rb_recv_for(std::chrono::milliseconds timeout);
   void eb_bcast(Bytes payload);
   Delivery eb_recv();
+  std::optional<Delivery> eb_try_recv();
+  std::optional<Delivery> eb_recv_for(std::chrono::milliseconds timeout);
   std::uint64_t ab_bcast(Bytes payload);
   AbDelivery ab_recv();
+  std::optional<AbDelivery> ab_try_recv();
+  std::optional<AbDelivery> ab_recv_for(std::chrono::milliseconds timeout);
+
+  /// Seals the open atomic-broadcast batch immediately (no-op when
+  /// batching is off or nothing is buffered).
+  void ab_flush();
+
+  /// Callback mode for atomic broadcast: once subscribed, deliveries are
+  /// handed to `fn` on the reactor thread (so it must not block or call
+  /// back into the Context) instead of being queued for ab_recv().
+  /// Deliveries queued before the subscription stay in the queue —
+  /// drain them with ab_try_recv(). Subscribe before start() or after;
+  /// pass nullptr to return to queue mode.
+  using AbSubscriber = std::function<void(AbDelivery)>;
+  void ab_subscribe(AbSubscriber fn);
 
   // --- consensus services -------------------------------------------------
   bool bc(bool proposal);
@@ -110,12 +158,37 @@ class Context {
       }
       cv_.notify_one();
     }
-    /// Blocks until an element arrives; throws std::runtime_error if the
-    /// queue is closed and drained (the session stopped).
+    /// Blocks until an element arrives; throws ShutdownError if the queue
+    /// is closed and drained (the session stopped).
     T pop() {
       std::unique_lock<std::mutex> lock(m_);
       cv_.wait(lock, [this] { return !q_.empty() || closed_; });
-      if (q_.empty()) throw std::runtime_error("ritas::Context stopped");
+      if (q_.empty()) throw ShutdownError();
+      T v = std::move(q_.front());
+      q_.pop_front();
+      return v;
+    }
+    /// Non-blocking: nullopt when nothing is queued. Throws ShutdownError
+    /// only once the queue is closed *and* drained.
+    std::optional<T> try_pop() {
+      std::lock_guard<std::mutex> lock(m_);
+      if (q_.empty()) {
+        if (closed_) throw ShutdownError();
+        return std::nullopt;
+      }
+      T v = std::move(q_.front());
+      q_.pop_front();
+      return v;
+    }
+    /// Blocks up to `timeout`; nullopt on timeout, ShutdownError when
+    /// closed and drained.
+    std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait_for(lock, timeout, [this] { return !q_.empty() || closed_; });
+      if (q_.empty()) {
+        if (closed_) throw ShutdownError();
+        return std::nullopt;
+      }
       T v = std::move(q_.front());
       q_.pop_front();
       return v;
@@ -170,6 +243,9 @@ class Context {
 
   BlockingQueue<Delivery> rb_rx_, eb_rx_;
   BlockingQueue<AbDelivery> ab_rx_;
+  /// Reactor-owned after start() (ab_subscribe posts the swap there);
+  /// when set, AB deliveries bypass ab_rx_.
+  AbSubscriber ab_sub_;
 };
 
 }  // namespace ritas

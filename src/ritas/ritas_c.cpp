@@ -58,6 +58,30 @@ int ritas_proc_add_ipv4(ritas_t* r, uint32_t id, const char* host,
   return RITAS_OK;
 }
 
+int ritas_set_opt(ritas_t* r, int opt, long value) {
+  if (r == nullptr) return RITAS_EINVAL;
+  if (started(r)) return RITAS_ESTATE;
+  switch (opt) {
+    case RITAS_OPT_BATCH_ENABLED:
+      if (value != 0 && value != 1) return RITAS_EINVAL;
+      r->opts.batch.enabled = value != 0;
+      return RITAS_OK;
+    case RITAS_OPT_BATCH_MAX_MSGS:
+      if (value <= 0 || value > 0xffffffffL) return RITAS_EINVAL;
+      r->opts.batch.max_msgs = static_cast<uint32_t>(value);
+      return RITAS_OK;
+    case RITAS_OPT_BATCH_MAX_BYTES:
+      if (value <= 0 || value > 0xffffffffL) return RITAS_EINVAL;
+      r->opts.batch.max_bytes = static_cast<uint32_t>(value);
+      return RITAS_OK;
+    case RITAS_OPT_RECV_WINDOW:
+      if (value <= 0 || value > 0xffffffffL) return RITAS_EINVAL;
+      r->opts.recv_window = static_cast<uint32_t>(value);
+      return RITAS_OK;
+  }
+  return RITAS_EINVAL;
+}
+
 int ritas_start(ritas_t* r) {
   if (r == nullptr) return RITAS_EINVAL;
   if (started(r)) return RITAS_ESTATE;
@@ -68,9 +92,23 @@ int ritas_start(ritas_t* r) {
     r->ctx = std::make_unique<ritas::Context>(r->opts);
     r->ctx->start();
     return RITAS_OK;
+  } catch (const std::invalid_argument&) {
+    r->ctx.reset();
+    return RITAS_EINVAL;
   } catch (...) {
     r->ctx.reset();
     return RITAS_ENET;
+  }
+}
+
+int ritas_stop(ritas_t* r) {
+  if (r == nullptr) return RITAS_EINVAL;
+  if (!started(r)) return RITAS_ESTATE;
+  try {
+    r->ctx->stop();  // wakes blocked recvs; ctx stays alive until destroy
+    return RITAS_OK;
+  } catch (...) {
+    return RITAS_EINTERNAL;
   }
 }
 
@@ -88,6 +126,8 @@ int ritas_rb_bcast(ritas_t* r, const uint8_t* msg, size_t len) {
   try {
     r->ctx->rb_bcast(ritas::Bytes(msg, msg + len));
     return RITAS_OK;
+  } catch (const std::logic_error&) {
+    return RITAS_ESTATE;  // session stopped
   } catch (...) {
     return RITAS_EINTERNAL;
   }
@@ -98,6 +138,8 @@ int ritas_eb_bcast(ritas_t* r, const uint8_t* msg, size_t len) {
   try {
     r->ctx->eb_bcast(ritas::Bytes(msg, msg + len));
     return RITAS_OK;
+  } catch (const std::logic_error&) {
+    return RITAS_ESTATE;  // session stopped
   } catch (...) {
     return RITAS_EINTERNAL;
   }
@@ -108,6 +150,8 @@ int ritas_ab_bcast(ritas_t* r, const uint8_t* msg, size_t len) {
   try {
     r->ctx->ab_bcast(ritas::Bytes(msg, msg + len));
     return RITAS_OK;
+  } catch (const std::logic_error&) {
+    return RITAS_ESTATE;  // session stopped
   } catch (...) {
     return RITAS_EINTERNAL;
   }
@@ -123,6 +167,8 @@ long ritas_rb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap) {
     if (origin != nullptr) *origin = r->rb_stash->origin;
     r->rb_stash.reset();
     return rc;
+  } catch (const ritas::ShutdownError&) {
+    return RITAS_ESHUTDOWN;
   } catch (...) {
     return RITAS_EINTERNAL;
   }
@@ -138,21 +184,53 @@ long ritas_eb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap) {
     if (origin != nullptr) *origin = r->eb_stash->origin;
     r->eb_stash.reset();
     return rc;
+  } catch (const ritas::ShutdownError&) {
+    return RITAS_ESHUTDOWN;
   } catch (...) {
     return RITAS_EINTERNAL;
   }
 }
 
 long ritas_ab_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap) {
+  return ritas_ab_recv_timeout(r, origin, buf, cap, -1);
+}
+
+long ritas_ab_recv_timeout(ritas_t* r, uint32_t* origin, uint8_t* buf,
+                           size_t cap, long timeout_ms) {
   if (!started(r) || (buf == nullptr && cap > 0)) return RITAS_EINVAL;
   try {
     std::lock_guard<std::mutex> lock(r->ab_mutex);
-    if (!r->ab_stash) r->ab_stash = r->ctx->ab_recv();
+    if (!r->ab_stash) {
+      std::optional<ritas::Context::AbDelivery> d;
+      if (timeout_ms < 0) {
+        d = r->ctx->ab_recv();
+      } else if (timeout_ms == 0) {
+        d = r->ctx->ab_try_recv();
+      } else {
+        d = r->ctx->ab_recv_for(std::chrono::milliseconds(timeout_ms));
+      }
+      if (!d) return RITAS_EAGAIN;
+      r->ab_stash = std::move(d);
+    }
     const long rc = copy_out(r->ab_stash->payload, buf, cap);
     if (rc < 0) return rc;
     if (origin != nullptr) *origin = r->ab_stash->origin;
     r->ab_stash.reset();
     return rc;
+  } catch (const ritas::ShutdownError&) {
+    return RITAS_ESHUTDOWN;
+  } catch (...) {
+    return RITAS_EINTERNAL;
+  }
+}
+
+int ritas_ab_flush(ritas_t* r) {
+  if (!started(r)) return RITAS_EINVAL;
+  try {
+    r->ctx->ab_flush();
+    return RITAS_OK;
+  } catch (const std::logic_error&) {
+    return RITAS_ESTATE;  // session stopped
   } catch (...) {
     return RITAS_EINTERNAL;
   }

@@ -32,11 +32,24 @@ typedef struct ritas_t ritas_t;
 
 enum {
   RITAS_OK = 0,
-  RITAS_EINVAL = -1,   /* bad argument */
-  RITAS_ESTATE = -2,   /* wrong state (e.g. service call before start) */
-  RITAS_ENET = -3,     /* mesh setup / network failure */
-  RITAS_ETOOBIG = -4,  /* caller buffer too small (value preserved) */
-  RITAS_EINTERNAL = -5 /* unexpected internal failure */
+  RITAS_EINVAL = -1,    /* bad argument */
+  RITAS_ESTATE = -2,    /* wrong state (e.g. service call before start) */
+  RITAS_ENET = -3,      /* mesh setup / network failure */
+  RITAS_ETOOBIG = -4,   /* caller buffer too small (value preserved) */
+  RITAS_EINTERNAL = -5, /* unexpected internal failure */
+  RITAS_ESHUTDOWN = -6, /* session stopped while (or before) blocking */
+  RITAS_EAGAIN = -7     /* nothing available within the timeout */
+};
+
+/* Tunables for ritas_set_opt (pre-start only). The batch options switch
+ * atomic-broadcast payload batching on and size its limits; they change
+ * the AB_MSG wire format, so every correct process must configure them
+ * identically. */
+enum {
+  RITAS_OPT_BATCH_ENABLED = 1,   /* 0 or 1 (default 0) */
+  RITAS_OPT_BATCH_MAX_MSGS = 2,  /* messages per batch, > 0 (default 64) */
+  RITAS_OPT_BATCH_MAX_BYTES = 3, /* framed bytes per batch, > 0 (default 16384) */
+  RITAS_OPT_RECV_WINDOW = 4      /* pre-created rb/eb receive roots, > 0 */
 };
 
 /* Context management ----------------------------------------------------- */
@@ -51,9 +64,20 @@ ritas_t* ritas_init(uint32_t n, uint32_t self, const uint8_t* secret,
  * (including self: its port is the local listen port) before ritas_start. */
 int ritas_proc_add_ipv4(ritas_t* r, uint32_t id, const char* host, uint16_t port);
 
+/* Sets a tunable (see RITAS_OPT_*). Only valid before ritas_start
+ * (RITAS_ESTATE afterwards); RITAS_EINVAL for an unknown option or an
+ * out-of-range value. */
+int ritas_set_opt(ritas_t* r, int opt, long value);
+
 /* Establishes the authenticated TCP mesh and starts the protocol stack's
  * thread. Blocks until every link is up. */
 int ritas_start(ritas_t* r);
+
+/* Stops the session: shuts the protocol stack down and wakes every thread
+ * blocked in a *_recv call with RITAS_ESHUTDOWN. The context stays valid
+ * (so those threads can return safely) until ritas_destroy. Idempotent;
+ * RITAS_ESTATE before ritas_start. */
+int ritas_stop(ritas_t* r);
 
 /* Tears everything down. Safe on NULL. */
 void ritas_destroy(ritas_t* r);
@@ -70,6 +94,17 @@ int ritas_ab_bcast(ritas_t* r, const uint8_t* msg, size_t len);
 long ritas_rb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
 long ritas_eb_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
 long ritas_ab_recv(ritas_t* r, uint32_t* origin, uint8_t* buf, size_t cap);
+
+/* ritas_ab_recv with a deadline: timeout_ms < 0 blocks forever, 0 polls,
+ * > 0 waits at most that long. RITAS_EAGAIN when nothing was delivered in
+ * time; otherwise identical to ritas_ab_recv (including RITAS_ETOOBIG
+ * preserving the message). */
+long ritas_ab_recv_timeout(ritas_t* r, uint32_t* origin, uint8_t* buf,
+                           size_t cap, long timeout_ms);
+
+/* Seals the open atomic-broadcast batch immediately. No-op (still
+ * RITAS_OK) when batching is off or nothing is buffered. */
+int ritas_ab_flush(ritas_t* r);
 
 /* Consensus services ------------------------------------------------------ */
 

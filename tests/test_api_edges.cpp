@@ -93,6 +93,128 @@ TEST(ContextLifecycle, DeliveredBroadcastRootsAreFreed) {
   SUCCEED();
 }
 
+TEST(ContextOptions, InvalidMembershipFailsFast) {
+  // Construction validates the membership instead of letting a broken
+  // configuration reach the TCP mesh (where it used to surface as a
+  // confusing connect failure or an out-of-range peer lookup).
+  auto base = [] {
+    Context::Options o;
+    o.n = 4;
+    o.self = 0;
+    o.peers = std::vector<net::PeerAddr>(4, net::PeerAddr{"127.0.0.1", 1});
+    o.master_secret = to_bytes("v");
+    return o;
+  };
+  {
+    auto o = base();
+    o.n = 3;
+    o.peers.resize(3);  // n < 3f+1 for f = 1
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();
+    o.self = 4;  // self outside the group
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();
+    o.peers.resize(3);  // peer list shorter than n
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();
+    o.peers.push_back(net::PeerAddr{"127.0.0.1", 2});  // longer than n
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();  // a valid membership constructs fine (no start())
+    Context c(std::move(o));
+  }
+}
+
+TEST(ContextOptions, NonsensicalKnobsFailFast) {
+  auto base = [] {
+    Context::Options o;
+    o.n = 4;
+    o.self = 1;
+    o.peers = std::vector<net::PeerAddr>(4, net::PeerAddr{"127.0.0.1", 1});
+    o.master_secret = to_bytes("v");
+    return o;
+  };
+  {
+    auto o = base();
+    o.recv_window = 0;
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();
+    o.batch.enabled = true;
+    o.batch.max_msgs = 0;
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    auto o = base();
+    o.batch.enabled = true;
+    o.batch.max_bytes = 0;
+    EXPECT_THROW(Context c(std::move(o)), std::invalid_argument);
+  }
+  {
+    // Zero limits are harmless while batching is off.
+    auto o = base();
+    o.batch.max_msgs = 0;
+    o.batch.max_bytes = 0;
+    Context c(std::move(o));
+  }
+}
+
+TEST(ContextLifecycle, TryRecvAndRecvForTimeout) {
+  auto cluster = make_cluster(4);
+  // Nothing queued: try_recv polls empty, recv_for times out (and both
+  // return, rather than blocking like recv()).
+  EXPECT_FALSE(cluster[0]->ab_try_recv().has_value());
+  EXPECT_FALSE(cluster[0]->rb_try_recv().has_value());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(cluster[0]->ab_recv_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(25));
+
+  // With a delivery queued, both modes return it.
+  cluster[1]->ab_bcast(to_bytes("poll-me"));
+  const auto got = cluster[2]->ab_recv_for(std::chrono::seconds(30));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(to_string(got->payload), "poll-me");
+  EXPECT_EQ(got->origin, 1u);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::optional<Context::AbDelivery> polled;
+  while (!polled && std::chrono::steady_clock::now() < deadline) {
+    polled = cluster[3]->ab_try_recv();
+    if (!polled) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(to_string(polled->payload), "poll-me");
+  for (auto& c : cluster) c->stop();
+}
+
+TEST(ContextLifecycle, StopThrowsShutdownErrorSpecifically) {
+  auto cluster = make_cluster(4);
+  std::atomic<bool> typed{false};
+  std::thread blocked([&] {
+    try {
+      (void)cluster[0]->ab_recv();
+    } catch (const ShutdownError&) {
+      typed.store(true);  // the precise v2 type, not just runtime_error
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cluster[0]->stop();
+  blocked.join();
+  EXPECT_TRUE(typed.load());
+  // After stop + drain, the non-blocking modes also report shutdown.
+  EXPECT_THROW((void)cluster[0]->ab_try_recv(), ShutdownError);
+  EXPECT_THROW((void)cluster[0]->ab_recv_for(std::chrono::milliseconds(1)),
+               ShutdownError);
+  for (auto& c : cluster) c->stop();
+}
+
 TEST(CApiEdges, MvcBufferTooSmall) {
   const auto ports = free_ports(4);
   std::array<ritas_t*, 4> r{};

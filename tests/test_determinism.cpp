@@ -114,6 +114,42 @@ TEST(Determinism, TraceBytesAreBitIdentical) {
   EXPECT_NE(a, traced(22));
 }
 
+TEST(Determinism, BatchedTraceBytesAreBitIdentical) {
+  // Payload batching is sealed by protocol events only (no clocks), so a
+  // batched run inherits the bit-identical trace guarantee — including the
+  // new ab.batch_seal / ab.batch_unpack events.
+  auto traced = [](std::uint64_t seed) {
+    test::ClusterOptions o = fast_lan(4, seed);
+    o.lan.jitter_ns = 500'000;
+    o.trace = true;
+    o.stack.ab_batch.enabled = true;
+    o.stack.ab_batch.max_batch_msgs = 4;
+    Cluster c(o);
+    const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
+    std::vector<AtomicBroadcast*> ab(4, nullptr);
+    std::vector<std::uint64_t> delivered(4, 0);
+    for (ProcessId p : c.live()) {
+      ab[p] = &c.create_root<AtomicBroadcast>(
+          p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+    }
+    for (ProcessId p : c.live()) {
+      c.call(p, [&, p] {
+        for (int i = 0; i < 10; ++i) {
+          ab[p]->bcast(to_bytes("d" + std::to_string(p) + std::to_string(i)));
+        }
+        ab[p]->flush();
+      });
+    }
+    c.run_until([&] { return delivered[0] >= 40; }, kDeadline);
+    c.run_all();
+    return c.trace_bytes();
+  };
+  const Bytes a = traced(31);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, traced(31));
+  EXPECT_NE(a, traced(32));
+}
+
 TEST(Determinism, TracingDoesNotPerturbExecution) {
   // Attaching tracers must not change the schedule, the traffic or the
   // decisions — it is a pure observer.

@@ -199,6 +199,72 @@ TEST(Fuzz, MutatedRealFrames) {
   }
 }
 
+TEST(Fuzz, MalformedBatchFramesAreCountedDrops) {
+  // Batching on: a Byzantine origin reliably broadcasts AB_MSG payloads
+  // whose batch framing is garbage — truncated length prefix, impossible
+  // count, empty batch. RB agreement makes every correct process see the
+  // same bytes, so every one of them drops the identifier alike (counted
+  // in ab_batch_malformed + invalid_dropped), nobody throws, and the
+  // legitimate batched workload still delivers in total order.
+  test::ClusterOptions o = fast_lan(4, 990);
+  o.stack.ab_batch.enabled = true;
+  o.stack.ab_batch.max_batch_msgs = 4;
+  Cluster c(o);
+  AbHarness h(c);
+
+  // Processes 0-2 run a real workload; "p3" only exists as the claimed
+  // sender of the injected frames.
+  for (ProcessId p = 0; p < 3; ++p) {
+    c.call(p, [&, p] {
+      for (int i = 0; i < 4; ++i) {
+        h.ab[p]->bcast(to_bytes("ok" + std::to_string(p) + std::to_string(i)));
+      }
+      h.ab[p]->flush();
+    });
+  }
+
+  Writer truncated;  // count says 2, body holds 1 message
+  truncated.u32(2);
+  truncated.bytes(to_bytes("one"));
+  Writer overlong;  // count the payload cannot physically hold
+  overlong.u32(0xffffffffu);
+  Writer empty;  // zero-message batch
+  empty.u32(0);
+  const Bytes payloads[3] = {std::move(truncated).take(),
+                             std::move(overlong).take(), std::move(empty).take()};
+  for (std::uint64_t rbid = 0; rbid < 3; ++rbid) {
+    Message m;
+    m.path = InstanceId::root(ProtocolType::kAtomicBroadcast, 0)
+                 .child({ProtocolType::kReliableBroadcast,
+                         AtomicBroadcast::msg_seq(3, rbid)});
+    m.tag = ReliableBroadcast::kInit;
+    m.payload = payloads[rbid];
+    const Bytes frame = m.encode();
+    for (ProcessId victim = 0; victim < 3; ++victim) {
+      c.stack(victim).on_packet(3, frame);
+    }
+  }
+
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (h.order[p].size() < 12) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  c.run_all();
+  for (ProcessId p = 0; p < 3; ++p) {
+    const std::size_t k = std::min(h.order[p].size(), h.order[0].size());
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(h.order[p][i], h.order[0][i]);
+  }
+  const Metrics m = c.total_metrics();
+  // Each of the 3 injected identifiers RB-delivers at the 3 correct
+  // processes (totality), and each delivery is a counted drop.
+  EXPECT_GE(m.ab_batch_malformed, 9u);
+  EXPECT_GE(m.invalid_dropped, m.ab_batch_malformed);
+}
+
 TEST(Fuzz, SerializeReaderNeverCrashesOnRandomInput) {
   Rng fuzz(77);
   for (int i = 0; i < 5000; ++i) {
