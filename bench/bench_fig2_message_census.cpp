@@ -58,23 +58,23 @@ Census census_of(Proto proto) {
       std::vector<ReliableBroadcast*> inst(4, nullptr);
       for (ProcessId p : c.live()) {
         ReliableBroadcast::DeliverFn cb;
-        if (p == 0) cb = [&done](Bytes) { done = true; };
+        if (p == 0) cb = [&done](Slice) { done = true; };
         inst[p] = &c.create_root<ReliableBroadcast>(p, rb_id, 0,
                                                     Attribution::kPayload,
                                                     std::move(cb));
       }
-      c.call(0, [&] { inst[0]->bcast(payload); });
+      c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
       break;
     }
     case Proto::kEB: {
       std::vector<EchoBroadcast*> inst(4, nullptr);
       for (ProcessId p : c.live()) {
         EchoBroadcast::DeliverFn cb;
-        if (p == 0) cb = [&done](Bytes) { done = true; };
+        if (p == 0) cb = [&done](Slice) { done = true; };
         inst[p] = &c.create_root<EchoBroadcast>(p, eb_id, 0, Attribution::kPayload,
                                                 std::move(cb));
       }
-      c.call(0, [&] { inst[0]->bcast(payload); });
+      c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
       break;
     }
     case Proto::kBC: {
@@ -120,10 +120,10 @@ Census census_of(Proto proto) {
       std::vector<AtomicBroadcast*> inst(4, nullptr);
       for (ProcessId p : c.live()) {
         AtomicBroadcast::DeliverFn cb;
-        if (p == 0) cb = [&done](ProcessId, std::uint64_t, Bytes) { done = true; };
+        if (p == 0) cb = [&done](ProcessId, std::uint64_t, Slice) { done = true; };
         inst[p] = &c.create_root<AtomicBroadcast>(p, ab_id, std::move(cb));
       }
-      c.call(0, [&] { inst[0]->bcast(payload); });
+      c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
       break;
     }
   }

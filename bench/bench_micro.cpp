@@ -90,7 +90,7 @@ void BM_MessageDecode(benchmark::State& state) {
   msg.path = InstanceId::root(ProtocolType::kAtomicBroadcast, 0)
                  .child({ProtocolType::kReliableBroadcast, 17});
   msg.payload = make_payload(static_cast<std::size_t>(state.range(0)));
-  const Bytes frame = msg.encode();
+  const Buffer frame = msg.encode();
   for (auto _ : state) {
     benchmark::DoNotOptimize(Message::decode(frame));
   }

@@ -30,11 +30,11 @@ double isolated_latency_n(Proto proto, std::uint32_t n, int iters) {
         std::vector<ReliableBroadcast*> inst(n, nullptr);
         for (ProcessId p : c.live()) {
           ReliableBroadcast::DeliverFn cb;
-          if (p == 0) cb = [&done](Bytes) { done = true; };
+          if (p == 0) cb = [&done](Slice) { done = true; };
           inst[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
                                                       std::move(cb));
         }
-        c.call(0, [&] { inst[0]->bcast(payload); });
+        c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
         break;
       }
       case Proto::kBC: {
@@ -56,10 +56,10 @@ double isolated_latency_n(Proto proto, std::uint32_t n, int iters) {
         std::vector<AtomicBroadcast*> inst(n, nullptr);
         for (ProcessId p : c.live()) {
           AtomicBroadcast::DeliverFn cb;
-          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Bytes) { done = true; };
+          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Slice) { done = true; };
           inst[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
         }
-        c.call(0, [&] { inst[0]->bcast(payload); });
+        c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
         break;
       }
       default:
@@ -87,14 +87,14 @@ double ab_throughput_n(std::uint32_t n, std::uint32_t burst) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     AtomicBroadcast::DeliverFn cb;
-    if (p == 0) cb = [&delivered](ProcessId, std::uint64_t, Bytes) { ++delivered; };
+    if (p == 0) cb = [&delivered](ProcessId, std::uint64_t, Slice) { ++delivered; };
     ab[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
   }
   const std::uint32_t per = burst / n;
   const Bytes payload(10, 0x62);
   for (ProcessId p : c.live()) {
     c.call(p, [&, p] {
-      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(Bytes(payload));
     });
   }
   const std::uint32_t total = per * n;

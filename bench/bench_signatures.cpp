@@ -51,7 +51,7 @@ double matrix_eb_latency_us(int iters) {
     std::vector<EchoBroadcast*> eb(4, nullptr);
     for (ProcessId p : c.live()) {
       EchoBroadcast::DeliverFn cb;
-      if (p == 0) cb = [&done](Bytes) { done = true; };
+      if (p == 0) cb = [&done](Slice) { done = true; };
       eb[p] = &c.create_root<EchoBroadcast>(p, id, 0, Attribution::kPayload,
                                             std::move(cb));
     }
@@ -80,7 +80,7 @@ double signed_eb_latency_us(int iters, const SignatureCosts& costs,
     std::vector<SignedEchoBroadcast*> eb(4, nullptr);
     for (ProcessId p : c.live()) {
       SignedEchoBroadcast::DeliverFn cb;
-      if (p == 0) cb = [&done](Bytes) { done = true; };
+      if (p == 0) cb = [&done](Slice) { done = true; };
       eb[p] = &c.create_root<SignedEchoBroadcast>(
           p, id, 0, Attribution::kPayload, dirs[p], costs, std::move(cb));
     }

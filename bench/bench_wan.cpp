@@ -49,7 +49,7 @@ Outcome run(bool wan, std::uint32_t burst, std::uint64_t seed) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
           order[p].emplace_back(origin, rbid);
         });
   }
@@ -63,7 +63,7 @@ Outcome run(bool wan, std::uint32_t burst, std::uint64_t seed) {
     for (std::uint32_t i = 0; i < per; ++i) {
       c.scheduler().at(t0 + i * 25 * sim::kMillisecond + p * sim::kMillisecond,
                        [&c, &ab, p, payload] {
-                         ab[p]->bcast(payload);
+                         ab[p]->bcast(Bytes(payload));
                          c.stack(p).pump();
                        });
     }

@@ -77,11 +77,11 @@ inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
         std::vector<EchoBroadcast*> inst(4, nullptr);
         for (ProcessId p : c.live()) {
           EchoBroadcast::DeliverFn cb;
-          if (p == 0) cb = [&done](Bytes) { done = true; };
+          if (p == 0) cb = [&done](Slice) { done = true; };
           inst[p] = &c.create_root<EchoBroadcast>(p, id, 0, Attribution::kPayload,
                                                   std::move(cb));
         }
-        c.call(0, [&] { inst[0]->bcast(payload); });
+        c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
         break;
       }
       case Proto::kRB: {
@@ -89,11 +89,11 @@ inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
         std::vector<ReliableBroadcast*> inst(4, nullptr);
         for (ProcessId p : c.live()) {
           ReliableBroadcast::DeliverFn cb;
-          if (p == 0) cb = [&done](Bytes) { done = true; };
+          if (p == 0) cb = [&done](Slice) { done = true; };
           inst[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
                                                       std::move(cb));
         }
-        c.call(0, [&] { inst[0]->bcast(payload); });
+        c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
         break;
       }
       case Proto::kBC: {
@@ -144,10 +144,10 @@ inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
         std::vector<AtomicBroadcast*> inst(4, nullptr);
         for (ProcessId p : c.live()) {
           AtomicBroadcast::DeliverFn cb;
-          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Bytes) { done = true; };
+          if (p == 0) cb = [&done](ProcessId, std::uint64_t, Slice) { done = true; };
           inst[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
         }
-        c.call(0, [&] { inst[0]->bcast(payload); });
+        c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
         break;
       }
     }
@@ -201,7 +201,7 @@ inline BurstResult run_burst(std::uint32_t burst, std::size_t msg_bytes,
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Slice) { ++delivered[p]; });
   }
 
   const auto senders = c.live();  // Byzantine processes still send (paper)
@@ -212,7 +212,7 @@ inline BurstResult run_burst(std::uint32_t burst, std::size_t msg_bytes,
   const Time t0 = c.now();
   for (ProcessId p : senders) {
     c.call(p, [&, p] {
-      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(Bytes(payload));
     });
   }
   c.run_until([&] { return delivered[0] >= total; }, t0 + kDeadline);

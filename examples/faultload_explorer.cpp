@@ -40,7 +40,7 @@ Outcome run(const std::string& faultload, std::uint32_t burst,
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&delivered_at_0, p](ProcessId, std::uint64_t, Bytes) {
+        p, id, [&delivered_at_0, p](ProcessId, std::uint64_t, Slice) {
           if (p == 0) ++delivered_at_0;
         });
   }
@@ -50,7 +50,7 @@ Outcome run(const std::string& faultload, std::uint32_t burst,
   const Bytes payload(msg_bytes, 'x');
   for (ProcessId p : senders) {
     c.call(p, [&, p] {
-      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(payload);
+      for (std::uint32_t i = 0; i < per; ++i) ab[p]->bcast(Bytes(payload));
     });
   }
   const bool ok =

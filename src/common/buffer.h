@@ -1,0 +1,119 @@
+// Refcounted immutable byte buffers — the stack's mbuf.
+//
+// `Buffer` owns one contiguous, immutable block of bytes with shared
+// ownership: copying a Buffer bumps a refcount, never the bytes. `Slice`
+// is a (Buffer, offset, length) view that keeps its parent Buffer alive,
+// so a payload sliced out of an arrival frame stays valid after the
+// transport has forgotten the frame. Together they carry every message
+// through the stack without copying:
+//
+//   encode:    Message::encode() produces ONE Buffer; broadcast fan-out
+//              hands the same Buffer to every Transport::send.
+//   decode:    Message::decode() returns a payload Slice aliasing the
+//              arrival frame — no copy on the receive path.
+//   batching:  AB batch unpack slices sub-messages out of the sealed
+//              frame; each delivered Slice pins the frame until the
+//              application is done with it.
+//
+// Ownership rules: a Slice is as cheap to copy as a shared_ptr; holding
+// one pins the WHOLE parent frame (mbuf semantics — fine for protocol
+// lifetimes, copy out with to_bytes() for long-term storage). Buffers are
+// immutable after construction, so sharing across the single-threaded
+// stack is trivially safe. Copies must be explicit (Buffer::copy /
+// Slice::to_bytes); the only implicit constructions are zero-copy:
+// adopting an owned Bytes rvalue and viewing a whole Buffer.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace ritas {
+
+/// Shared ownership of one immutable contiguous byte block.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Adopts an owned vector without copying (moves it into shared storage).
+  static Buffer own(Bytes&& b) {
+    return Buffer(std::make_shared<const Bytes>(std::move(b)));
+  }
+  /// Copies `b` into a fresh block — the only copying constructor, and
+  /// deliberately spelled out at every call site.
+  static Buffer copy(ByteView b) {
+    return Buffer(std::make_shared<const Bytes>(b.begin(), b.end()));
+  }
+
+  const std::uint8_t* data() const { return impl_ ? impl_->data() : nullptr; }
+  std::size_t size() const { return impl_ ? impl_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  ByteView view() const { return ByteView(data(), size()); }
+
+  /// Live references to the block (0 for a null buffer) — lets tests prove
+  /// sharing (encode-once fan-out) and lifetime (slice pins frame).
+  long use_count() const { return impl_.use_count(); }
+
+ private:
+  explicit Buffer(std::shared_ptr<const Bytes> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const Bytes> impl_;
+};
+
+/// A view into a Buffer that shares ownership of it. Never dangles: the
+/// parent block lives at least as long as the Slice by construction.
+class Slice {
+ public:
+  Slice() = default;
+  /// Whole-buffer view (implicit: it is zero-copy and cannot dangle).
+  Slice(Buffer b) : off_(0), len_(b.size()), buf_(std::move(b)) {}
+  /// Sub-range view. Out-of-range requests clamp to the buffer (parse code
+  /// validates lengths before slicing; clamping keeps Byzantine input from
+  /// ever turning into out-of-bounds reads).
+  Slice(Buffer b, std::size_t off, std::size_t len) : buf_(std::move(b)) {
+    off_ = off > buf_.size() ? buf_.size() : off;
+    len_ = len > buf_.size() - off_ ? buf_.size() - off_ : len;
+  }
+  /// Adopts an owned vector (implicit and zero-copy: protocols build
+  /// payloads with Writer and hand the result straight to send/broadcast).
+  Slice(Bytes&& owned) : Slice(Buffer::own(std::move(owned))) {}
+
+  const std::uint8_t* data() const { return buf_.data() + off_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  ByteView view() const { return ByteView(data(), len_); }
+  operator ByteView() const { return view(); }
+
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+  std::uint8_t operator[](std::size_t i) const {
+    assert(i < len_);
+    return data()[i];
+  }
+
+  /// A narrower view of the same block (shares ownership; clamps).
+  Slice subslice(std::size_t off, std::size_t len) const {
+    return Slice(buf_, off_ + off, off > len_ ? 0 : (len < len_ - off ? len : len_ - off));
+  }
+
+  /// Explicit copy out — for app-boundary handoff or long-term storage.
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// The parent block (for use_count introspection in tests).
+  const Buffer& buffer() const { return buf_; }
+
+  /// Byte-wise equality (content, not identity).
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return equal(a.view(), b.view());
+  }
+
+ private:
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+  Buffer buf_;
+};
+
+}  // namespace ritas

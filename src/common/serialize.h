@@ -65,6 +65,17 @@ class Reader {
   /// True when the whole input was consumed and no read failed.
   bool done() const { return ok_ && pos_ == buf_.size(); }
   std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+  /// Current read offset into the input — lets zero-copy callers slice the
+  /// bytes a length prefix describes out of the backing frame instead of
+  /// copying them (see Message::decode).
+  std::size_t pos() const { return pos_; }
+  /// Advances past n bytes without materializing them (sticky-fails like
+  /// every other accessor when fewer than n remain).
+  void skip(std::size_t n) {
+    if (take(n)) pos_ += n;
+  }
+  /// Marks the parse failed (for callers that discover a semantic error).
+  void fail() { ok_ = false; }
 
  private:
   bool take(std::size_t n);

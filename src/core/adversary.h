@@ -49,8 +49,9 @@ class Adversary {
 
   // --- broadcast primitives ----------------------------------------------
   /// If set, a reliable broadcast INIT equivocates: even-numbered peers get
-  /// the real payload, odd-numbered peers get the returned one.
-  virtual std::optional<Bytes> rb_equivocate(const Bytes& honest) {
+  /// the real payload, odd-numbered peers get the returned one. `honest` is
+  /// a view of the payload about to be sent (do not retain it).
+  virtual std::optional<Bytes> rb_equivocate(ByteView honest) {
     (void)honest;
     return std::nullopt;
   }

@@ -84,7 +84,7 @@ ReliableBroadcast& AtomicBroadcast::ensure_msg_rb(ProcessId origin,
   }
   auto rb = std::make_unique<ReliableBroadcast>(
       stack_, this, id().child(c), origin, Attribution::kPayload,
-      [this, origin, rbid](Bytes payload) {
+      [this, origin, rbid](Slice payload) {
         on_msg_deliver(origin, rbid, std::move(payload));
       });
   auto& ref = *rb;
@@ -100,8 +100,8 @@ ReliableBroadcast& AtomicBroadcast::ensure_vect_rb(std::uint32_t round,
   }
   auto rb = std::make_unique<ReliableBroadcast>(
       stack_, this, id().child(c), origin, Attribution::kAgreement,
-      [this, round, origin](Bytes payload) {
-        on_vect_deliver(round, origin, std::move(payload));
+      [this, round, origin](Slice payload) {
+        on_vect_deliver(round, origin, payload);
       });
   auto& ref = *rb;
   add_child(std::move(rb));
@@ -130,18 +130,18 @@ AtomicBroadcast::VectState& AtomicBroadcast::vect_state(std::uint32_t round) {
   return it->second;
 }
 
-Bytes AtomicBroadcast::encode_batch(const std::vector<Bytes>& msgs) {
+Bytes AtomicBroadcast::encode_batch(const std::vector<Slice>& msgs) {
   std::size_t total = 4;
-  for (const Bytes& m : msgs) total += 4 + m.size();
+  for (const Slice& m : msgs) total += 4 + m.size();
   Writer w(total);
   w.u32(static_cast<std::uint32_t>(msgs.size()));
-  for (const Bytes& m : msgs) w.bytes(m);
+  for (const Slice& m : msgs) w.bytes(m);
   return std::move(w).take();
 }
 
-std::optional<std::vector<Bytes>> AtomicBroadcast::decode_batch(
-    ByteView payload) {
-  Reader r(payload);
+std::optional<std::vector<Slice>> AtomicBroadcast::decode_batch(
+    const Slice& payload) {
+  Reader r(payload.view());
   const std::uint32_t count = r.u32();
   // Every message costs at least its u32 length prefix, so any count the
   // payload cannot physically hold is rejected before the reserve.
@@ -149,17 +149,19 @@ std::optional<std::vector<Bytes>> AtomicBroadcast::decode_batch(
       static_cast<std::size_t>(count) > payload.size() / 4) {
     return std::nullopt;
   }
-  std::vector<Bytes> out;
+  std::vector<Slice> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    out.push_back(r.bytes());
-    if (!r.ok()) return std::nullopt;
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || r.remaining() < len) return std::nullopt;
+    out.push_back(payload.subslice(r.pos(), len));
+    r.skip(len);
   }
   if (!r.done()) return std::nullopt;
   return out;
 }
 
-std::uint64_t AtomicBroadcast::bcast(Bytes payload) {
+std::uint64_t AtomicBroadcast::bcast(Slice payload) {
   if (!stack_.config().ab_batch.enabled) {
     const std::uint64_t rbid = next_rbid_++;
     trace(TracePhase::kAbBcast, rbid);
@@ -205,7 +207,7 @@ void AtomicBroadcast::seal_batch() {
   ensure_msg_rb(stack_.self(), rbid).bcast(std::move(framed));
 }
 
-void AtomicBroadcast::on_message(ProcessId, std::uint8_t, ByteView) {
+void AtomicBroadcast::on_message(ProcessId, std::uint8_t, const Slice&) {
   drop_invalid();  // traffic flows through children only
 }
 
@@ -230,7 +232,7 @@ void AtomicBroadcast::enqueued_insert(const MsgId& id) {
 }
 
 void AtomicBroadcast::on_msg_deliver(ProcessId origin, std::uint64_t rbid,
-                                     Bytes payload) {
+                                     Slice payload) {
   const bool batched = stack_.config().ab_batch.enabled;
   if (batched && origin == stack_.self()) {
     // Our own batch completed dissemination locally: the pipeline has room,
@@ -240,7 +242,7 @@ void AtomicBroadcast::on_msg_deliver(ProcessId origin, std::uint64_t rbid,
   }
   const MsgId id{origin, rbid};
   if (done_.contains(id) || contents_.contains(id)) return;  // defensive
-  std::vector<Bytes> msgs;
+  std::vector<Slice> msgs;
   if (batched) {
     auto decoded = decode_batch(payload);
     if (!decoded) {
@@ -252,6 +254,10 @@ void AtomicBroadcast::on_msg_deliver(ProcessId origin, std::uint64_t rbid,
       return;
     }
     msgs = std::move(*decoded);
+    // Zero-copy unpack: every sub-message aliases the sealed batch frame.
+    for (const Slice& m : msgs) {
+      stack_.metrics().payload_bytes_aliased += m.size();
+    }
   } else {
     msgs.push_back(std::move(payload));
   }
@@ -284,7 +290,7 @@ void AtomicBroadcast::try_start_round() {
 }
 
 void AtomicBroadcast::on_vect_deliver(std::uint32_t round, ProcessId origin,
-                                      Bytes payload) {
+                                      const Slice& payload) {
   if (round < round_) return;  // stale round; we already decided it
   auto ids = decode_ids(payload);
   if (!ids) {
@@ -361,7 +367,7 @@ void AtomicBroadcast::flush_deliveries() {
     const MsgId id = delivery_queue_.front();
     auto it = contents_.find(id);
     if (it == contents_.end()) return;  // totality will bring the content
-    std::vector<Bytes> msgs = std::move(it->second);
+    std::vector<Slice> msgs = std::move(it->second);
     contents_.erase(it);
     delivery_queue_.pop_front();
     done_.insert(id);
@@ -370,7 +376,7 @@ void AtomicBroadcast::flush_deliveries() {
       trace(TracePhase::kAbBatchUnpack, id.rbid,
             static_cast<std::uint8_t>(std::min<std::size_t>(msgs.size(), 255)));
     }
-    for (Bytes& m : msgs) {
+    for (Slice& m : msgs) {
       ++delivered_count_;
       ++stack_.metrics().ab_delivered;
       trace(TracePhase::kAbDeliver, id.rbid,

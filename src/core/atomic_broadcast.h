@@ -57,8 +57,10 @@ class AtomicBroadcast final : public Protocol {
     std::uint64_t rbid;
     friend auto operator<=>(const MsgId&, const MsgId&) = default;
   };
-  /// Called once per delivered message, in total order.
-  using DeliverFn = std::function<void(ProcessId origin, std::uint64_t rbid, Bytes payload)>;
+  /// Called once per delivered message, in total order. The Slice aliases
+  /// the sealed batch frame (or the AB_MSG frame when batching is off) —
+  /// zero-copy from the wire; keeping it pins that frame.
+  using DeliverFn = std::function<void(ProcessId origin, std::uint64_t rbid, Slice payload)>;
 
   AtomicBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
                   DeliverFn deliver);
@@ -67,7 +69,7 @@ class AtomicBroadcast final : public Protocol {
   /// identifier (rbid) assigned to the message — with batching enabled,
   /// the identifier of the batch the message rides in (shared by every
   /// message of that batch).
-  std::uint64_t bcast(Bytes payload);
+  std::uint64_t bcast(Slice payload);
 
   /// Seals the open batch immediately. No-op when batching is disabled or
   /// the open batch is empty.
@@ -76,7 +78,8 @@ class AtomicBroadcast final : public Protocol {
   /// Messages sitting in the open (unsealed) batch.
   std::size_t open_batch_msgs() const { return open_batch_.size(); }
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
   void collect_garbage() override;
 
@@ -101,9 +104,10 @@ class AtomicBroadcast final : public Protocol {
   //   u32 count (>= 1) | count x (u32 len | len bytes)
   // decode_batch returns nullopt on any malformed framing: zero count,
   // count impossible for the payload size, truncated length prefix or
-  // body, trailing bytes.
-  static Bytes encode_batch(const std::vector<Bytes>& msgs);
-  static std::optional<std::vector<Bytes>> decode_batch(ByteView payload);
+  // body, trailing bytes. Each returned Slice aliases `payload`'s backing
+  // frame (zero-copy unpack); holding any of them pins the whole frame.
+  static Bytes encode_batch(const std::vector<Slice>& msgs);
+  static std::optional<std::vector<Slice>> decode_batch(const Slice& payload);
 
  private:
   struct VectState {
@@ -111,8 +115,9 @@ class AtomicBroadcast final : public Protocol {
     std::vector<ProcessId> order;
   };
 
-  void on_msg_deliver(ProcessId origin, std::uint64_t rbid, Bytes payload);
-  void on_vect_deliver(std::uint32_t round, ProcessId origin, Bytes payload);
+  void on_msg_deliver(ProcessId origin, std::uint64_t rbid, Slice payload);
+  void on_vect_deliver(std::uint32_t round, ProcessId origin,
+                       const Slice& payload);
   void on_mvc_decide(std::uint32_t round, std::optional<Bytes> value);
   /// Seals the open batch if a limit is hit or the dissemination pipeline
   /// is idle (no own batch in flight).
@@ -132,14 +137,16 @@ class AtomicBroadcast final : public Protocol {
 
   std::uint64_t next_rbid_ = 0;
 
-  // Batching state (unused when ab_batch.enabled is false).
-  std::vector<Bytes> open_batch_;        // messages awaiting a seal
+  // Batching state (unused when ab_batch.enabled is false). Queued slices
+  // pin their source buffers until the batch is sealed into one frame.
+  std::vector<Slice> open_batch_;        // messages awaiting a seal
   std::size_t open_batch_bytes_ = 0;     // framed size of the open batch
   std::uint64_t own_inflight_ = 0;       // own sealed batches not yet RB-delivered
 
   // Dissemination state. Each entry holds the unpacked messages of one
-  // RB-delivered identifier (a single message when batching is off).
-  std::map<MsgId, std::vector<Bytes>> contents_;
+  // RB-delivered identifier (a single message when batching is off); the
+  // slices alias the sealed batch frame.
+  std::map<MsgId, std::vector<Slice>> contents_;
   std::set<MsgId> pending_;          // RB-delivered, not yet decided
 
   // Identifiers that entered the delivery queue, compressed per origin as

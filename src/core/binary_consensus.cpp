@@ -62,7 +62,7 @@ void BinaryConsensus::ensure_round_children(std::uint32_t r) {
     for (ProcessId j = 0; j < stack_.n(); ++j) {
       const Component c{ProtocolType::kReliableBroadcast,
                         child_seq(r, step, j, stack_.n())};
-      auto deliver = [this, r, step, j](Bytes payload) {
+      auto deliver = [this, r, step, j](Slice payload) {
         on_rb_deliver(r, step, j, payload);
       };
       add_child(std::make_unique<ReliableBroadcast>(
@@ -105,7 +105,7 @@ void BinaryConsensus::broadcast_step(std::uint32_t r, int step,
   rb->bcast(Bytes{*v});
 }
 
-void BinaryConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
+void BinaryConsensus::on_message(ProcessId, std::uint8_t, const Slice&) {
   // All BC traffic flows through reliable broadcast children; a direct
   // message addressed to the BC instance is Byzantine noise.
   drop_invalid();
@@ -131,7 +131,7 @@ Protocol* BinaryConsensus::spawn_child(const Component& c, bool& drop) {
 }
 
 void BinaryConsensus::on_rb_deliver(std::uint32_t r, int step, ProcessId origin,
-                                    ByteView payload) {
+                                    const Slice& payload) {
   if (payload.size() != 1) {
     drop_invalid();
     return;

@@ -49,7 +49,8 @@ class BinaryConsensus final : public Protocol {
   /// before activation were already tallied; progress resumes immediately.
   void propose(bool v);
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
 
   bool active() const { return active_; }
@@ -92,7 +93,8 @@ class BinaryConsensus final : public Protocol {
 
   RoundState& round_state(std::uint32_t r);
   void ensure_round_children(std::uint32_t r);
-  void on_rb_deliver(std::uint32_t r, int step, ProcessId origin, ByteView payload);
+  void on_rb_deliver(std::uint32_t r, int step, ProcessId origin,
+                     const Slice& payload);
   /// Moves pending values to accepted wherever validation now passes;
   /// fixpoint across steps/rounds.
   void revalidate(std::uint32_t r, int step);

@@ -23,7 +23,7 @@ EchoBroadcast::EchoBroadcast(ProtocolStack& stack, Protocol* parent,
   assert(origin_ < stack.n());
 }
 
-void EchoBroadcast::bcast(Bytes payload) {
+void EchoBroadcast::bcast(Slice payload) {
   if (origin_ != stack_.self()) {
     throw std::logic_error("EchoBroadcast::bcast: not the origin");
   }
@@ -44,7 +44,7 @@ Sha1::Digest EchoBroadcast::cell(ByteView m, ProcessId peer) const {
 }
 
 void EchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
-                               ByteView payload) {
+                               const Slice& payload) {
   switch (tag) {
     case kInit:
       on_init(from, payload);
@@ -60,13 +60,13 @@ void EchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
   }
 }
 
-void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
+void EchoBroadcast::on_init(ProcessId from, const Slice& payload) {
   if (from != origin_ || seen_init_) {
     drop_invalid();
     return;
   }
   seen_init_ = true;
-  msg_.assign(payload.begin(), payload.end());
+  msg_ = payload;  // zero-copy: pins the INIT frame until delivery
 
   // Build V_self: one keyed hash per process, and echo it to the origin.
   Bytes vect;
@@ -83,7 +83,7 @@ void EchoBroadcast::on_init(ProcessId from, ByteView payload) {
   }
 }
 
-void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
+void EchoBroadcast::on_vect(ProcessId from, const Slice& payload) {
   if (stack_.self() != origin_) {
     drop_invalid();  // VECT addressed to a non-origin
     return;
@@ -95,7 +95,7 @@ void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
     drop_invalid();
     return;
   }
-  rows_[from] = Bytes(payload.begin(), payload.end());
+  rows_[from] = payload;  // aliases the VECT frame until MAT is emitted
   if (++rows_received_ < stack_.quorums().n_minus_f()) return;
 
   // Gathered n-f rows: emit column j of the matrix to each p_j. Missing
@@ -120,7 +120,7 @@ void EchoBroadcast::on_vect(ProcessId from, ByteView payload) {
   }
 }
 
-void EchoBroadcast::on_mat(ProcessId from, ByteView payload) {
+void EchoBroadcast::on_mat(ProcessId from, const Slice& payload) {
   if (from != origin_ || seen_mat_) {
     drop_invalid();
     return;
@@ -130,7 +130,7 @@ void EchoBroadcast::on_mat(ProcessId from, ByteView payload) {
     return;
   }
   seen_mat_ = true;
-  pending_column_.assign(payload.begin(), payload.end());
+  pending_column_ = payload;  // aliases the MAT frame
   if (seen_init_) {
     verify_and_deliver();
   }

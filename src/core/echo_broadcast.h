@@ -27,7 +27,8 @@ namespace ritas {
 
 class EchoBroadcast final : public Protocol {
  public:
-  using DeliverFn = std::function<void(Bytes payload)>;
+  /// Delivered Slice aliases the INIT arrival frame (zero-copy).
+  using DeliverFn = std::function<void(Slice payload)>;
 
   static constexpr std::uint8_t kInit = 0;
   static constexpr std::uint8_t kVect = 1;
@@ -37,9 +38,10 @@ class EchoBroadcast final : public Protocol {
                 ProcessId origin, Attribution attr, DeliverFn deliver);
 
   /// Starts the broadcast. Precondition: this process is the origin.
-  void bcast(Bytes payload);
+  void bcast(Slice payload);
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
 
   ProcessId origin() const { return origin_; }
   bool delivered() const { return delivered_; }
@@ -47,9 +49,9 @@ class EchoBroadcast final : public Protocol {
  private:
   /// H(m || s_self,peer) — one cell of the hash matrix.
   Sha1::Digest cell(ByteView m, ProcessId peer) const;
-  void on_init(ProcessId from, ByteView payload);
-  void on_vect(ProcessId from, ByteView payload);
-  void on_mat(ProcessId from, ByteView payload);
+  void on_init(ProcessId from, const Slice& payload);
+  void on_vect(ProcessId from, const Slice& payload);
+  void on_mat(ProcessId from, const Slice& payload);
   void verify_and_deliver();
 
   const ProcessId origin_;
@@ -61,13 +63,14 @@ class EchoBroadcast final : public Protocol {
   bool seen_mat_ = false;
   bool sent_mat_ = false;
   bool delivered_ = false;
-  Bytes msg_;  // payload from INIT (receiver role)
-  // Origin role: rows of the matrix, row j = V_j from process j.
-  std::vector<std::optional<Bytes>> rows_;
+  Slice msg_;  // payload from INIT (receiver role); aliases the INIT frame
+  // Origin role: rows of the matrix, row j = V_j from process j. Each row
+  // aliases the VECT frame it arrived in.
+  std::vector<std::optional<Slice>> rows_;
   std::uint32_t rows_received_ = 0;
   // Receiver role: MAT column buffered until INIT arrives (only possible
-  // with a Byzantine origin; channels are FIFO).
-  Bytes pending_column_;
+  // with a Byzantine origin; channels are FIFO). Aliases the MAT frame.
+  Slice pending_column_;
 };
 
 }  // namespace ritas

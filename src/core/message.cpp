@@ -1,30 +1,35 @@
 #include "core/message.h"
 
+#include "common/serialize.h"
+
 namespace ritas {
 
 namespace {
 constexpr std::uint8_t kWireVersion = 1;
 }
 
-Bytes Message::encode() const {
+Buffer Message::encode() const {
   Writer w(payload.size() + 32);
   w.u8(kWireVersion);
   path.encode(w);
   w.u8(tag);
   w.bytes(payload);
-  return std::move(w).take();
+  return Buffer::own(std::move(w).take());
 }
 
-std::optional<Message> Message::decode(ByteView frame) {
-  Reader r(frame);
+std::optional<Message> Message::decode(const Slice& frame) {
+  Reader r(frame.view());
   if (r.u8() != kWireVersion) return std::nullopt;
   auto path = InstanceId::decode(r);
   if (!path) return std::nullopt;
   Message m;
   m.path = *path;
   m.tag = r.u8();
-  m.payload = r.bytes();
-  if (!r.done()) return std::nullopt;  // trailing garbage => reject
+  const std::uint32_t len = r.u32();
+  // The payload must account for every remaining byte (trailing garbage =>
+  // reject), and it is sliced out of the frame rather than copied.
+  if (!r.ok() || r.remaining() != len) return std::nullopt;
+  m.payload = frame.subslice(r.pos(), len);
   return m;
 }
 

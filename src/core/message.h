@@ -6,11 +6,17 @@
 // process id is NOT part of the message body — it is a property of the
 // authenticated point-to-point channel the message arrived on, exactly as
 // with TCP+IPSec AH in the paper (a peer cannot spoof its channel).
+//
+// The payload is a refcounted Slice (common/buffer.h): encode() writes the
+// whole frame into ONE shared Buffer that broadcast fan-out hands to every
+// peer, and decode() returns a payload Slice aliasing the arrival frame —
+// neither direction copies payload bytes beyond the single frame write.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "core/instance_id.h"
 
@@ -19,13 +25,16 @@ namespace ritas {
 struct Message {
   InstanceId path;
   std::uint8_t tag = 0;
-  Bytes payload;
+  Slice payload;
 
-  /// Serializes header + payload into a frame ready for a transport.
-  Bytes encode() const;
-  /// Parses a frame; nullopt on any malformation (never throws — Byzantine
-  /// bytes on the wire must not take the process down).
-  static std::optional<Message> decode(ByteView frame);
+  /// Serializes header + payload into one shared frame ready for a
+  /// transport (the payload's only copy on the send path).
+  Buffer encode() const;
+  /// Parses a frame; the returned payload is a Slice aliasing `frame` (it
+  /// keeps the frame's Buffer alive, no bytes are copied). nullopt on any
+  /// malformation — never throws; Byzantine bytes on the wire must not
+  /// take the process down.
+  static std::optional<Message> decode(const Slice& frame);
 
   /// Header bytes added on top of the payload (for traffic accounting).
   std::size_t header_size() const;

@@ -59,6 +59,20 @@ struct Metrics {
   std::uint64_t ab_batch_msgs = 0;
   std::uint64_t ab_batch_malformed = 0;
 
+  // Zero-copy buffer layer (common/buffer.h). frames_encoded counts
+  // Message::encode calls on the send path — a broadcast encodes ONCE and
+  // shares the frame across all n-1 transport sends, so for broadcast-only
+  // traffic frames_encoded == broadcasts regardless of n. On the receive
+  // path, payload bytes handed to protocols as Slices aliasing the arrival
+  // frame count as aliased (decode, plus each sub-message sliced out of a
+  // sealed AB batch); payload bytes materialized by copying on the
+  // dissemination path count as copied. After the mbuf refactor the copied
+  // counter stays 0 — it exists so copy elimination is machine-checkable
+  // (bench_buffer and CI assert it).
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t payload_bytes_aliased = 0;
+
   // Per-protocol spawn->terminal latency, indexed by ProtocolType code
   // (1..6; slot 0 unused). Timestamps come from Transport::now_ns(), so in
   // the sim these are virtual nanoseconds and on clock-less test loopbacks
@@ -108,6 +122,9 @@ struct Metrics {
     ab_batches_sealed += o.ab_batches_sealed;
     ab_batch_msgs += o.ab_batch_msgs;
     ab_batch_malformed += o.ab_batch_malformed;
+    frames_encoded += o.frames_encoded;
+    payload_bytes_copied += o.payload_bytes_copied;
+    payload_bytes_aliased += o.payload_bytes_aliased;
     for (std::size_t i = 0; i < proto_latency_ns.size(); ++i) {
       proto_latency_ns[i] += o.proto_latency_ns[i];
     }

@@ -18,15 +18,15 @@ MultiValuedConsensus::MultiValuedConsensus(ProtocolStack& stack,
   for (ProcessId j = 0; j < stack_.n(); ++j) {
     add_child(std::make_unique<ReliableBroadcast>(
         stack_, this, this->id().child(init_component(j)), j, attr_,
-        [this, j](Bytes payload) { on_init_deliver(j, std::move(payload)); }));
+        [this, j](Slice payload) { on_init_deliver(j, payload); }));
     if (stack_.config().mvc_vect_via_rb) {
       add_child(std::make_unique<ReliableBroadcast>(
           stack_, this, this->id().child(vect_rb_component(j)), j, attr_,
-          [this, j](Bytes payload) { on_vect_deliver(j, std::move(payload)); }));
+          [this, j](Slice payload) { on_vect_deliver(j, payload); }));
     } else {
       add_child(std::make_unique<EchoBroadcast>(
           stack_, this, this->id().child(vect_component(j)), j, attr_,
-          [this, j](Bytes payload) { on_vect_deliver(j, std::move(payload)); }));
+          [this, j](Slice payload) { on_vect_deliver(j, payload); }));
     }
   }
   auto bc = std::make_unique<BinaryConsensus>(
@@ -59,13 +59,14 @@ void MultiValuedConsensus::propose(Bytes v) {
   maybe_decide_value();
 }
 
-void MultiValuedConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
+void MultiValuedConsensus::on_message(ProcessId, std::uint8_t, const Slice&) {
   drop_invalid();  // traffic flows through children only
 }
 
-void MultiValuedConsensus::on_init_deliver(ProcessId origin, Bytes payload) {
+void MultiValuedConsensus::on_init_deliver(ProcessId origin,
+                                           const Slice& payload) {
   if (init_[origin].has_value()) return;  // RB delivers once; defensive
-  Reader r(payload);
+  Reader r(payload.view());
   const bool has_value = r.u8() != 0;
   std::optional<Bytes> value;
   if (has_value) value = r.raw(r.remaining());
@@ -108,7 +109,8 @@ bool MultiValuedConsensus::decode_vect(ByteView payload, Vect& out) const {
   return r.done();
 }
 
-void MultiValuedConsensus::on_vect_deliver(ProcessId origin, Bytes payload) {
+void MultiValuedConsensus::on_vect_deliver(ProcessId origin,
+                                           const Slice& payload) {
   if (vects_[origin].has_value()) return;  // EB delivers once; defensive
   Vect v;
   if (!decode_vect(payload, v)) {
@@ -186,17 +188,17 @@ void MultiValuedConsensus::maybe_send_vect() {
       justification.clear();
     }
   }
-  const Bytes body = encode_vect(w, justification);
+  Bytes body = encode_vect(w, justification);
   trace(TracePhase::kMvcVect, 0, w ? 1 : 0);
   if (stack_.config().mvc_vect_via_rb) {
     auto* rb = static_cast<ReliableBroadcast*>(
         find_child(vect_rb_component(stack_.self())));
     assert(rb != nullptr);
-    rb->bcast(body);
+    rb->bcast(std::move(body));
   } else {
     auto* eb = static_cast<EchoBroadcast*>(find_child(vect_component(stack_.self())));
     assert(eb != nullptr);
-    eb->bcast(body);
+    eb->bcast(std::move(body));
   }
 }
 

@@ -45,7 +45,8 @@ class MultiValuedConsensus final : public Protocol {
   /// (created on demand by a parent) accumulates peer traffic before this.
   void propose(Bytes v);
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
 
   bool active() const { return active_; }
@@ -78,8 +79,11 @@ class MultiValuedConsensus final : public Protocol {
     bool valid = false;
   };
 
-  void on_init_deliver(ProcessId origin, Bytes payload);
-  void on_vect_deliver(ProcessId origin, Bytes payload);
+  // Handlers take the child's zero-copy Slice; MVC stores parsed values as
+  // owned Bytes (small agreement values, deliberately not counted as
+  // payload copies — see docs/OBSERVABILITY.md).
+  void on_init_deliver(ProcessId origin, const Slice& payload);
+  void on_vect_deliver(ProcessId origin, const Slice& payload);
   void on_bc_decide(bool b);
   bool vect_is_valid(const Vect& v) const;
   void revalidate_vects();

@@ -45,7 +45,7 @@ void Protocol::destroy_child(const Component& c) {
   children_.erase(c);
 }
 
-void Protocol::send(ProcessId to, std::uint8_t tag, Bytes payload) const {
+void Protocol::send(ProcessId to, std::uint8_t tag, Slice payload) const {
   Message m;
   m.path = id_;
   m.tag = tag;
@@ -53,7 +53,7 @@ void Protocol::send(ProcessId to, std::uint8_t tag, Bytes payload) const {
   stack_.send_message(to, m);
 }
 
-void Protocol::broadcast(std::uint8_t tag, Bytes payload) const {
+void Protocol::broadcast(std::uint8_t tag, Slice payload) const {
   Message m;
   m.path = id_;
   m.tag = tag;

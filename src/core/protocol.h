@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/trace.h"
 #include "core/instance_id.h"
@@ -34,8 +35,12 @@ class Protocol {
   Protocol* parent() const { return parent_; }
 
   /// Handles a message addressed to this instance. `from` is the
-  /// authenticated sender; tag/payload come from the decoded Message.
-  virtual void on_message(ProcessId from, std::uint8_t tag, ByteView payload) = 0;
+  /// authenticated sender; tag/payload come from the decoded Message. The
+  /// payload Slice aliases the arrival frame (zero-copy) and may be
+  /// retained past this call — it pins the frame's Buffer for as long as
+  /// the protocol keeps it.
+  virtual void on_message(ProcessId from, std::uint8_t tag,
+                          const Slice& payload) = 0;
 
   /// Creates the child for `c` on demand when a message addressed below
   /// this instance arrives before the child exists. Returning nullptr with
@@ -64,10 +69,13 @@ class Protocol {
   /// collect_garbage(), never from a delivery callback.
   void destroy_child(const Component& c);
 
-  /// Sends to one peer (or loops back locally when to == self).
-  void send(ProcessId to, std::uint8_t tag, Bytes payload) const;
+  /// Sends to one peer (or loops back locally when to == self). The Slice
+  /// may alias an arrival frame (relaying received bytes never copies) or
+  /// adopt a freshly built Bytes rvalue.
+  void send(ProcessId to, std::uint8_t tag, Slice payload) const;
   /// Sends to every process in the group, self included (local loopback).
-  void broadcast(std::uint8_t tag, Bytes payload) const;
+  /// Encodes the frame exactly once regardless of n.
+  void broadcast(std::uint8_t tag, Slice payload) const;
 
   /// Records a phase-transition trace event for this instance.
   void trace(TracePhase ph, std::uint64_t arg = 0, std::uint8_t sub = 0) const;

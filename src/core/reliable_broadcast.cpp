@@ -18,7 +18,7 @@ ReliableBroadcast::ReliableBroadcast(ProtocolStack& stack, Protocol* parent,
   assert(origin_ < stack.n());
 }
 
-void ReliableBroadcast::bcast(Bytes payload) {
+void ReliableBroadcast::bcast(Slice payload) {
   if (origin_ != stack_.self()) {
     throw std::logic_error("ReliableBroadcast::bcast: not the origin");
   }
@@ -34,8 +34,9 @@ void ReliableBroadcast::bcast(Bytes payload) {
       adv != nullptr ? adv->rb_equivocate(payload) : std::nullopt;
   if (equivocation) {
     // Byzantine origin: even peers get `payload`, odd peers the alternate.
+    const Slice alt(std::move(*equivocation));
     for (ProcessId p = 0; p < stack_.n(); ++p) {
-      send(p, kInit, p % 2 == 0 ? payload : *equivocation);
+      send(p, kInit, p % 2 == 0 ? payload : alt);
     }
     return;
   }
@@ -43,7 +44,7 @@ void ReliableBroadcast::bcast(Bytes payload) {
 }
 
 void ReliableBroadcast::on_message(ProcessId from, std::uint8_t tag,
-                                   ByteView payload) {
+                                   const Slice& payload) {
   switch (tag) {
     case kInit:
       on_init(from, payload);
@@ -59,7 +60,7 @@ void ReliableBroadcast::on_message(ProcessId from, std::uint8_t tag,
   }
 }
 
-void ReliableBroadcast::on_init(ProcessId from, ByteView payload) {
+void ReliableBroadcast::on_init(ProcessId from, const Slice& payload) {
   // Only the origin may INIT, and only its first INIT counts.
   if (from != origin_ || seen_init_) {
     drop_invalid();
@@ -69,11 +70,13 @@ void ReliableBroadcast::on_init(ProcessId from, ByteView payload) {
   if (!sent_echo_) {
     sent_echo_ = true;
     trace(TracePhase::kRbEcho);
-    broadcast(kEcho, Bytes(payload.begin(), payload.end()));
+    // Relay the received bytes without copying: the ECHO shares the INIT
+    // frame's buffer until its own frame is encoded.
+    broadcast(kEcho, payload);
   }
 }
 
-void ReliableBroadcast::on_echo(ProcessId from, ByteView payload) {
+void ReliableBroadcast::on_echo(ProcessId from, const Slice& payload) {
   if (echoed_[from]) {
     drop_invalid();
     return;
@@ -84,7 +87,7 @@ void ReliableBroadcast::on_echo(ProcessId from, ByteView payload) {
   maybe_send_ready(t);
 }
 
-void ReliableBroadcast::on_ready(ProcessId from, ByteView payload) {
+void ReliableBroadcast::on_ready(ProcessId from, const Slice& payload) {
   if (readied_[from]) {
     drop_invalid();
     return;
@@ -96,11 +99,13 @@ void ReliableBroadcast::on_ready(ProcessId from, ByteView payload) {
   maybe_deliver(t);
 }
 
-ReliableBroadcast::Tally& ReliableBroadcast::tally_for(ByteView payload) {
+ReliableBroadcast::Tally& ReliableBroadcast::tally_for(const Slice& payload) {
   const Sha1::Digest digest = Sha1::hash(payload);
   auto [it, inserted] = tallies_.try_emplace(digest);
   if (inserted) {
-    it->second.payload.assign(payload.begin(), payload.end());
+    // Keep a zero-copy alias of the first frame carrying these bytes; it
+    // pins that frame until the instance is garbage-collected.
+    it->second.payload = payload;
   }
   return it->second;
 }

@@ -27,7 +27,10 @@ namespace ritas {
 
 class ReliableBroadcast final : public Protocol {
  public:
-  using DeliverFn = std::function<void(Bytes payload)>;
+  /// The delivered Slice aliases the arrival frame that first carried the
+  /// winning payload — zero-copy from the wire to the consumer, which may
+  /// keep the Slice (pinning that frame) as long as it needs.
+  using DeliverFn = std::function<void(Slice payload)>;
 
   static constexpr std::uint8_t kInit = 0;
   static constexpr std::uint8_t kEcho = 1;
@@ -38,24 +41,25 @@ class ReliableBroadcast final : public Protocol {
 
   /// Starts the broadcast. Precondition: this process is the origin and
   /// bcast was not called before.
-  void bcast(Bytes payload);
+  void bcast(Slice payload);
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
 
   ProcessId origin() const { return origin_; }
   bool delivered() const { return delivered_; }
 
  private:
   struct Tally {
-    Bytes payload;
+    Slice payload;  // aliases the first frame that carried these bytes
     std::uint32_t echoes = 0;
     std::uint32_t readies = 0;
   };
 
-  void on_init(ProcessId from, ByteView payload);
-  void on_echo(ProcessId from, ByteView payload);
-  void on_ready(ProcessId from, ByteView payload);
-  Tally& tally_for(ByteView payload);
+  void on_init(ProcessId from, const Slice& payload);
+  void on_echo(ProcessId from, const Slice& payload);
+  void on_ready(ProcessId from, const Slice& payload);
+  Tally& tally_for(const Slice& payload);
   void maybe_send_ready(Tally& t);
   void maybe_deliver(Tally& t);
 

@@ -31,7 +31,7 @@ Bytes SignedEchoBroadcast::echo_statement(ByteView m) const {
   return std::move(w).take();
 }
 
-void SignedEchoBroadcast::bcast(Bytes payload) {
+void SignedEchoBroadcast::bcast(Slice payload) {
   if (origin_ != stack_.self()) {
     throw std::logic_error("SignedEchoBroadcast::bcast: not the origin");
   }
@@ -51,7 +51,7 @@ void SignedEchoBroadcast::bcast(Bytes payload) {
 }
 
 void SignedEchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
-                                     ByteView payload) {
+                                     const Slice& payload) {
   switch (tag) {
     case kInit:
       on_init(from, payload);
@@ -67,13 +67,20 @@ void SignedEchoBroadcast::on_message(ProcessId from, std::uint8_t tag,
   }
 }
 
-void SignedEchoBroadcast::on_init(ProcessId from, ByteView payload) {
+void SignedEchoBroadcast::on_init(ProcessId from, const Slice& payload) {
   if (from != origin_ || seen_init_) {
     drop_invalid();
     return;
   }
-  Reader r(payload);
-  const Bytes m = r.bytes();
+  // Slice the embedded message out of the frame instead of copying it.
+  Reader r(payload.view());
+  const std::uint32_t mlen = r.u32();
+  if (!r.ok() || r.remaining() < mlen) {
+    drop_invalid();
+    return;
+  }
+  const Slice m = payload.subslice(r.pos(), mlen);
+  r.skip(mlen);
   const Bytes sig = r.bytes();
   if (!r.done()) {
     drop_invalid();
@@ -91,19 +98,18 @@ void SignedEchoBroadcast::on_init(ProcessId from, ByteView payload) {
   send(origin_, kEcho, rsa_sign(dir_->self, echo_statement(m)));
 }
 
-void SignedEchoBroadcast::on_echo(ProcessId from, ByteView payload) {
+void SignedEchoBroadcast::on_echo(ProcessId from, const Slice& payload) {
   if (stack_.self() != origin_ || sent_commit_ || echo_sigs_[from].has_value()) {
     drop_invalid();
     return;
   }
   if (!seen_init_) return;  // our own INIT has not looped back yet
   stack_.charge_cpu(costs_.verify_ns);
-  if (!rsa_verify(dir_->pubs[from], echo_statement(msg_),
-                  ByteView(payload.data(), payload.size()))) {
+  if (!rsa_verify(dir_->pubs[from], echo_statement(msg_), payload)) {
     drop_invalid();
     return;
   }
-  echo_sigs_[from] = Bytes(payload.begin(), payload.end());
+  echo_sigs_[from] = payload;  // aliases the ECHO frame until COMMIT
   if (++echo_count_ < stack_.quorums().rb_echo_threshold()) return;
 
   sent_commit_ = true;
@@ -120,13 +126,19 @@ void SignedEchoBroadcast::on_echo(ProcessId from, ByteView payload) {
   broadcast(kCommit, std::move(w).take());
 }
 
-void SignedEchoBroadcast::on_commit(ProcessId from, ByteView payload) {
+void SignedEchoBroadcast::on_commit(ProcessId from, const Slice& payload) {
   if (from != origin_ || seen_commit_) {
     drop_invalid();
     return;
   }
-  Reader r(payload);
-  const Bytes m = r.bytes();
+  Reader r(payload.view());
+  const std::uint32_t mlen = r.u32();
+  if (!r.ok() || r.remaining() < mlen) {
+    drop_invalid();
+    return;
+  }
+  const Slice m = payload.subslice(r.pos(), mlen);
+  r.skip(mlen);
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > stack_.n()) {
     drop_invalid();

@@ -48,7 +48,8 @@ struct SignatureCosts {
 
 class SignedEchoBroadcast final : public Protocol {
  public:
-  using DeliverFn = std::function<void(Bytes payload)>;
+  /// Delivered Slice aliases the COMMIT arrival frame (zero-copy).
+  using DeliverFn = std::function<void(Slice payload)>;
 
   static constexpr std::uint8_t kInit = 0;
   static constexpr std::uint8_t kEcho = 1;
@@ -59,17 +60,18 @@ class SignedEchoBroadcast final : public Protocol {
                       std::shared_ptr<const RsaDirectory> dir,
                       SignatureCosts costs, DeliverFn deliver);
 
-  void bcast(Bytes payload);
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void bcast(Slice payload);
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
 
   ProcessId origin() const { return origin_; }
   bool delivered() const { return delivered_; }
 
  private:
   Bytes echo_statement(ByteView m) const;
-  void on_init(ProcessId from, ByteView payload);
-  void on_echo(ProcessId from, ByteView payload);
-  void on_commit(ProcessId from, ByteView payload);
+  void on_init(ProcessId from, const Slice& payload);
+  void on_echo(ProcessId from, const Slice& payload);
+  void on_commit(ProcessId from, const Slice& payload);
 
   const ProcessId origin_;
   const Attribution attr_;
@@ -82,8 +84,8 @@ class SignedEchoBroadcast final : public Protocol {
   bool seen_commit_ = false;
   bool sent_commit_ = false;
   bool delivered_ = false;
-  Bytes msg_;
-  std::vector<std::optional<Bytes>> echo_sigs_;  // origin role, per peer
+  Slice msg_;  // embedded message, sliced out of the INIT frame
+  std::vector<std::optional<Slice>> echo_sigs_;  // origin role, per peer
   std::uint32_t echo_count_ = 0;
 };
 

@@ -25,7 +25,7 @@ ProtocolStack::ProtocolStack(StackConfig cfg, Transport& transport,
 
 ProtocolStack::~ProtocolStack() = default;
 
-void ProtocolStack::on_packet(ProcessId from, ByteView frame) {
+void ProtocolStack::on_packet(ProcessId from, Slice frame) {
   if (from >= cfg_.n || from == cfg_.self) {
     ++metrics_.malformed_dropped;
     trace_drop(TraceDrop::kMalformed, from, {});
@@ -38,6 +38,7 @@ void ProtocolStack::on_packet(ProcessId from, ByteView frame) {
     return;
   }
   ++metrics_.msgs_received;
+  metrics_.payload_bytes_aliased += msg->payload.size();
   if (tracer_ != nullptr) {
     tracer_->record({now_ns(), TraceEventKind::kRecv, msg->tag, from,
                      frame.size(), msg->path.trace_path()});
@@ -72,7 +73,8 @@ void ProtocolStack::send_message(ProcessId to, const Message& m) {
     return;
   }
   if (adversary_ != nullptr && adversary_->omit_to(to)) return;
-  Bytes frame = m.encode();
+  Buffer frame = m.encode();
+  ++metrics_.frames_encoded;
   ++metrics_.msgs_sent;
   metrics_.bytes_sent += frame.size();
   if (tracer_ != nullptr) {
@@ -83,8 +85,27 @@ void ProtocolStack::send_message(ProcessId to, const Message& m) {
 }
 
 void ProtocolStack::broadcast_message(const Message& m) {
+  // Encode exactly once and share the refcounted frame across every peer
+  // (the self copy loops back as a Message and never needs a frame at
+  // all). Encoding is lazy so a fully-omitting adversary encodes nothing.
+  Buffer frame;
   for (ProcessId p = 0; p < cfg_.n; ++p) {
-    send_message(p, m);
+    if (p == cfg_.self) {
+      self_queue_.push_back(m);
+      continue;
+    }
+    if (adversary_ != nullptr && adversary_->omit_to(p)) continue;
+    if (frame.empty()) {
+      frame = m.encode();
+      ++metrics_.frames_encoded;
+    }
+    ++metrics_.msgs_sent;
+    metrics_.bytes_sent += frame.size();
+    if (tracer_ != nullptr) {
+      tracer_->record({now_ns(), TraceEventKind::kSend, m.tag, p, frame.size(),
+                       m.path.trace_path()});
+    }
+    transport_.send(p, frame);
   }
 }
 

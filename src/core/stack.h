@@ -111,8 +111,10 @@ class ProtocolStack {
   Adversary* adversary() const { return adversary_; }
 
   /// Entry point for the transport: a frame arrived from peer `from`.
-  /// Decodes, dispatches, then drains all internally queued work.
-  void on_packet(ProcessId from, ByteView frame);
+  /// Decodes (the payload stays a zero-copy Slice into `frame`),
+  /// dispatches, then drains all internally queued work. The frame's
+  /// Buffer is pinned for as long as any protocol holds the payload.
+  void on_packet(ProcessId from, Slice frame);
 
   /// Bills modeled CPU time for expensive local work (see
   /// Transport::charge_cpu).

@@ -8,6 +8,7 @@
 // unit tests.
 #pragma once
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "core/types.h"
 
@@ -17,9 +18,11 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Queues `frame` for delivery to process `to`. Must not call back into
-  /// the stack synchronously. `to` != self.
-  virtual void send(ProcessId to, Bytes frame) = 0;
+  /// Queues `frame` for delivery to process `to`. The Slice shares the
+  /// frame's refcounted Buffer — broadcast fan-out passes the SAME encoded
+  /// frame to every peer, so implementations must not mutate it. Must not
+  /// call back into the stack synchronously. `to` != self.
+  virtual void send(ProcessId to, Slice frame) = 0;
 
   /// Bills `ns` of *modeled* CPU time to this process. No-op on real
   /// transports (real CPU time is simply spent); the simulator advances

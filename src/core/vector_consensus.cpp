@@ -17,7 +17,7 @@ VectorConsensus::VectorConsensus(ProtocolStack& stack, Protocol* parent,
   for (ProcessId j = 0; j < stack_.n(); ++j) {
     add_child(std::make_unique<ReliableBroadcast>(
         stack_, this, this->id().child(proposal_component(j)), j, attr_,
-        [this, j](Bytes payload) { on_proposal_deliver(j, std::move(payload)); }));
+        [this, j](Slice payload) { on_proposal_deliver(j, payload); }));
   }
 }
 
@@ -55,13 +55,14 @@ void VectorConsensus::propose(Bytes v) {
   try_start_round();
 }
 
-void VectorConsensus::on_message(ProcessId, std::uint8_t, ByteView) {
+void VectorConsensus::on_message(ProcessId, std::uint8_t, const Slice&) {
   drop_invalid();
 }
 
-void VectorConsensus::on_proposal_deliver(ProcessId origin, Bytes payload) {
+void VectorConsensus::on_proposal_deliver(ProcessId origin,
+                                          const Slice& payload) {
   if (proposals_[origin].has_value()) return;  // defensive; RB delivers once
-  proposals_[origin] = std::move(payload);
+  proposals_[origin] = payload;
   ++proposals_received_;
   try_start_round();
 }
@@ -85,8 +86,12 @@ void VectorConsensus::try_start_round() {
   const std::uint32_t need = q.n_minus_f() + round_;
   if (proposals_received_ < need || need > stack_.n()) return;
 
-  // Snapshot the proposals received so far as this round's W vector.
-  Vector w(proposals_.begin(), proposals_.end());
+  // Snapshot the proposals received so far as this round's W vector. The
+  // snapshot owns its bytes (agreement values feed MVC's encoder anyway).
+  Vector w(stack_.n());
+  for (ProcessId j = 0; j < stack_.n(); ++j) {
+    if (proposals_[j]) w[j] = proposals_[j]->to_bytes();
+  }
   mvc_running_ = true;
   trace(TracePhase::kVcRound, round_);
   MultiValuedConsensus& mvc = ensure_mvc(round_);

@@ -37,7 +37,8 @@ class VectorConsensus final : public Protocol {
 
   void propose(Bytes v);
 
-  void on_message(ProcessId from, std::uint8_t tag, ByteView payload) override;
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
 
   bool decided() const { return decided_; }
@@ -56,7 +57,7 @@ class VectorConsensus final : public Protocol {
   static std::optional<Vector> decode_vector(ByteView payload, std::uint32_t n);
 
  private:
-  void on_proposal_deliver(ProcessId origin, Bytes payload);
+  void on_proposal_deliver(ProcessId origin, const Slice& payload);
   void on_mvc_decide(std::uint32_t round, std::optional<Bytes> value);
   MultiValuedConsensus& ensure_mvc(std::uint32_t round);
   void try_start_round();
@@ -70,7 +71,8 @@ class VectorConsensus final : public Protocol {
   std::uint32_t round_ = 0;
   Vector decision_;
 
-  std::vector<std::optional<Bytes>> proposals_;
+  // Zero-copy: each proposal aliases the RB arrival frame that carried it.
+  std::vector<std::optional<Slice>> proposals_;
   std::uint32_t proposals_received_ = 0;
 };
 

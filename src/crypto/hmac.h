@@ -15,10 +15,12 @@
 
 namespace ritas {
 
-/// Computes HMAC_Hash(key, msg). Hash must expose kBlockSize, kDigestSize,
-/// Digest, update(), finish() like Sha1 / Sha256.
-template <typename Hash>
-typename Hash::Digest hmac(ByteView key, ByteView msg) {
+/// Computes HMAC_Hash(key, msg1 ‖ msg2 ‖ ...). Hash must expose kBlockSize,
+/// kDigestSize, Digest, update(), finish() like Sha1 / Sha256. Accepting
+/// multiple views lets callers MAC a small header plus a shared frame body
+/// without materializing the concatenation (see TcpTransport::send).
+template <typename Hash, typename... Views>
+typename Hash::Digest hmac(ByteView key, Views... msg) {
   std::uint8_t key_block[Hash::kBlockSize] = {0};
   if (key.size() > Hash::kBlockSize) {
     const auto digest = Hash::hash(key);
@@ -36,7 +38,7 @@ typename Hash::Digest hmac(ByteView key, ByteView msg) {
 
   Hash inner;
   inner.update(ByteView(ipad, Hash::kBlockSize));
-  inner.update(msg);
+  (inner.update(msg), ...);
   const auto inner_digest = inner.finish();
 
   Hash outer;
@@ -53,6 +55,11 @@ inline Sha1::Digest hmac_sha1(ByteView key, ByteView msg) {
 }
 inline Sha256::Digest hmac_sha256(ByteView key, ByteView msg) {
   return hmac<Sha256>(key, msg);
+}
+/// HMAC over header ‖ body without concatenating them.
+inline Sha256::Digest hmac_sha256_2(ByteView key, ByteView header,
+                                    ByteView body) {
+  return hmac<Sha256>(key, header, body);
 }
 
 }  // namespace ritas

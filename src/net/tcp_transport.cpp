@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -169,24 +171,6 @@ void TcpTransport::wakeup() {
   }
 }
 
-Bytes TcpTransport::seal(ProcessId to, ByteView payload,
-                         std::uint64_t counter) const {
-  // Wire: u32 body_len | body | [mac]; mac covers (from, to, counter, body).
-  Writer w(payload.size() + 48);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.raw(payload);
-  if (opts_.authenticate) {
-    Writer macin(payload.size() + 24);
-    macin.u32(opts_.self);
-    macin.u32(to);
-    macin.u64(counter);
-    macin.raw(payload);
-    const auto mac = hmac_sha256(keys_.key(to), macin.data());
-    w.raw(ByteView(mac.data(), mac.size()));
-  }
-  return std::move(w).take();
-}
-
 bool TcpTransport::write_all(int fd, ByteView data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -213,16 +197,74 @@ std::uint64_t TcpTransport::now_ns() const {
           .count());
 }
 
-void TcpTransport::send(ProcessId to, Bytes frame) {
+bool TcpTransport::writev_all(int fd, ByteView* parts, std::size_t count) {
+  iovec iov[4];
+  assert(count <= 4);
+  std::size_t cnt = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (parts[i].empty()) continue;
+    iov[cnt].iov_base = const_cast<std::uint8_t*>(parts[i].data());
+    iov[cnt].iov_len = parts[i].size();
+    ++cnt;
+  }
+  iovec* cur = iov;
+  while (cnt > 0) {
+    msghdr mh{};
+    mh.msg_iov = cur;
+    mh.msg_iovlen = cnt;
+    const ssize_t k = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 1000);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t rem = static_cast<std::size_t>(k);
+    while (cnt > 0 && rem >= cur->iov_len) {
+      rem -= cur->iov_len;
+      ++cur;
+      --cnt;
+    }
+    if (cnt > 0) {
+      cur->iov_base = static_cast<std::uint8_t*>(cur->iov_base) + rem;
+      cur->iov_len -= rem;
+    }
+  }
+  return true;
+}
+
+void TcpTransport::send(ProcessId to, Slice frame) {
   if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
   Conn& c = conns_[to];
   std::lock_guard<std::mutex> lock(c.tx_mutex);
   if (!c.fd.valid()) return;
-  const Bytes wire = seal(to, frame, c.tx_counter);
-  if (write_all(c.fd.get(), wire)) {
+
+  // Wire: u32 body_len | body | [mac]; mac covers (from, to, counter, body).
+  // The body Slice is typically shared with the other n-2 peer sends — it
+  // is written straight from the refcounted buffer, never re-copied here.
+  Writer hdr(4);
+  hdr.u32(static_cast<std::uint32_t>(frame.size()));
+  Sha256::Digest mac{};
+  std::size_t parts_count = 2;
+  ByteView parts[3] = {hdr.data(), frame, {}};
+  if (opts_.authenticate) {
+    Writer macin(16);
+    macin.u32(opts_.self);
+    macin.u32(to);
+    macin.u64(c.tx_counter);
+    mac = hmac_sha256_2(keys_.key(to), macin.data(), frame);
+    parts[2] = ByteView(mac.data(), mac.size());
+    parts_count = 3;
+  }
+  std::size_t wire_size = 0;
+  for (std::size_t i = 0; i < parts_count; ++i) wire_size += parts[i].size();
+  if (writev_all(c.fd.get(), parts, parts_count)) {
     ++c.tx_counter;  // advance only on success to keep anti-replay in sync
     ++stats_.frames_sent;
-    stats_.bytes_sent += wire.size();
+    stats_.bytes_sent += wire_size;
   } else {
     LOG_WARN("tcp send to p%u failed: %s", to, std::strerror(errno));
     c.fd.reset();  // the stream is unusable after a partial write
@@ -312,7 +354,9 @@ void TcpTransport::process_rx(ProcessId peer) {
     if (ok) {
       ++c.rx_counter;
       ++stats_.frames_received;
-      if (sink_) sink_(peer, Bytes(body.begin(), body.end()));
+      // One boundary copy out of the reassembly window into a fresh Buffer;
+      // everything downstream (decode, batch unpack, delivery) aliases it.
+      if (sink_) sink_(peer, Slice(Bytes(body.begin(), body.end())));
     }
     off += total;
   }

@@ -80,8 +80,10 @@ class TcpTransport final : public Transport {
   /// Closes every socket; subsequent sends are dropped silently.
   void stop();
 
-  /// Sink for inbound frames, invoked from poll_once().
-  void set_sink(std::function<void(ProcessId from, Bytes frame)> sink) {
+  /// Sink for inbound frames, invoked from poll_once(). Each frame is one
+  /// freshly-owned Buffer copied out of the stream-reassembly window (the
+  /// single boundary copy of the receive path); the Slice covers it whole.
+  void set_sink(std::function<void(ProcessId from, Slice frame)> sink) {
     sink_ = std::move(sink);
   }
 
@@ -91,7 +93,9 @@ class TcpTransport final : public Transport {
   /// Wakes a blocked poll_once() from another thread.
   void wakeup();
 
-  void send(ProcessId to, Bytes frame) override;
+  /// Scatter-writes {u32 header, shared frame body, per-peer MAC trailer}
+  /// in one sendmsg(); the refcounted body is never copied per peer.
+  void send(ProcessId to, Slice frame) override;
 
   /// Monotonic wall clock for trace timestamps (real transports are
   /// outside the deterministic core, so reading a clock here is fine).
@@ -108,14 +112,14 @@ class TcpTransport final : public Transport {
     std::mutex tx_mutex;
   };
 
-  Bytes seal(ProcessId to, ByteView payload, std::uint64_t counter) const;
   bool write_all(int fd, ByteView data);
+  bool writev_all(int fd, ByteView* parts, std::size_t count);
   void handle_readable(ProcessId peer);
   void process_rx(ProcessId peer);
 
   Options opts_;
   const KeyChain& keys_;
-  std::function<void(ProcessId, Bytes)> sink_;
+  std::function<void(ProcessId, Slice)> sink_;
   Fd listen_fd_;
   Fd wake_rx_, wake_tx_;
   std::vector<Conn> conns_;  // index = peer id; conns_[self] unused

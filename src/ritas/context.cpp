@@ -69,8 +69,8 @@ Context::~Context() { stop(); }
 
 void Context::start() {
   if (running_.load()) return;
-  transport_->set_sink([this](ProcessId from, Bytes frame) {
-    stack_->on_packet(from, frame);
+  transport_->set_sink([this](ProcessId from, Slice frame) {
+    stack_->on_packet(from, std::move(frame));
   });
   transport_->start();
   running_.store(true);
@@ -81,8 +81,10 @@ void Context::start() {
   run_on_reactor([this] {
     auto ab = std::make_unique<AtomicBroadcast>(
         *stack_, nullptr, InstanceId::root(ProtocolType::kAtomicBroadcast, 0),
-        [this](ProcessId origin, std::uint64_t rbid, Bytes payload) {
-          AbDelivery d{origin, rbid, std::move(payload)};
+        [this](ProcessId origin, std::uint64_t rbid, Slice payload) {
+          // App-boundary copy: queued deliveries must not pin whole batch
+          // frames for as long as the application keeps the payload.
+          AbDelivery d{origin, rbid, payload.to_bytes()};
           if (ab_sub_) {
             ab_sub_(std::move(d));  // reactor thread; subscriber must not block
           } else {
@@ -157,9 +159,9 @@ void Context::ensure_bcast_windows() {
           InstanceId::root(ProtocolType::kReliableBroadcast, bcast_seq(o, k));
       roots_.emplace(id, std::make_unique<ReliableBroadcast>(
                              *stack_, nullptr, id, o, Attribution::kPayload,
-                             [this, o, k](Bytes payload) {
+                             [this, o, k](Slice payload) {
                                on_bcast_deliver(ProtocolType::kReliableBroadcast,
-                                                o, k, std::move(payload));
+                                                o, k, payload.to_bytes());
                              }));
     }
     while (eb_created_[o] < eb_delivered_[o] + opts_.recv_window) {
@@ -168,9 +170,9 @@ void Context::ensure_bcast_windows() {
           InstanceId::root(ProtocolType::kEchoBroadcast, bcast_seq(o, k));
       roots_.emplace(id, std::make_unique<EchoBroadcast>(
                              *stack_, nullptr, id, o, Attribution::kPayload,
-                             [this, o, k](Bytes payload) {
+                             [this, o, k](Slice payload) {
                                on_bcast_deliver(ProtocolType::kEchoBroadcast, o,
-                                                k, std::move(payload));
+                                                k, payload.to_bytes());
                              }));
     }
   }

@@ -47,8 +47,8 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
     }
   }
 
-  net_->set_deliver([this](ProcessId from, ProcessId to, Bytes frame) {
-    stacks_[to]->on_packet(from, frame);
+  net_->set_deliver([this](ProcessId from, ProcessId to, Slice frame) {
+    stacks_[to]->on_packet(from, std::move(frame));
   });
 
   for (ProcessId p : opts_.crashed) {

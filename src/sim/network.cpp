@@ -26,7 +26,7 @@ void SimNetwork::charge(ProcessId p, Time ns) {
   cpu_rx_free_[p] = std::max(cpu_rx_free_[p], now) + ns;
 }
 
-void SimNetwork::submit(ProcessId from, ProcessId to, Bytes frame) {
+void SimNetwork::submit(ProcessId from, ProcessId to, Slice frame) {
   assert(deliver_);
   if (crashed_[from] || crashed_[to]) return;
 

@@ -20,7 +20,9 @@ namespace ritas::sim {
 
 class SimNetwork {
  public:
-  using DeliverFn = std::function<void(ProcessId from, ProcessId to, Bytes frame)>;
+  /// The frame Slice shares the sender's refcounted buffer — delivery to
+  /// multiple receivers never duplicates the bytes.
+  using DeliverFn = std::function<void(ProcessId from, ProcessId to, Slice frame)>;
 
   SimNetwork(Scheduler& sched, LanModelConfig lan, std::uint32_t n,
              std::uint64_t jitter_seed);
@@ -30,7 +32,7 @@ class SimNetwork {
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
   /// Submits a frame for transmission at the current simulated time.
-  void submit(ProcessId from, ProcessId to, Bytes frame);
+  void submit(ProcessId from, ProcessId to, Slice frame);
 
   /// Bills modeled CPU to host p: both its TX and RX pipelines stall (a
   /// single physical CPU runs everything on the paper's testbed).
@@ -65,7 +67,7 @@ class SimNetwork {
   class HostTransport final : public Transport {
    public:
     HostTransport(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
-    void send(ProcessId to, Bytes frame) override {
+    void send(ProcessId to, Slice frame) override {
       net_.submit(self_, to, std::move(frame));
     }
     void charge_cpu(std::uint64_t ns) override { net_.charge(self_, ns); }

@@ -10,8 +10,8 @@ Replica::Replica(ProtocolStack& stack, const InstanceId& root_id,
     : machine_(machine) {
   root_ = std::make_unique<AtomicBroadcast>(
       stack, nullptr, root_id,
-      [this](ProcessId, std::uint64_t, Bytes payload) {
-        on_deliver(std::move(payload));
+      [this](ProcessId, std::uint64_t, Slice payload) {
+        on_deliver(payload);
       });
   ab_ = root_.get();
 }
@@ -24,8 +24,8 @@ void Replica::submit(std::uint64_t client, std::uint64_t seq, ByteView op) {
   ab_->bcast(std::move(w).take());
 }
 
-void Replica::on_deliver(Bytes payload) {
-  Reader r(payload);
+void Replica::on_deliver(const Slice& payload) {
+  Reader r(payload.view());
   const std::uint64_t client = r.u64();
   const std::uint64_t seq = r.u64();
   const Bytes op = r.raw(r.remaining());

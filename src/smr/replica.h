@@ -63,7 +63,7 @@ class Replica {
     }
   };
 
-  void on_deliver(Bytes payload);
+  void on_deliver(const Slice& payload);
 
   StateMachine& machine_;
   AtomicBroadcast* ab_ = nullptr;  // owned via roots_ below

@@ -104,7 +104,7 @@ struct DeliveryLog {
   std::vector<std::vector<Bytes>> by_process;
   explicit DeliveryLog(std::uint32_t n) : by_process(n) {}
   auto sink(ProcessId p) {
-    return [this, p](Bytes b) { by_process[p].push_back(std::move(b)); };
+    return [this, p](Slice b) { by_process[p].push_back(b.to_bytes()); };
   }
   bool everyone_has(const std::vector<ProcessId>& who, std::size_t count) const {
     for (ProcessId p : who) {

@@ -110,7 +110,7 @@ TEST(Adversarial, GarbageFramesAtEveryLayerAreDropped) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Slice) { ++delivered[p]; });
   }
   c.call(0, [&] { ab[0]->bcast(to_bytes("legit")); });
 
@@ -173,7 +173,7 @@ TEST(Adversarial, OocFloodCannotStopProgress) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Slice) { ++delivered[p]; });
   }
   c.call(1, [&] { ab[1]->bcast(to_bytes("after the flood")); });
   ASSERT_TRUE(c.run_until([&] { return delivered[0] >= 1; }, kDeadline));
@@ -209,7 +209,7 @@ TEST(Adversarial, BatchedTotalOrderSurvivesPaperByzantineAdversary) {
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
             order[p].emplace_back(origin, rbid);
           });
     }
@@ -260,7 +260,7 @@ TEST(Adversarial, TotalOrderSurvivesSchedulerAttackDuringBursts) {
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
             order[p].emplace_back(origin, rbid);
           });
     }

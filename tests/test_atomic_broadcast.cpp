@@ -25,8 +25,8 @@ struct AbLog {
   std::vector<std::vector<Entry>> by_process;
   explicit AbLog(std::uint32_t n) : by_process(n) {}
   auto sink(ProcessId p) {
-    return [this, p](ProcessId origin, std::uint64_t rbid, Bytes payload) {
-      by_process[p].push_back(Entry{origin, rbid, std::move(payload)});
+    return [this, p](ProcessId origin, std::uint64_t rbid, Slice payload) {
+      by_process[p].push_back(Entry{origin, rbid, payload.to_bytes()});
     };
   }
   bool everyone_has(const std::vector<ProcessId>& who, std::size_t k) const {
@@ -225,7 +225,7 @@ TEST(AtomicBroadcast, LargePayloads) {
   auto ab = make_ab(c, log);
   const Bytes big(10000, 0x42);  // the paper's 10K experiments
   for (ProcessId p : c.live()) {
-    c.call(p, [&, p] { ab[p]->bcast(big); });
+    c.call(p, [&, p] { ab[p]->bcast(Bytes(big)); });
   }
   ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 4); }, kDeadline));
   for (ProcessId p : c.live()) {
@@ -263,29 +263,58 @@ TEST(AtomicBroadcast, RbSeqEncodingRoundTrips) {
 }
 
 TEST(AtomicBroadcast, BatchFramingRoundTrips) {
-  std::vector<Bytes> msgs = {to_bytes("a"), Bytes{}, Bytes(300, 0x5a)};
+  std::vector<Slice> msgs = {to_bytes("a"), Bytes{}, Bytes(300, 0x5a)};
   auto dec = AtomicBroadcast::decode_batch(AtomicBroadcast::encode_batch(msgs));
   ASSERT_TRUE(dec.has_value());
-  EXPECT_EQ(*dec, msgs);
+  ASSERT_EQ(dec->size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ((*dec)[i], msgs[i]);
 
   // Malformed framings all rejected: empty batch, impossible count,
   // truncated length prefix / body, trailing bytes.
   Writer empty;
   empty.u32(0);
-  EXPECT_FALSE(AtomicBroadcast::decode_batch(empty.data()).has_value());
+  EXPECT_FALSE(AtomicBroadcast::decode_batch(std::move(empty).take()).has_value());
   Writer huge;
   huge.u32(0xffffffffu);
-  EXPECT_FALSE(AtomicBroadcast::decode_batch(huge.data()).has_value());
+  EXPECT_FALSE(AtomicBroadcast::decode_batch(std::move(huge).take()).has_value());
   Writer truncated;
   truncated.u32(2);
   truncated.bytes(to_bytes("only-one"));
-  EXPECT_FALSE(AtomicBroadcast::decode_batch(truncated.data()).has_value());
+  EXPECT_FALSE(
+      AtomicBroadcast::decode_batch(std::move(truncated).take()).has_value());
   Bytes enc = AtomicBroadcast::encode_batch(msgs);
   enc.pop_back();
-  EXPECT_FALSE(AtomicBroadcast::decode_batch(enc).has_value());
+  EXPECT_FALSE(AtomicBroadcast::decode_batch(std::move(enc)).has_value());
   Bytes trailing = AtomicBroadcast::encode_batch(msgs);
   trailing.push_back(0);
-  EXPECT_FALSE(AtomicBroadcast::decode_batch(trailing).has_value());
+  EXPECT_FALSE(AtomicBroadcast::decode_batch(std::move(trailing)).has_value());
+}
+
+TEST(AtomicBroadcast, BatchUnpackSlicesAliasAndPinTheFrame) {
+  // Zero-copy batch unpack: every decoded sub-message points into the
+  // sealed frame, and any one of them keeps the frame alive after all
+  // other references are gone.
+  Slice survivor;
+  const std::uint8_t* frame_base = nullptr;
+  std::size_t frame_size = 0;
+  {
+    std::vector<Slice> msgs = {to_bytes("first"), to_bytes("second"),
+                               Bytes(1000, 0x11)};
+    Buffer frame = Buffer::own(AtomicBroadcast::encode_batch(msgs));
+    frame_base = frame.data();
+    frame_size = frame.size();
+    auto dec = AtomicBroadcast::decode_batch(frame);
+    ASSERT_TRUE(dec.has_value());
+    ASSERT_EQ(dec->size(), 3u);
+    for (const Slice& m : *dec) {
+      EXPECT_GE(m.data(), frame_base);
+      EXPECT_LE(m.data() + m.size(), frame_base + frame_size);
+    }
+    survivor = (*dec)[1];
+  }  // frame handle and the other slices die here
+  EXPECT_EQ(to_string(survivor.view()), "second");
+  EXPECT_EQ(survivor.buffer().use_count(), 1);
+  EXPECT_EQ(survivor.buffer().data(), frame_base);  // same block, still alive
 }
 
 TEST(AtomicBroadcast, BatchingPreservesTotalOrderAndCounts) {
@@ -359,7 +388,7 @@ TEST(AtomicBroadcast, BatchByteLimitSeals) {
   auto ab = make_ab(c, log);
   const Bytes chunk(100, 0x7e);
   c.call(0, [&] {
-    for (int i = 0; i < 7; ++i) ab[0]->bcast(chunk);
+    for (int i = 0; i < 7; ++i) ab[0]->bcast(Bytes(chunk));
   });
   // Seal 1: first message (idle pipeline). Then 100+4 byte entries hit the
   // 256-byte cap every third append while the pipeline is busy.

@@ -1,0 +1,131 @@
+// Buffer/Slice unit tests: refcount semantics, subslice arithmetic and
+// clamping, lifetime (a slice pins its parent frame), and the explicit-copy
+// boundary (to_bytes / Buffer::copy are the ONLY copies).
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace ritas {
+namespace {
+
+TEST(Buffer, DefaultIsEmptyNull) {
+  Buffer b;
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.use_count(), 0);
+}
+
+TEST(Buffer, OwnAdoptsWithoutCopying) {
+  Bytes src = to_bytes("adopt me");
+  const std::uint8_t* p = src.data();
+  Buffer b = Buffer::own(std::move(src));
+  EXPECT_EQ(b.data(), p);  // same allocation: zero-copy adoption
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.use_count(), 1);
+}
+
+TEST(Buffer, CopyIsADistinctBlock) {
+  const Bytes src = to_bytes("copy me");
+  Buffer b = Buffer::copy(src);
+  EXPECT_NE(b.data(), src.data());
+  EXPECT_TRUE(equal(b.view(), ByteView(src)));
+}
+
+TEST(Buffer, CopyingBumpsRefcountNotBytes) {
+  Buffer a = Buffer::own(to_bytes("shared"));
+  Buffer b = a;
+  Buffer c = b;
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(b.data(), c.data());
+}
+
+TEST(Slice, WholeBufferView) {
+  Buffer b = Buffer::own(to_bytes("whole"));
+  Slice s(b);
+  EXPECT_EQ(s.data(), b.data());
+  EXPECT_EQ(s.size(), b.size());
+  EXPECT_EQ(b.use_count(), 2);  // buffer + slice
+}
+
+TEST(Slice, AdoptsBytesRvalue) {
+  Slice s(to_bytes("rvalue"));
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.buffer().use_count(), 1);
+}
+
+TEST(Slice, SubsliceSharesOwnership) {
+  Buffer b = Buffer::own(to_bytes("0123456789"));
+  Slice whole(b);
+  Slice mid = whole.subslice(2, 5);
+  EXPECT_EQ(mid.size(), 5u);
+  EXPECT_EQ(mid.data(), b.data() + 2);
+  EXPECT_EQ(to_string(mid.view()), "23456");
+  EXPECT_EQ(b.use_count(), 3);  // b + whole + mid
+  // Nested subslice offsets compose.
+  Slice inner = mid.subslice(1, 2);
+  EXPECT_EQ(to_string(inner.view()), "34");
+}
+
+TEST(Slice, SubsliceClampsOutOfRange) {
+  Slice s(to_bytes("abcd"));
+  EXPECT_EQ(s.subslice(0, 100).size(), 4u);   // length clamps
+  EXPECT_EQ(s.subslice(2, 100).size(), 2u);   // tail clamps
+  EXPECT_EQ(s.subslice(100, 1).size(), 0u);   // offset past end -> empty
+  EXPECT_EQ(s.subslice(4, 0).size(), 0u);     // at end -> empty
+  // A clamped slice still points inside the block (no OOB).
+  Slice tail = s.subslice(3, 100);
+  EXPECT_EQ(tail.data(), s.data() + 3);
+  EXPECT_EQ(tail.size(), 1u);
+}
+
+TEST(Slice, PinsParentBufferAlive) {
+  // mbuf semantics: the last surviving sub-slice keeps the whole frame
+  // allocation alive.
+  Slice keeper;
+  const std::uint8_t* base = nullptr;
+  {
+    Buffer frame = Buffer::own(Bytes(4096, 0x3c));
+    base = frame.data();
+    keeper = Slice(frame).subslice(1000, 16);
+  }  // frame handle destroyed
+  EXPECT_EQ(keeper.buffer().use_count(), 1);
+  EXPECT_EQ(keeper.data(), base + 1000);
+  for (std::uint8_t v : keeper) EXPECT_EQ(v, 0x3c);
+}
+
+TEST(Slice, ToBytesCopiesOut) {
+  Slice s = Slice(to_bytes("boundary")).subslice(0, 5);
+  Bytes out = s.to_bytes();
+  EXPECT_EQ(to_string(out), "bound");
+  EXPECT_NE(out.data(), s.data());  // real copy, independent lifetime
+}
+
+TEST(Slice, EqualityIsContentBased) {
+  Slice a(to_bytes("same"));
+  Slice b(to_bytes("same"));
+  Slice c(to_bytes("diff"));
+  EXPECT_EQ(a, b);  // different blocks, same content
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(Slice(), Slice(Bytes{}));  // empty == empty
+}
+
+TEST(Slice, ViewAndImplicitByteView) {
+  Slice s(to_bytes("view"));
+  ByteView v = s;  // implicit conversion feeds crypto/serialize layers
+  EXPECT_EQ(v.data(), s.data());
+  EXPECT_EQ(v.size(), s.size());
+}
+
+TEST(Slice, IndexingAndIteration) {
+  Slice s(to_bytes("abc"));
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[2], 'c');
+  std::string collected;
+  for (std::uint8_t ch : s) collected.push_back(static_cast<char>(ch));
+  EXPECT_EQ(collected, "abc");
+}
+
+}  // namespace
+}  // namespace ritas

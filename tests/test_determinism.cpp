@@ -74,11 +74,11 @@ TEST(Determinism, AtomicBroadcastBurstReplays) {
     for (ProcessId p : c.live()) {
       AtomicBroadcast::DeliverFn cb;
       if (p == 0) {
-        cb = [&order](ProcessId origin, std::uint64_t rbid, Bytes) {
+        cb = [&order](ProcessId origin, std::uint64_t rbid, Slice) {
           order.emplace_back(origin, rbid);
         };
       } else {
-        cb = [&count](ProcessId, std::uint64_t, Bytes) { ++count; };
+        cb = [&count](ProcessId, std::uint64_t, Slice) { ++count; };
       }
       ab[p] = &c.create_root<AtomicBroadcast>(p, id, std::move(cb));
     }
@@ -130,7 +130,7 @@ TEST(Determinism, BatchedTraceBytesAreBitIdentical) {
     std::vector<std::uint64_t> delivered(4, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+          p, id, [&delivered, p](ProcessId, std::uint64_t, Slice) { ++delivered[p]; });
     }
     for (ProcessId p : c.live()) {
       c.call(p, [&, p] {

@@ -110,7 +110,7 @@ TEST(EchoBroadcast, EmptyAndLargePayloads) {
   auto b = make_eb(c, log_b, 0, 2);
   const Bytes big(32 * 1024, 0xcd);
   c.call(0, [&] { a[0]->bcast(Bytes{}); });
-  c.call(0, [&] { b[0]->bcast(big); });
+  c.call(0, [&] { b[0]->bcast(Bytes(big)); });
   ASSERT_TRUE(c.run_until(
       [&] {
         return log_a.everyone_has(c.live(), 1) && log_b.everyone_has(c.live(), 1);

@@ -21,7 +21,7 @@ struct AbFixture {
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [this, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+          p, id, [this, p](ProcessId origin, std::uint64_t rbid, Slice) {
             order[p].emplace_back(origin, rbid);
           });
     }
@@ -140,7 +140,7 @@ TEST(FaultInjection, LateRootCreationCatchesUpThroughOoc) {
   std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);
   for (ProcessId p : {0u, 1u, 3u}) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
           order[p].emplace_back(origin, rbid);
         });
   }
@@ -152,7 +152,7 @@ TEST(FaultInjection, LateRootCreationCatchesUpThroughOoc) {
 
   // Now the latecomer joins.
   ab[2] = &c.create_root<AtomicBroadcast>(
-      2, id, [&order](ProcessId origin, std::uint64_t rbid, Bytes) {
+      2, id, [&order](ProcessId origin, std::uint64_t rbid, Slice) {
         order[2].emplace_back(origin, rbid);
       });
   c.call(0, [&] { ab[0]->bcast(to_bytes("late")); });

@@ -21,7 +21,7 @@ struct AbHarness {
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [this, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+          p, id, [this, p](ProcessId origin, std::uint64_t rbid, Slice) {
             order[p].emplace_back(origin, rbid);
           });
     }
@@ -61,8 +61,9 @@ Message random_message(Rng& rng) {
       break;
   }
   m.tag = static_cast<std::uint8_t>(rng.below(8));
-  m.payload.resize(rng.below(40));
-  for (auto& b : m.payload) b = static_cast<std::uint8_t>(rng.next());
+  Bytes payload(rng.below(40));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  m.payload = std::move(payload);
   return m;
 }
 
@@ -83,7 +84,7 @@ TEST(Fuzz, RandomBytesDuringBurst) {
       const ProcessId victim = static_cast<ProcessId>(fuzz.below(4));
       const ProcessId claimed = static_cast<ProcessId>(fuzz.below(4));
       if (victim == claimed) continue;
-      c.stack(victim).on_packet(claimed, junk);
+      c.stack(victim).on_packet(claimed, std::move(junk));
     }
     ASSERT_TRUE(c.run_until(
         [&] {
@@ -163,7 +164,7 @@ TEST(Fuzz, MutatedRealFrames) {
                             AtomicBroadcast::msg_seq(3, 0)});
     real.tag = ReliableBroadcast::kInit;
     real.payload = to_bytes("genuine byzantine payload");
-    const Bytes frame = real.encode();
+    const Bytes frame = Slice(real.encode()).to_bytes();
     for (int i = 0; i < 300; ++i) {
       Bytes mutated = frame;
       const std::size_t flips = 1 + fuzz.below(4);
@@ -171,7 +172,7 @@ TEST(Fuzz, MutatedRealFrames) {
         mutated[fuzz.below(mutated.size())] ^= static_cast<std::uint8_t>(
             1u << fuzz.below(8));
       }
-      c.stack(static_cast<ProcessId>(fuzz.below(4))).on_packet(3, mutated);
+      c.stack(static_cast<ProcessId>(fuzz.below(4))).on_packet(3, std::move(mutated));
     }
     auto delivered_from_correct = [&](ProcessId p) {
       std::size_t k = 0;
@@ -238,8 +239,8 @@ TEST(Fuzz, MalformedBatchFramesAreCountedDrops) {
                  .child({ProtocolType::kReliableBroadcast,
                          AtomicBroadcast::msg_seq(3, rbid)});
     m.tag = ReliableBroadcast::kInit;
-    m.payload = payloads[rbid];
-    const Bytes frame = m.encode();
+    m.payload = Bytes(payloads[rbid]);
+    const Buffer frame = m.encode();
     for (ProcessId victim = 0; victim < 3; ++victim) {
       c.stack(victim).on_packet(3, frame);
     }

@@ -23,8 +23,8 @@ struct Net {
 
   explicit Net(LanModelConfig lan, std::uint32_t n = 4)
       : net(sched, lan, n, 99) {
-    net.set_deliver([this](ProcessId f, ProcessId t, Bytes b) {
-      rx.push_back(Rx{f, t, std::move(b), sched.now()});
+    net.set_deliver([this](ProcessId f, ProcessId t, Slice b) {
+      rx.push_back(Rx{f, t, b.to_bytes(), sched.now()});
     });
   }
 };
@@ -84,8 +84,8 @@ TEST(SimNetwork, EgressSerializes) {
   lan.jitter_ns = 0;
   Net n(lan);
   const Bytes big(100000, 0xaa);
-  n.net.submit(0, 1, big);
-  n.net.submit(0, 2, big);
+  n.net.submit(0, 1, Bytes(big));
+  n.net.submit(0, 2, Bytes(big));
   n.sched.run();
   ASSERT_EQ(n.rx.size(), 2u);
   const Time gap = n.rx[1].at - n.rx[0].at;
@@ -104,8 +104,8 @@ TEST(SimNetwork, IngressSerializes) {
   lan.ah_per_byte_ns = 0;
   Net n(lan);
   const Bytes big(50000, 0xbb);
-  n.net.submit(0, 2, big);
-  n.net.submit(1, 2, big);
+  n.net.submit(0, 2, Bytes(big));
+  n.net.submit(1, 2, Bytes(big));
   n.sched.run();
   ASSERT_EQ(n.rx.size(), 2u);
   const Time tx = lan.tx_time(lan.wire_bytes(big.size()));
@@ -143,7 +143,7 @@ TEST(SimNetwork, JitterIsDeterministicPerSeed) {
     Scheduler sched;
     SimNetwork net(sched, lan, 4, seed);
     std::vector<Time> times;
-    net.set_deliver([&](ProcessId, ProcessId, Bytes) { times.push_back(sched.now()); });
+    net.set_deliver([&](ProcessId, ProcessId, Slice) { times.push_back(sched.now()); });
     for (int i = 0; i < 20; ++i) net.submit(0, 1, Bytes{1});
     sched.run();
     return times;

@@ -13,12 +13,15 @@ InstanceId sample_path() {
       .child({ProtocolType::kReliableBroadcast, 42});
 }
 
+/// Mutable copy of an encoded frame, for corruption tests.
+Bytes frame_bytes(const Message& m) { return Slice(m.encode()).to_bytes(); }
+
 TEST(Message, EncodeDecodeRoundTrip) {
   Message m;
   m.path = sample_path();
   m.tag = 2;
   m.payload = to_bytes("hello");
-  const Bytes frame = m.encode();
+  const Buffer frame = m.encode();
   auto d = Message::decode(frame);
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->path, m.path);
@@ -39,37 +42,84 @@ TEST(Message, LargePayload) {
   Message m;
   m.path = sample_path();
   m.tag = 1;
-  m.payload.assign(100000, 0xab);
+  m.payload = Bytes(100000, 0xab);
   auto d = Message::decode(m.encode());
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->payload.size(), 100000u);
 }
 
+TEST(Message, DecodedPayloadAliasesFrame) {
+  // Zero-copy decode: the payload Slice points into the frame's block and
+  // shares ownership of it (refcount visibly bumped).
+  Message m;
+  m.path = sample_path();
+  m.payload = to_bytes("alias me");
+  const Buffer frame = m.encode();
+  const long before = frame.use_count();
+  auto d = Message::decode(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(d->payload.data(), frame.data());
+  EXPECT_LE(d->payload.data() + d->payload.size(), frame.data() + frame.size());
+  EXPECT_GT(frame.use_count(), before);
+}
+
+TEST(Message, DecodedPayloadOutlivesFrameHandle) {
+  // Slice lifetime: the delivered payload stays valid after every other
+  // reference to the transport frame is gone.
+  Slice payload;
+  {
+    Message m;
+    m.path = sample_path();
+    m.payload = to_bytes("survivor");
+    Buffer frame = m.encode();
+    auto d = Message::decode(frame);
+    ASSERT_TRUE(d.has_value());
+    payload = d->payload;
+  }  // frame (and the decoded Message) destroyed here
+  EXPECT_EQ(to_string(payload.view()), "survivor");
+  EXPECT_EQ(payload.buffer().use_count(), 1);  // sole owner now
+}
+
 TEST(Message, RejectsBadVersion) {
   Message m;
   m.path = sample_path();
-  Bytes frame = m.encode();
+  Bytes frame = frame_bytes(m);
   frame[0] = 99;
-  EXPECT_FALSE(Message::decode(frame).has_value());
+  EXPECT_FALSE(Message::decode(std::move(frame)).has_value());
 }
 
 TEST(Message, RejectsTruncatedFrame) {
   Message m;
   m.path = sample_path();
   m.payload = to_bytes("data");
-  Bytes frame = m.encode();
+  const Buffer frame = m.encode();
+  const Slice whole(frame);
   for (std::size_t cut = 1; cut < frame.size(); cut += 3) {
-    const ByteView view(frame.data(), frame.size() - cut);
-    EXPECT_FALSE(Message::decode(view).has_value()) << "cut=" << cut;
+    EXPECT_FALSE(Message::decode(whole.subslice(0, frame.size() - cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Message, RejectsPayloadLengthOverrunningFrame) {
+  // A declared payload length that runs past the end of the frame must be
+  // rejected, not clamp-decoded into a short payload.
+  Message m;
+  m.path = sample_path();
+  m.payload = to_bytes("abcdef");
+  const Bytes good = frame_bytes(m);
+  // Chop payload bytes off the end while the header still promises 6.
+  for (std::size_t keep = 0; keep < 6; ++keep) {
+    Bytes cut(good.begin(), good.end() - (6 - keep));
+    EXPECT_FALSE(Message::decode(std::move(cut)).has_value()) << "keep=" << keep;
   }
 }
 
 TEST(Message, RejectsTrailingGarbage) {
   Message m;
   m.path = sample_path();
-  Bytes frame = m.encode();
+  Bytes frame = frame_bytes(m);
   frame.push_back(0x00);
-  EXPECT_FALSE(Message::decode(frame).has_value());
+  EXPECT_FALSE(Message::decode(std::move(frame)).has_value());
 }
 
 TEST(Message, RejectsEmptyFrame) {
@@ -82,7 +132,7 @@ TEST(Message, RejectsRandomGarbage) {
   for (int trial = 0; trial < 2000; ++trial) {
     Bytes junk(static_cast<std::size_t>(splitmix64(state) % 64));
     for (auto& b : junk) b = static_cast<std::uint8_t>(splitmix64(state));
-    (void)Message::decode(junk);  // must not crash; result may be anything
+    (void)Message::decode(std::move(junk));  // must not crash
   }
   SUCCEED();
 }

@@ -77,7 +77,7 @@ TEST(Metrics, AtomicBroadcastSplitsPayloadFromAgreement) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&delivered, p](ProcessId, std::uint64_t, Bytes) { ++delivered[p]; });
+        p, id, [&delivered, p](ProcessId, std::uint64_t, Slice) { ++delivered[p]; });
   }
   const std::uint32_t kMsgs = 10;
   c.call(0, [&] {

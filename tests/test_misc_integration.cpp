@@ -18,7 +18,7 @@ TEST(ChargeCpu, DelaysSubsequentTraffic) {
   sim::Scheduler sched;
   sim::SimNetwork net(sched, sim::LanModelConfig{}, 4, 1);
   std::vector<sim::Time> arrivals;
-  net.set_deliver([&](ProcessId, ProcessId, Bytes) { arrivals.push_back(sched.now()); });
+  net.set_deliver([&](ProcessId, ProcessId, Slice) { arrivals.push_back(sched.now()); });
   net.submit(0, 1, Bytes(10, 0));
   sched.run();
   const sim::Time baseline = arrivals.at(0);
@@ -26,7 +26,7 @@ TEST(ChargeCpu, DelaysSubsequentTraffic) {
   sim::Scheduler sched2;
   sim::SimNetwork net2(sched2, sim::LanModelConfig{}, 4, 1);
   std::vector<sim::Time> arrivals2;
-  net2.set_deliver([&](ProcessId, ProcessId, Bytes) { arrivals2.push_back(sched2.now()); });
+  net2.set_deliver([&](ProcessId, ProcessId, Slice) { arrivals2.push_back(sched2.now()); });
   net2.charge(0, 5 * sim::kMillisecond);  // e.g. one RSA signature
   net2.submit(0, 1, Bytes(10, 0));
   sched2.run();

@@ -136,7 +136,7 @@ TEST_P(StackProperties, AtomicBroadcast) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&log, p](ProcessId origin, std::uint64_t rbid, Bytes payload) {
+        p, id, [&log, p](ProcessId origin, std::uint64_t rbid, Slice payload) {
           log[p].emplace_back(origin, rbid, to_string(payload));
         });
   }

@@ -124,13 +124,13 @@ TEST(ProtocolEdges, EbMatBeforeInitIsBufferedThenVerified) {
   Message mat;
   mat.path = id2;
   mat.tag = EchoBroadcast::kMat;
-  mat.payload = column;
+  mat.payload = Bytes(column);
   c.stack(1).on_packet(0, mat.encode());  // MAT first...
   EXPECT_TRUE(log2.by_process[1].empty());
   Message init;
   init.path = id2;
   init.tag = EchoBroadcast::kInit;
-  init.payload = m;
+  init.payload = Bytes(m);
   c.stack(1).on_packet(0, init.encode());  // ...INIT second
   ASSERT_EQ(log2.by_process[1].size(), 1u);
   EXPECT_EQ(to_string(log2.by_process[1][0]), "reordered");
@@ -153,12 +153,12 @@ TEST(ProtocolEdges, EbColumnWithTooFewValidCellsRejected) {
   Message init;
   init.path = id;
   init.tag = EchoBroadcast::kInit;
-  init.payload = m;
+  init.payload = Bytes(m);
   c.stack(1).on_packet(0, init.encode());
   Message mat;
   mat.path = id;
   mat.tag = EchoBroadcast::kMat;
-  mat.payload = column;
+  mat.payload = Bytes(column);
   c.stack(1).on_packet(0, mat.encode());
   c.run_all();
   EXPECT_TRUE(log.by_process[1].empty());

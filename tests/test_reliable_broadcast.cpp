@@ -67,7 +67,7 @@ TEST(ReliableBroadcast, LargePayload) {
   DeliveryLog log(4);
   auto rb = make_rb(c, log, 0);
   const Bytes big(64 * 1024, 0x5a);
-  c.call(0, [&] { rb[0]->bcast(big); });
+  c.call(0, [&] { rb[0]->bcast(Bytes(big)); });
   ASSERT_TRUE(c.run_until([&] { return log.everyone_has(c.live(), 1); }, kDeadline));
   EXPECT_EQ(log.by_process[1][0], big);
 }
@@ -100,7 +100,7 @@ TEST(ReliableBroadcast, EquivocatingOriginCannotSplitDelivery) {
   // gather it).
   class Equivocator : public Adversary {
    public:
-    std::optional<Bytes> rb_equivocate(const Bytes&) override {
+    std::optional<Bytes> rb_equivocate(ByteView) override {
       return to_bytes("odd-payload");
     }
   };

@@ -25,7 +25,7 @@ TEST(Soak, LongMixedSessionStaysBoundedAndOrdered) {
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
-        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Bytes) {
+        p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
           order[p].emplace_back(origin, rbid);
         });
   }

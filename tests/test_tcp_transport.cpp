@@ -57,9 +57,9 @@ class Mesh {
       o.authenticate = authenticate;
       node->transport = std::make_unique<TcpTransport>(o, *node->keys);
       Node* raw = node.get();
-      raw->transport->set_sink([raw](ProcessId from, Bytes frame) {
+      raw->transport->set_sink([raw](ProcessId from, Slice frame) {
         std::lock_guard<std::mutex> lock(raw->mutex);
-        raw->received.emplace_back(from, std::move(frame));
+        raw->received.emplace_back(from, frame.to_bytes());
       });
     }
     // start() blocks until the mesh is up, so all nodes start concurrently.
@@ -126,7 +126,7 @@ TEST(TcpTransport, FifoPerPair) {
 TEST(TcpTransport, LargeFrames) {
   Mesh mesh(4);
   const Bytes big(2 * 1024 * 1024, 0xab);
-  mesh.node(0).transport->send(2, big);
+  mesh.node(0).transport->send(2, Bytes(big));
   ASSERT_TRUE(mesh.wait_for(2, 1, 15000));
   std::lock_guard<std::mutex> lock(mesh.node(2).mutex);
   EXPECT_EQ(mesh.node(2).received[0].second, big);
@@ -153,9 +153,9 @@ TEST(TcpTransport, MismatchedKeysDropFrames) {
     o.peers = peers;
     nodes[p]->transport = std::make_unique<TcpTransport>(o, *nodes[p]->keys);
     Node* raw = nodes[p].get();
-    raw->transport->set_sink([raw](ProcessId from, Bytes frame) {
+    raw->transport->set_sink([raw](ProcessId from, Slice frame) {
       std::lock_guard<std::mutex> lock(raw->mutex);
-      raw->received.emplace_back(from, std::move(frame));
+      raw->received.emplace_back(from, frame.to_bytes());
     });
   }
   std::vector<std::thread> starters;
