@@ -8,8 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ritas {
 
@@ -49,5 +53,45 @@ class JsonWriter {
   std::string out_;
   bool need_comma_ = false;
 };
+
+/// Parsed JSON value (the reader counterpart of JsonWriter).
+///
+/// Covers exactly the subset the stack's own artifacts use — null, bool,
+/// number, string, array, object — which is all `json_parse` accepts.
+/// Accessors never throw: lookups on the wrong kind or a missing key
+/// return nullptr / nullopt, so callers validating a foreign artifact
+/// (e.g. a schedule_<seed>.json handed to `ritas_explore --replay`) can
+/// treat every failure as "malformed input, reject".
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;          // every number, as parsed by strtod
+  std::uint64_t unsigned_num = 0;  // exact value when the token was a u64
+  bool is_unsigned = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const JsonValue* get(std::string_view key) const;
+
+  std::optional<bool> as_bool() const;
+  std::optional<std::uint64_t> as_u64() const;
+  std::optional<double> as_double() const;
+  std::optional<std::string_view> as_string() const;
+
+  /// get(key) + typed accessor in one step.
+  std::optional<bool> bool_at(std::string_view key) const;
+  std::optional<std::uint64_t> u64_at(std::string_view key) const;
+  std::optional<double> double_at(std::string_view key) const;
+  std::optional<std::string_view> string_at(std::string_view key) const;
+};
+
+/// Recursive-descent parse of a complete JSON document. Returns nullopt on
+/// any syntax error or trailing garbage. Depth-limited so hostile input
+/// cannot blow the stack.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace ritas

@@ -17,9 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "core/types.h"
 
 namespace ritas {
@@ -72,6 +76,170 @@ class PaperByzantineAdversary : public Adversary {
   std::optional<bool> bc_proposal(bool) override { return false; }
   std::optional<Bytes> mvc_init_value(const Bytes&) override { return std::nullopt; }
   bool mvc_force_default_vect() override { return true; }
+};
+
+// --- single-strategy building blocks --------------------------------------
+// Each deviates at exactly one hook, so they compose cleanly (below). The
+// schedule explorer (src/sim/explore.h) assembles its faultloads from these.
+
+/// Pushes `value` (or silence) at every binary consensus step, and proposes
+/// it too — the "stubborn step values" attack the validation rule filters.
+class StubbornStepAdversary : public Adversary {
+ public:
+  explicit StubbornStepAdversary(std::uint8_t value, bool silent_instead = false)
+      : value_(value), silent_(silent_instead) {}
+  std::optional<bool> bc_proposal(bool) override { return value_ != 0; }
+  std::optional<std::uint8_t> bc_step_value(std::uint32_t, int,
+                                            std::uint8_t) override {
+    if (silent_) return std::nullopt;
+    return value_;
+  }
+
+ private:
+  std::uint8_t value_;
+  bool silent_;
+};
+
+/// Reliable-broadcast equivocation: odd-numbered peers receive `alt`
+/// instead of the honest INIT payload.
+class EquivocationAdversary : public Adversary {
+ public:
+  explicit EquivocationAdversary(Bytes alt) : alt_(std::move(alt)) {}
+  std::optional<Bytes> rb_equivocate(ByteView) override { return alt_; }
+
+ private:
+  Bytes alt_;
+};
+
+/// Echo-broadcast matrix corruption: every MAT column carries garbage
+/// hashes, so no receiver should deliver.
+class MatrixCorruptionAdversary : public Adversary {
+ public:
+  bool eb_corrupt_matrix() override { return true; }
+};
+
+/// Selective omission: silently drops every message to the processes in
+/// `victim_mask` (bit p = victim p). An all-ones mask is a full crash-like
+/// omission fault.
+class SelectiveOmissionAdversary : public Adversary {
+ public:
+  explicit SelectiveOmissionAdversary(std::uint64_t victim_mask)
+      : mask_(victim_mask) {}
+  bool omit_to(ProcessId to) override {
+    return to < 64 && ((mask_ >> to) & 1) != 0;
+  }
+
+ private:
+  std::uint64_t mask_;
+};
+
+// --- composition ----------------------------------------------------------
+
+/// Runs several strategies side by side: for every hook, the first
+/// component that deviates from honest behaviour wins. This turns the
+/// single-strategy adversaries above into a toolbox — e.g. the paper's
+/// faultload plus equivocation plus selective omission in one process.
+class ComposedAdversary : public Adversary {
+ public:
+  ComposedAdversary() = default;
+  explicit ComposedAdversary(std::vector<std::unique_ptr<Adversary>> parts)
+      : parts_(std::move(parts)) {}
+
+  ComposedAdversary& add(std::unique_ptr<Adversary> a) {
+    parts_.push_back(std::move(a));
+    return *this;
+  }
+  bool empty() const { return parts_.empty(); }
+
+  std::optional<bool> bc_proposal(bool honest) override {
+    for (auto& p : parts_) {
+      const auto v = p->bc_proposal(honest);
+      if (v != std::optional<bool>(honest)) return v;
+    }
+    return honest;
+  }
+  std::optional<std::uint8_t> bc_step_value(std::uint32_t round, int step,
+                                            std::uint8_t honest) override {
+    for (auto& p : parts_) {
+      const auto v = p->bc_step_value(round, step, honest);
+      if (v != std::optional<std::uint8_t>(honest)) return v;
+    }
+    return honest;
+  }
+  std::optional<Bytes> mvc_init_value(const Bytes& honest) override {
+    for (auto& p : parts_) {
+      auto v = p->mvc_init_value(honest);
+      if (v != std::optional<Bytes>(honest)) return v;
+    }
+    return honest;
+  }
+  bool mvc_force_default_vect() override {
+    for (auto& p : parts_) {
+      if (p->mvc_force_default_vect()) return true;
+    }
+    return false;
+  }
+  std::optional<Bytes> rb_equivocate(ByteView honest) override {
+    for (auto& p : parts_) {
+      if (auto v = p->rb_equivocate(honest)) return v;
+    }
+    return std::nullopt;
+  }
+  bool eb_corrupt_matrix() override {
+    for (auto& p : parts_) {
+      if (p->eb_corrupt_matrix()) return true;
+    }
+    return false;
+  }
+  bool omit_to(ProcessId to) override {
+    for (auto& p : parts_) {
+      if (p->omit_to(to)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Adversary>> parts_;
+};
+
+/// Gates an inner adversary probabilistically: each hook consultation
+/// deviates with probability `p`, drawn from a *seeded* generator so runs
+/// stay deterministic (the sim's bit-replay guarantee extends to flaky
+/// attackers). With p = 1 this is the inner adversary; with p = 0 it is
+/// correct behaviour.
+class ProbabilisticAdversary : public Adversary {
+ public:
+  ProbabilisticAdversary(std::unique_ptr<Adversary> inner, double p,
+                         std::uint64_t seed)
+      : inner_(std::move(inner)), p_(p), rng_(seed) {}
+
+  std::optional<bool> bc_proposal(bool honest) override {
+    return fire() ? inner_->bc_proposal(honest) : honest;
+  }
+  std::optional<std::uint8_t> bc_step_value(std::uint32_t round, int step,
+                                            std::uint8_t honest) override {
+    return fire() ? inner_->bc_step_value(round, step, honest) : honest;
+  }
+  std::optional<Bytes> mvc_init_value(const Bytes& honest) override {
+    return fire() ? inner_->mvc_init_value(honest) : std::optional<Bytes>(honest);
+  }
+  bool mvc_force_default_vect() override {
+    return fire() && inner_->mvc_force_default_vect();
+  }
+  std::optional<Bytes> rb_equivocate(ByteView honest) override {
+    return fire() ? inner_->rb_equivocate(honest) : std::nullopt;
+  }
+  bool eb_corrupt_matrix() override {
+    return fire() && inner_->eb_corrupt_matrix();
+  }
+  bool omit_to(ProcessId to) override { return fire() && inner_->omit_to(to); }
+
+ private:
+  bool fire() { return rng_.uniform() < p_; }
+
+  std::unique_ptr<Adversary> inner_;
+  double p_;
+  Rng rng_;
 };
 
 }  // namespace ritas

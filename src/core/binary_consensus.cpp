@@ -251,6 +251,15 @@ void BinaryConsensus::try_advance() {
       } else if (c[0] > c[1]) {
         value_ = 0;
       }  // tie (n-f even): keep the current value
+      // test_weak_bc_quorum: deliberately decide on the step-1 majority at
+      // the adopt threshold, skipping the step-2/3 confirmation exchanges —
+      // the decide-on-prepare-instead-of-commit bug the schedule explorer
+      // must catch. Two processes whose (n-f)-snapshots of a split step-1
+      // universe have opposite majorities then decide opposite values.
+      if (stack_.config().test_weak_bc_quorum && c[0] != c[1] &&
+          c[value_] >= adopt_quorum(q)) {
+        decide(value_ == 1, round_);
+      }
       step_ = 2;
       broadcast_step(round_, 2, value_);
     } else if (step_ == 2) {

@@ -73,6 +73,14 @@ struct Metrics {
   std::uint64_t payload_bytes_copied = 0;
   std::uint64_t payload_bytes_aliased = 0;
 
+  // Schedule-exploration harness (src/sim/explore.h). Kept by the
+  // Explorer, not by stacks: trials executed, trials whose property
+  // oracles flagged a safety violation, and trials that exhausted the
+  // liveness budget (no completion within the trial's max_events).
+  std::uint64_t explore_trials = 0;
+  std::uint64_t explore_violations = 0;
+  std::uint64_t explore_stalls = 0;
+
   // Per-protocol spawn->terminal latency, indexed by ProtocolType code
   // (1..6; slot 0 unused). Timestamps come from Transport::now_ns(), so in
   // the sim these are virtual nanoseconds and on clock-less test loopbacks
@@ -125,6 +133,9 @@ struct Metrics {
     frames_encoded += o.frames_encoded;
     payload_bytes_copied += o.payload_bytes_copied;
     payload_bytes_aliased += o.payload_bytes_aliased;
+    explore_trials += o.explore_trials;
+    explore_violations += o.explore_violations;
+    explore_stalls += o.explore_stalls;
     for (std::size_t i = 0; i < proto_latency_ns.size(); ++i) {
       proto_latency_ns[i] += o.proto_latency_ns[i];
     }

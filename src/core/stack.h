@@ -85,6 +85,19 @@ struct StackConfig {
   /// mechanism buys under attack.
   bool bc_disable_validation = false;
 
+  // --- test-only fault injection (never set in production paths) ----------
+  /// Weakens the binary consensus decide rule: decide as soon as a step-1
+  /// majority reaches the adopt threshold, skipping the step-2/3
+  /// confirmation exchanges and their floor((n+f)/2)+1 decide quorum — the
+  /// decide-on-prepare-instead-of-commit bug.
+  /// A deliberately broken implementation that decides before agreement is
+  /// locked in: under a split proposal vector, two processes whose first
+  /// n-f step-1 values have opposite majorities decide opposite ways.
+  /// Exists solely as a known-bug target for the schedule-exploration
+  /// harness (src/sim/explore.h): the explorer's oracles must find an
+  /// agreement violation under this flag (asserted in tests/test_explore.cpp).
+  bool test_weak_bc_quorum = false;
+
   Quorums quorums() const { return Quorums(n); }
 };
 

@@ -5,6 +5,7 @@
 // it; liveness must survive everything but the impossible.
 #include <gtest/gtest.h>
 
+#include "sim/oracles.h"
 #include "sim_helpers.h"
 
 namespace ritas {
@@ -24,9 +25,11 @@ TEST(Adversarial, SlowVictimStillDecides) {
   c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
     return (from == 2 || to == 2) ? 5 * sim::kMillisecond : 0;
   });
-  auto cap = run_binary_consensus(c, {true, true, true, true});
-  ASSERT_TRUE(cap.all_set(c.correct_set()));
-  EXPECT_TRUE(cap.agree(c.correct_set()));
+  const std::vector<bool> proposals{true, true, true, true};
+  auto cap = run_binary_consensus(c, proposals);
+  sim::oracle::Report rep;
+  sim::oracle::check_bc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
 }
 
 TEST(Adversarial, SkewedCliquesAgree) {
@@ -39,9 +42,11 @@ TEST(Adversarial, SkewedCliquesAgree) {
       const bool cross = (from < 2) != (to < 2);
       return cross ? 3 * sim::kMillisecond : 0;
     });
-    auto cap = run_binary_consensus(c, {true, true, false, false});
-    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
-    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    const std::vector<bool> proposals{true, true, false, false};
+    auto cap = run_binary_consensus(c, proposals);
+    sim::oracle::Report rep;
+    sim::oracle::check_bc(rep, c.correct_set(), proposals, cap.got);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.text();
   }
 }
 
@@ -58,9 +63,11 @@ TEST(Adversarial, MultiRoundExecutionsHappenAndStayCorrect) {
       const bool cross = (from < 2) != (to < 2);
       return cross ? 2 * sim::kMillisecond : 0;
     });
-    auto cap = run_binary_consensus(c, {true, true, false, false});
-    ASSERT_TRUE(cap.all_set(c.correct_set())) << "seed " << seed;
-    EXPECT_TRUE(cap.agree(c.correct_set())) << "seed " << seed;
+    const std::vector<bool> proposals{true, true, false, false};
+    auto cap = run_binary_consensus(c, proposals);
+    sim::oracle::Report rep;
+    sim::oracle::check_bc(rep, c.correct_set(), proposals, cap.got);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.text();
     total_rounds += c.total_metrics().bc_rounds_total;
     total_decided += c.total_metrics().bc_decided;
   }
@@ -78,7 +85,13 @@ TEST(Adversarial, OmissionAttackerIsACrash) {
   o.byzantine = {0};
   o.adversary_factory = [] { return std::make_unique<Omitter>(); };
   Cluster c(o);
-  auto cap = run_mvc(c, {to_bytes("v"), to_bytes("v"), to_bytes("v"), to_bytes("v")});
+  const std::vector<Bytes> proposals(4, to_bytes("v"));
+  auto cap = run_mvc(c, proposals);
+  sim::oracle::Report rep;
+  sim::oracle::check_mvc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
+  // All correct processes proposed "v": the decision must be exactly it,
+  // not the default value.
   for (ProcessId p : c.correct_set()) {
     ASSERT_TRUE(cap.got[p].has_value());
     ASSERT_TRUE(cap.got[p]->has_value());
@@ -96,8 +109,11 @@ TEST(Adversarial, SelectiveOmissionToOneVictim) {
   o.byzantine = {0};
   o.adversary_factory = [] { return std::make_unique<Selective>(); };
   Cluster c(o);
-  auto cap = run_binary_consensus(c, {true, true, true, true});
-  ASSERT_TRUE(cap.all_set(c.correct_set()));
+  const std::vector<bool> proposals{true, true, true, true};
+  auto cap = run_binary_consensus(c, proposals);
+  sim::oracle::Report rep;
+  sim::oracle::check_bc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
   for (ProcessId p : c.correct_set()) EXPECT_TRUE(*cap.got[p]);
 }
 
@@ -185,7 +201,11 @@ TEST(Adversarial, CrashPlusByzantineBeyondFBreaksNothingWithinF) {
   o.crashed = {5};
   o.byzantine = {6};
   Cluster c(o);
-  auto cap = run_mvc(c, std::vector<Bytes>(7, to_bytes("combined")));
+  const std::vector<Bytes> proposals(7, to_bytes("combined"));
+  auto cap = run_mvc(c, proposals);
+  sim::oracle::Report rep;
+  sim::oracle::check_mvc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
   for (ProcessId p : c.correct_set()) {
     ASSERT_TRUE(cap.got[p].has_value());
     ASSERT_TRUE(cap.got[p]->has_value());
@@ -205,12 +225,12 @@ TEST(Adversarial, BatchedTotalOrderSurvivesPaperByzantineAdversary) {
     o.stack.ab_batch.max_batch_msgs = 4;
     Cluster c(o);
     std::vector<AtomicBroadcast*> ab(4, nullptr);
-    std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);
+    std::vector<sim::oracle::AbLog> order(4);
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
-            order[p].emplace_back(origin, rbid);
+          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice payload) {
+            order[p].push_back({origin, rbid, payload.to_bytes()});
           });
     }
     for (ProcessId p : c.correct_set()) {
@@ -229,13 +249,11 @@ TEST(Adversarial, BatchedTotalOrderSurvivesPaperByzantineAdversary) {
         kDeadline))
         << "seed " << seed;
     c.run_all();
-    const ProcessId ref = *c.correct_set().begin();
-    for (ProcessId p : c.correct_set()) {
-      const std::size_t k = std::min(order[p].size(), order[ref].size());
-      for (std::size_t i = 0; i < k; ++i) {
-        ASSERT_EQ(order[p][i], order[ref][i]) << "seed " << seed << " pos " << i;
-      }
-    }
+    // Batching shares one rbid per batch, so only the order oracle applies
+    // (payload-exact prefix agreement), matching the explorer's AB checks.
+    sim::oracle::Report rep;
+    sim::oracle::ab_total_order(rep, c.correct_set(), order);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.text();
     // Any corrupted batch frame that RB-delivered was a counted drop, and
     // batch-malformed drops are a subset of the invalid-drop count.
     EXPECT_GE(c.total_metrics().invalid_dropped,
@@ -256,17 +274,21 @@ TEST(Adversarial, TotalOrderSurvivesSchedulerAttackDuringBursts) {
       return target ? 2 * sim::kMillisecond : 0;
     });
     std::vector<AtomicBroadcast*> ab(4, nullptr);
-    std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);
+    std::vector<sim::oracle::AbLog> order(4);
+    sim::oracle::AbSent sent;
     const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
     for (ProcessId p : c.live()) {
       ab[p] = &c.create_root<AtomicBroadcast>(
-          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice) {
-            order[p].emplace_back(origin, rbid);
+          p, id, [&order, p](ProcessId origin, std::uint64_t rbid, Slice payload) {
+            order[p].push_back({origin, rbid, payload.to_bytes()});
           });
     }
     for (int i = 0; i < 5; ++i) {
       for (ProcessId p : c.live()) {
-        c.call(p, [&, p] { ab[p]->bcast(to_bytes("x")); });
+        c.call(p, [&, p] {
+          const std::uint64_t rbid = ab[p]->bcast(to_bytes("x"));
+          if (c.correct(p)) sent[{p, rbid}] = to_bytes("x");
+        });
       }
     }
     ASSERT_TRUE(c.run_until(
@@ -278,12 +300,10 @@ TEST(Adversarial, TotalOrderSurvivesSchedulerAttackDuringBursts) {
         },
         kDeadline))
         << "seed " << seed;
-    for (ProcessId p : c.correct_set()) {
-      const std::size_t k = std::min(order[p].size(), order[0].size());
-      for (std::size_t i = 0; i < k; ++i) {
-        ASSERT_EQ(order[p][i], order[0][i]) << "seed " << seed << " pos " << i;
-      }
-    }
+    c.run_all();
+    sim::oracle::Report rep;
+    sim::oracle::check_ab(rep, c.correct_set(), order, sent);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.text();
   }
 }
 

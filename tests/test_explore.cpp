@@ -1,0 +1,174 @@
+// Schedule-exploration harness: determinism of trials, JSON round-trips,
+// the injected weak-quorum bug being found and shrunk, bit-identical
+// replay of minimized schedules, and stall (liveness-budget) detection.
+#include <gtest/gtest.h>
+
+#include "sim/explore.h"
+
+namespace ritas::sim {
+namespace {
+
+TEST(Explore, ScheduleJsonRoundTrip) {
+  Explorer::Config cfg;
+  cfg.workload = Workload::kAtomicBroadcast;
+  Explorer ex(cfg);
+  for (std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+    const Schedule s = ex.make_schedule(seed);
+    const std::string json = s.to_json();
+    const auto back = Schedule::from_json(json);
+    ASSERT_TRUE(back.has_value()) << json;
+    EXPECT_EQ(back->to_json(), json);
+  }
+}
+
+TEST(Explore, ScheduleJsonRejectsMalformedInput) {
+  EXPECT_FALSE(Schedule::from_json("").has_value());
+  EXPECT_FALSE(Schedule::from_json("not json").has_value());
+  EXPECT_FALSE(Schedule::from_json("{}").has_value());
+  EXPECT_FALSE(Schedule::from_json("[1,2,3]").has_value());
+  // Wrong version.
+  Schedule s;
+  std::string json = s.to_json();
+  const auto pos = json.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = json;
+  bad.replace(pos, 11, "\"version\":2");
+  EXPECT_FALSE(Schedule::from_json(bad).has_value());
+  // Unknown workload.
+  bad = json;
+  const auto wpos = bad.find("\"workload\":\"bc\"");
+  ASSERT_NE(wpos, std::string::npos);
+  bad.replace(wpos, 15, "\"workload\":\"zz\"");
+  EXPECT_FALSE(Schedule::from_json(bad).has_value());
+}
+
+TEST(Explore, ScheduleJsonAcceptsArtifactWrapper) {
+  // The CLI wraps the schedule in a report object; from_json must descend.
+  Explorer ex(Explorer::Config{});
+  const Schedule s = ex.make_schedule(7);
+  const std::string wrapped =
+      "{\"version\":1,\"tool\":\"ritas_explore\",\"fingerprint\":123,"
+      "\"schedule\":" + s.to_json() + "}";
+  const auto back = Schedule::from_json(wrapped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_json(), s.to_json());
+}
+
+TEST(Explore, MakeScheduleIsDeterministic) {
+  Explorer a{Explorer::Config{}};
+  Explorer b{Explorer::Config{}};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(a.make_schedule(seed).to_json(), b.make_schedule(seed).to_json())
+        << "seed " << seed;
+  }
+}
+
+TEST(Explore, SameScheduleSameTrialTrace) {
+  // Same seed => bit-identical run: the observation-stream fingerprint,
+  // event count and end time must all match across re-executions.
+  Explorer ex(Explorer::Config{});
+  for (std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    const Schedule s = ex.make_schedule(seed);
+    const TrialResult r1 = Explorer::run_trial(s);
+    const TrialResult r2 = Explorer::run_trial(s);
+    EXPECT_EQ(r1.fingerprint, r2.fingerprint) << "seed " << seed;
+    EXPECT_EQ(r1.events, r2.events) << "seed " << seed;
+    EXPECT_EQ(r1.end_time, r2.end_time) << "seed " << seed;
+    EXPECT_EQ(r1.violations, r2.violations) << "seed " << seed;
+    EXPECT_EQ(r1.completed, r2.completed) << "seed " << seed;
+  }
+  // Different seeds perturb the trace: fingerprints must differ.
+  EXPECT_NE(Explorer::run_trial(ex.make_schedule(3)).fingerprint,
+            Explorer::run_trial(ex.make_schedule(4)).fingerprint);
+}
+
+TEST(Explore, CleanSweepFindsNothing) {
+  Explorer::Config cfg;
+  cfg.messages = 1;
+  Explorer ex(cfg);
+  const auto finding = ex.explore(1, 30);
+  EXPECT_FALSE(finding.has_value());
+  EXPECT_EQ(ex.metrics().explore_trials, 30u);
+  EXPECT_EQ(ex.metrics().explore_violations, 0u);
+  EXPECT_EQ(ex.metrics().explore_stalls, 0u);
+}
+
+TEST(Explore, WeakQuorumBugIsFoundShrunkAndReplaysBitIdentically) {
+  // The acceptance gate for the whole harness: with the deliberately
+  // weakened BC decide rule the explorer must find an agreement violation
+  // within 200 seeded trials, shrink it to a small schedule, and the
+  // serialized artifact must re-execute bit-identically.
+  Explorer::Config cfg;
+  cfg.weak_bc_quorum = true;
+  Explorer ex(cfg);
+  const auto finding = ex.explore(1, 200);
+  ASSERT_TRUE(finding.has_value()) << "no violation within 200 trials";
+  EXPECT_GE(ex.metrics().explore_violations, 1u);
+  EXPECT_FALSE(finding->from_stall);
+  EXPECT_FALSE(finding->result.violations.empty());
+
+  // Shrinking reached a small schedule and never lost the violation.
+  EXPECT_LE(finding->minimized.size(), 6u)
+      << finding->minimized.to_json();
+  EXPECT_LE(finding->minimized.size(), finding->schedule.size());
+
+  // The violation is a BC agreement split, not some side effect.
+  bool agreement = false;
+  for (const std::string& v : finding->result.violations) {
+    agreement = agreement || v.find("bc.agreement") != std::string::npos;
+  }
+  EXPECT_TRUE(agreement) << finding->result.violations.front();
+
+  // Round-trip through the serialized artifact, then re-execute: the
+  // replay must reproduce the violation with the same fingerprint.
+  const auto replayed = Schedule::from_json(finding->minimized.to_json());
+  ASSERT_TRUE(replayed.has_value());
+  const TrialResult again = Explorer::run_trial(*replayed);
+  EXPECT_EQ(again.fingerprint, finding->result.fingerprint);
+  EXPECT_EQ(again.events, finding->result.events);
+  EXPECT_EQ(again.end_time, finding->result.end_time);
+  EXPECT_EQ(again.violations, finding->result.violations);
+}
+
+TEST(Explore, CorrectQuorumSurvivesTheSameSchedules) {
+  // The exact schedules that break the weakened variant must be harmless
+  // against the real decide rule.
+  Explorer::Config weak;
+  weak.weak_bc_quorum = true;
+  Explorer ex(weak);
+  const auto finding = ex.explore(1, 200);
+  ASSERT_TRUE(finding.has_value());
+  Schedule fixed = finding->minimized;
+  fixed.weak_bc_quorum = false;
+  const TrialResult r = Explorer::run_trial(fixed);
+  EXPECT_TRUE(r.violations.empty())
+      << "real quorum violated: " << r.violations.front();
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Explore, LivenessBudgetFlagsAStalledRun) {
+  // Crashing f+1 processes at t=0 leaves n-f-1 < n-f live: binary
+  // consensus can never assemble a step quorum and the liveness budget
+  // must flag the run as stalled instead of spinning forever.
+  Schedule s;
+  s.seed = 1;
+  s.n = 4;
+  s.workload = Workload::kBinaryConsensus;
+  s.messages = 1;
+  s.max_events = 50'000;
+  s.perturbations.push_back(
+      {Perturbation::Kind::kCrash, 2, 0, 0, 0, 0, 0});
+  s.perturbations.push_back(
+      {Perturbation::Kind::kCrash, 3, 0, 0, 0, 0, 0});
+  const TrialResult r = Explorer::run_trial(s);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_FALSE(r.completed);
+
+  // Stalled runs are deterministic too: same schedule, same fingerprint.
+  const TrialResult again = Explorer::run_trial(s);
+  EXPECT_TRUE(again.stalled);
+  EXPECT_EQ(again.fingerprint, r.fingerprint);
+}
+
+}  // namespace
+}  // namespace ritas::sim

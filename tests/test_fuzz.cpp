@@ -4,6 +4,10 @@
 // bytes cannot take a correct process down" guarantee, stress-tested.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
 #include "sim_helpers.h"
 
 namespace ritas {
@@ -264,6 +268,103 @@ TEST(Fuzz, MalformedBatchFramesAreCountedDrops) {
   // processes (totality), and each delivery is a counted drop.
   EXPECT_GE(m.ab_batch_malformed, 9u);
   EXPECT_GE(m.invalid_dropped, m.ab_batch_malformed);
+}
+
+/// Loads one corpus file: hex bytes, whitespace ignored, '#' to EOL is a
+/// comment. Returns nullopt on a file that is not well-formed hex (a test
+/// bug, not a Byzantine input — the corpus itself must stay clean).
+std::optional<Bytes> load_corpus_frame(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) return std::nullopt;
+  Bytes out;
+  int hi = -1;
+  for (std::string line; std::getline(in, line);) {
+    for (char ch : line) {
+      if (ch == '#') break;
+      if (std::isspace(static_cast<unsigned char>(ch))) continue;
+      const int v = std::isdigit(static_cast<unsigned char>(ch)) ? ch - '0'
+                    : ch >= 'a' && ch <= 'f'                     ? ch - 'a' + 10
+                    : ch >= 'A' && ch <= 'F'                     ? ch - 'A' + 10
+                                                                 : -1;
+      if (v < 0) return std::nullopt;
+      if (hi < 0) {
+        hi = v;
+      } else {
+        out.push_back(static_cast<std::uint8_t>(hi << 4 | v));
+        hi = -1;
+      }
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd nibble count
+  return out;
+}
+
+TEST(Fuzz, CorpusRegression) {
+  // Every malformed frame that ever mattered, persisted under
+  // tests/corpus/ and replayed into every live stack on every run: frames
+  // must be counted drops (or parked out-of-context), never throws, and
+  // the real workload must still totally order afterwards. Batching is on
+  // so the batch-framing entries exercise the AB decode path too.
+  const std::filesystem::path dir = RITAS_TEST_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".hex") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 10u) << "corpus went missing from " << dir;
+
+  test::ClusterOptions o = fast_lan(4, 995);
+  o.stack.ab_batch.enabled = true;
+  o.stack.ab_batch.max_batch_msgs = 4;
+  Cluster c(o);
+  AbHarness h(c);
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] {
+      for (int i = 0; i < 4; ++i) h.ab[p]->bcast(to_bytes("live"));
+      h.ab[p]->flush();
+    });
+  }
+  for (const auto& file : files) {
+    const auto frame = load_corpus_frame(file);
+    ASSERT_TRUE(frame.has_value()) << "bad hex in " << file;
+    for (ProcessId victim : c.live()) {
+      // Claimed sender 3 (2 when 3 is the victim): always a real peer id,
+      // never the victim itself.
+      const ProcessId claimed = victim == 3 ? 2 : 3;
+      c.stack(victim).on_packet(claimed, Bytes(*frame));
+    }
+  }
+  // Corpus entries that forge AB(0)/RB(msg_seq(3,0)) race p3's own first
+  // batch, making p3 an equivocating origin whose batch may legitimately
+  // never deliver — so the progress goal counts the other origins only.
+  auto delivered_from_unforged = [&](ProcessId p) {
+    std::size_t k = 0;
+    for (const auto& [origin, rbid] : h.order[p]) {
+      if (origin != 3) ++k;
+    }
+    return k;
+  };
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (ProcessId p : c.live()) {
+          if (delivered_from_unforged(p) < 12) return false;
+        }
+        return true;
+      },
+      kDeadline));
+  c.run_all();
+  for (ProcessId p : c.live()) {
+    const std::size_t k = std::min(h.order[p].size(), h.order[0].size());
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(h.order[p][i], h.order[0][i]);
+  }
+  // Every injected frame was noticed somewhere: parse rejects, protocol
+  // rejects, unroutable paths and out-of-context parks all count.
+  const Metrics m = c.total_metrics();
+  EXPECT_GE(m.malformed_dropped + m.invalid_dropped + m.unroutable_dropped +
+                m.ooc_stored,
+            files.size())
+      << "corpus frames absorbed silently";
 }
 
 TEST(Fuzz, SerializeReaderNeverCrashesOnRandomInput) {

@@ -12,6 +12,7 @@
 //        duplicates, no inventions).
 #include <gtest/gtest.h>
 
+#include "sim/oracles.h"
 #include "sim_helpers.h"
 
 namespace ritas {
@@ -73,18 +74,9 @@ TEST_P(StackProperties, BinaryConsensus) {
     proposals[p] = ((GetParam().seed + p) % 3) != 0;
   }
   auto cap = test::run_binary_consensus(c, proposals);
-  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
-  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
-  // Validity when the correct processes happen to be unanimous.
-  bool all_same = true;
-  for (ProcessId p : c.correct_set()) {
-    all_same = all_same && proposals[p] == proposals[c.correct_set().front()];
-  }
-  if (all_same) {
-    EXPECT_EQ(*cap.got[c.correct_set().front()],
-              proposals[c.correct_set().front()])
-        << "validity";
-  }
+  sim::oracle::Report rep;
+  sim::oracle::check_bc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
 }
 
 TEST_P(StackProperties, MultiValuedConsensus) {
@@ -95,13 +87,9 @@ TEST_P(StackProperties, MultiValuedConsensus) {
     proposals[p] = to_bytes(((GetParam().seed + p) % 2) ? "camp-A" : "camp-B");
   }
   auto cap = test::run_mvc(c, proposals);
-  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
-  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
-  const auto& d = *cap.got[c.correct_set().front()];
-  if (d.has_value()) {
-    const std::string s = to_string(*d);
-    EXPECT_TRUE(s == "camp-A" || s == "camp-B") << "decided invented value " << s;
-  }
+  sim::oracle::Report rep;
+  sim::oracle::check_mvc(rep, c.correct_set(), proposals, cap.got);
+  EXPECT_TRUE(rep.ok()) << rep.text();
 }
 
 TEST_P(StackProperties, VectorConsensus) {
@@ -111,40 +99,31 @@ TEST_P(StackProperties, VectorConsensus) {
     proposals[p] = to_bytes("vc-" + std::to_string(p));
   }
   auto cap = test::run_vc(c, proposals);
-  ASSERT_TRUE(cap.all_set(c.correct_set())) << "termination";
-  EXPECT_TRUE(cap.agree(c.correct_set())) << "agreement";
-  const auto& v = *cap.got[c.correct_set().front()];
-  ASSERT_EQ(v.size(), c.n());
-  std::uint32_t correct_entries = 0;
-  for (ProcessId p = 0; p < c.n(); ++p) {
-    if (!v[p].has_value()) continue;
-    if (c.correct(p)) {
-      EXPECT_EQ(*v[p], proposals[p]) << "entry " << p << " is not its proposal";
-      ++correct_entries;
-    }
-  }
-  EXPECT_GE(correct_entries, max_faults(c.n()) + 1 -
-                                 static_cast<std::uint32_t>(
-                                     c.n() - c.correct_set().size()) * 0)
-      << "f+1 correct entries";
+  sim::oracle::Report rep;
+  sim::oracle::check_vc(rep, c.correct_set(), proposals, cap.got,
+                        max_faults(c.n()));
+  EXPECT_TRUE(rep.ok()) << rep.text();
 }
 
 TEST_P(StackProperties, AtomicBroadcast) {
   Cluster c(options_for(GetParam()));
   std::vector<AtomicBroadcast*> ab(c.n(), nullptr);
-  std::vector<std::vector<std::tuple<ProcessId, std::uint64_t, std::string>>> log(c.n());
+  std::vector<sim::oracle::AbLog> log(c.n());
+  sim::oracle::AbSent sent;
   const InstanceId id = InstanceId::root(ProtocolType::kAtomicBroadcast, 0);
   for (ProcessId p : c.live()) {
     ab[p] = &c.create_root<AtomicBroadcast>(
         p, id, [&log, p](ProcessId origin, std::uint64_t rbid, Slice payload) {
-          log[p].emplace_back(origin, rbid, to_string(payload));
+          log[p].push_back({origin, rbid, payload.to_bytes()});
         });
   }
   const std::uint32_t kPer = 3;
   for (std::uint32_t i = 0; i < kPer; ++i) {
     for (ProcessId p : c.live()) {
       c.call(p, [&, p, i] {
-        ab[p]->bcast(to_bytes("m" + std::to_string(p) + "." + std::to_string(i)));
+        Bytes b = to_bytes("m" + std::to_string(p) + "." + std::to_string(i));
+        const std::uint64_t rbid = ab[p]->bcast(Bytes(b));
+        if (c.correct(p)) sent[{p, rbid}] = std::move(b);
       });
     }
   }
@@ -155,8 +134,8 @@ TEST_P(StackProperties, AtomicBroadcast) {
       [&] {
         for (ProcessId p : c.correct_set()) {
           std::size_t from_correct = 0;
-          for (const auto& [o, r, s] : log[p]) {
-            if (c.correct(o)) ++from_correct;
+          for (const auto& e : log[p]) {
+            if (c.correct(e.origin)) ++from_correct;
           }
           if (from_correct < must) return false;
         }
@@ -166,23 +145,9 @@ TEST_P(StackProperties, AtomicBroadcast) {
       << "validity/termination";
   c.run_all();
 
-  const auto& ref = log[c.correct_set().front()];
-  for (ProcessId p : c.correct_set()) {
-    // Agreement: prefix-identical orders.
-    const std::size_t k = std::min(ref.size(), log[p].size());
-    for (std::size_t i = 0; i < k; ++i) {
-      ASSERT_EQ(log[p][i], ref[i]) << "order diverged at " << i;
-    }
-    // Integrity: no duplicates; payload matches what the origin sent.
-    std::set<std::pair<ProcessId, std::uint64_t>> seen;
-    for (const auto& [o, r, s] : log[p]) {
-      EXPECT_TRUE(seen.emplace(o, r).second) << "duplicate delivery";
-      if (c.correct(o)) {
-        EXPECT_EQ(s, "m" + std::to_string(o) + "." + std::to_string(r))
-            << "payload forgery";
-      }
-    }
-  }
+  sim::oracle::Report rep;
+  sim::oracle::check_ab(rep, c.correct_set(), log, sent);
+  EXPECT_TRUE(rep.ok()) << rep.text();
 }
 
 std::vector<Params> make_matrix() {
