@@ -12,6 +12,7 @@
 //
 // Run the other three with --id 1/2/3 in separate terminals, then type.
 #include <cstdio>
+#include <optional>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -95,12 +96,27 @@ int main(int argc, char** argv) {
   o.self = args.id;
   o.peers = args.members;
   o.master_secret = to_bytes(args.secret);
-  Context ctx(o);
+  std::optional<Context> ctx_holder;
+  try {
+    ctx_holder.emplace(std::move(o));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[ritas] invalid configuration: %s\n", e.what());
+    return 2;
+  }
+  Context& ctx = *ctx_holder;
 
-  std::fprintf(stderr, "[ritas] node %u/%u connecting...\n", args.id, o.n);
-  ctx.start();
+  std::fprintf(stderr, "[ritas] node %u/%u connecting...\n", args.id,
+               ctx.n());
+  try {
+    ctx.start();
+  } catch (const std::exception& e) {
+    // A mesh that never reaches n-f-1 links (peers down, port conflict, or
+    // a wrong --secret: the authenticated handshake refuses an impostor).
+    std::fprintf(stderr, "[ritas] failed to join the group: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(stderr, "[ritas] mesh up; tolerating f=%u Byzantine members\n",
-               max_faults(o.n));
+               max_faults(ctx.n()));
 
   // Delivery printer; ab_recv throws when the context stops, which is our
   // signal to exit.

@@ -231,7 +231,10 @@ std::string chrome_trace_json(const std::vector<const Tracer*>& tracers) {
         case TraceEventKind::kOocStore:
         case TraceEventKind::kOocDrain:
         case TraceEventKind::kOocEvict:
-        case TraceEventKind::kWire: {
+        case TraceEventKind::kWire:
+        case TraceEventKind::kLinkUp:
+        case TraceEventKind::kLinkDown:
+        case TraceEventKind::kLinkHandshake: {
           const char* name = "?";
           switch (e.kind) {
             case TraceEventKind::kSend: name = "send"; break;
@@ -239,6 +242,9 @@ std::string chrome_trace_json(const std::vector<const Tracer*>& tracers) {
             case TraceEventKind::kOocStore: name = "ooc.store"; break;
             case TraceEventKind::kOocDrain: name = "ooc.drain"; break;
             case TraceEventKind::kOocEvict: name = "ooc.evict"; break;
+            case TraceEventKind::kLinkUp: name = "link.up"; break;
+            case TraceEventKind::kLinkDown: name = "link.down"; break;
+            case TraceEventKind::kLinkHandshake: name = "link.handshake"; break;
             default: name = "wire"; break;
           }
           sep();

@@ -68,6 +68,9 @@ enum class TraceEventKind : std::uint8_t {
   kOocDrain = 9,        // re-dispatched from the out-of-context table
   kOocEvict = 10,       // evicted by the per-sender quota; peer = sender
   kWire = 11,           // sim transport: frame submitted; peer = to, arg = wire bytes
+  kLinkUp = 12,         // channel handshake completed; peer, arg = session id
+  kLinkDown = 13,       // channel lost (EOF/RST/write error); peer, arg = session id
+  kLinkHandshake = 14,  // re-handshake resynced counters; peer, arg = frames retransmitted
 };
 
 /// Phase transitions, one namespace across all six protocols (plus the

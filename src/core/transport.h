@@ -8,11 +8,24 @@
 // unit tests.
 #pragma once
 
+#include <vector>
+
 #include "common/buffer.h"
 #include "common/bytes.h"
 #include "core/types.h"
 
 namespace ritas {
+
+/// Health of one pairwise channel, as reported by transports that manage
+/// real links (net/). The reliable-channel abstraction says links between
+/// correct processes are *eventually* up; self-healing transports cycle
+/// kUp -> kBackoff -> kConnecting -> kUp on failures instead of dying.
+enum class LinkState : std::uint8_t {
+  kDown = 0,        // no connection and no retry scheduled (acceptor side)
+  kConnecting = 1,  // TCP connect or session handshake in progress
+  kUp = 2,          // handshake complete; frames flow
+  kBackoff = 3,     // dialer waiting out a jittered backoff before retrying
+};
 
 class Transport {
  public:
@@ -30,6 +43,12 @@ class Transport {
   /// baseline's RSA, notably) delay subsequent sends and receives the way
   /// they would on the paper's 500 MHz testbed.
   virtual void charge_cpu(std::uint64_t ns) { (void)ns; }
+
+  /// Per-peer channel health (index = process id; the self entry reads
+  /// kUp). Transports without managed links — the simulator, test
+  /// loopbacks — report an empty vector, meaning "links are an
+  /// abstraction here, assume up".
+  virtual std::vector<LinkState> link_states() const { return {}; }
 
   /// Current time in nanoseconds for trace timestamps and latency
   /// histograms. The sim reports virtual time (keeping traces

@@ -1,0 +1,119 @@
+// Per-link reconnection policy: the pure, clock-free half of the
+// self-healing channel layer.
+//
+// `LinkBackoff` produces the jittered exponential retry schedule and
+// `LinkRetry` is the per-link lifecycle state machine
+// (down / connecting / up / backoff). Neither reads a clock or any global
+// randomness: time arrives as explicit millisecond values from the caller
+// (TcpTransport feeds its monotonic clock; unit tests feed a counter) and
+// jitter comes from a seeded Rng, so the same seed yields the same
+// reconnect timeline bit-for-bit (tests/test_link.cpp relies on it).
+//
+// State machine (dialer side; the acceptor side only ever uses
+// kDown <-> kConnecting <-> kUp since it never schedules retries):
+//
+//   kDown ──should_dial──▶ kConnecting ──on_up──▶ kUp
+//     ▲                        │ on_down             │ on_down
+//     │                        ▼                     ▼
+//     └───(never; terminal states retry)──── kBackoff ──deadline──▶ dial again
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/transport.h"
+
+namespace ritas::net {
+
+struct BackoffOptions {
+  std::uint64_t base_ms = 20;     // delay before the first retry
+  std::uint64_t cap_ms = 2'000;   // exponential growth ceiling
+  std::uint32_t jitter_pct = 50;  // delay drawn from [d - d*j/100, d]
+};
+
+/// Jittered truncated exponential backoff. Attempt k (0-based) waits
+/// `min(base << k, cap)` milliseconds minus a uniformly random jitter of up
+/// to jitter_pct percent — full delays synchronize reconnect storms after a
+/// common outage; the jitter de-correlates them.
+class LinkBackoff {
+ public:
+  LinkBackoff(const BackoffOptions& opts, std::uint64_t rng_seed)
+      : opts_(opts), rng_(rng_seed) {}
+
+  /// Delay before the next attempt; advances the attempt counter.
+  std::uint64_t next_delay_ms() {
+    std::uint64_t d = opts_.cap_ms;
+    if (attempts_ < 63) {
+      const std::uint64_t raw = opts_.base_ms << attempts_;
+      // Shift overflow check: raw wraps only past 63 doublings (guarded
+      // above), but base << k can still exceed the cap long before that.
+      d = raw < opts_.base_ms || raw > opts_.cap_ms ? opts_.cap_ms : raw;
+    }
+    ++attempts_;
+    if (opts_.jitter_pct > 0 && d > 0) {
+      const std::uint64_t span = d * opts_.jitter_pct / 100;
+      if (span > 0) d -= rng_.below(span + 1);
+    }
+    return d;
+  }
+
+  void reset() { attempts_ = 0; }
+  std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  BackoffOptions opts_;
+  Rng rng_;
+  std::uint32_t attempts_ = 0;
+};
+
+/// Lifecycle of one dialed link. All transitions are explicit and
+/// time-injected; the class never blocks, sleeps, or reads a clock.
+class LinkRetry {
+ public:
+  LinkRetry(const BackoffOptions& opts, std::uint64_t rng_seed)
+      : backoff_(opts, rng_seed) {}
+
+  LinkState state() const { return state_; }
+
+  /// True when a (re)connect attempt should start at `now_ms`: immediately
+  /// while down, or once the backoff deadline has passed.
+  bool should_dial(std::uint64_t now_ms) const {
+    return state_ == LinkState::kDown ||
+           (state_ == LinkState::kBackoff && now_ms >= retry_at_ms_);
+  }
+
+  /// A connect/handshake attempt started.
+  void on_dialing() { state_ = LinkState::kConnecting; }
+
+  /// Handshake completed; the schedule restarts from the base delay on the
+  /// next failure.
+  void on_up() {
+    if (ever_up_) ++reconnects_;
+    ever_up_ = true;
+    state_ = LinkState::kUp;
+    backoff_.reset();
+  }
+
+  /// Connect failed or an established link dropped: schedule the next dial.
+  void on_down(std::uint64_t now_ms) {
+    state_ = LinkState::kBackoff;
+    retry_at_ms_ = now_ms + backoff_.next_delay_ms();
+  }
+
+  /// Next dial deadline; meaningful only in kBackoff.
+  std::uint64_t retry_at_ms() const { return retry_at_ms_; }
+
+  /// Times on_up() re-established a link that had been up before.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+  std::uint32_t attempts() const { return backoff_.attempts(); }
+
+ private:
+  LinkBackoff backoff_;
+  LinkState state_ = LinkState::kDown;
+  std::uint64_t retry_at_ms_ = 0;
+  std::uint64_t reconnects_ = 0;
+  bool ever_up_ = false;
+};
+
+}  // namespace ritas::net

@@ -9,12 +9,13 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <stdexcept>
-#include <thread>
 
 #include "common/log.h"
 #include "common/serialize.h"
@@ -24,8 +25,19 @@
 namespace ritas::net {
 
 namespace {
+
+// Session handshake wire constants (docs/PROTOCOLS.md "Reliable channel").
 constexpr std::uint32_t kHandshakeMagic = 0x52495441;  // "RITA"
+constexpr std::uint8_t kWireVersion = 2;               // v1 had no sessions
+constexpr std::uint8_t kFlagAuthenticate = 0x01;
 constexpr std::size_t kMacSize = Sha256::kDigestSize;
+constexpr std::size_t kHelloSize = 4 + 1 + 1 + 4 + 8;
+constexpr std::size_t kReplyBase = 4 + 1 + 1 + 4 + 8 + 8;
+constexpr std::size_t kConfirmBase = 8;
+constexpr std::size_t kFrameHeader = 4 + 8 + 8;  // len | sid | counter
+// A pending accept that has not produced a well-formed HELLO within this
+// many buffered bytes is garbage, whatever its timing.
+constexpr std::size_t kMaxHandshakeRx = 4096;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -36,7 +48,51 @@ void set_nodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
+
+/// Handshake transcript MACs. `label` domain-separates REPLY ("a"),
+/// CONFIRM ("d") and the session-id derivation ("s").
+Sha256::Digest hs_mac(ByteView key, char label, std::uint32_t dialer,
+                      std::uint32_t acceptor, std::uint64_t nonce_d,
+                      std::uint64_t nonce_a, std::uint64_t counter_field) {
+  Writer w(40);
+  w.raw(to_bytes("RITAS-hs-"));
+  w.u8(static_cast<std::uint8_t>(label));
+  w.u32(dialer);
+  w.u32(acceptor);
+  w.u64(nonce_d);
+  w.u64(nonce_a);
+  w.u64(counter_field);
+  return hmac_sha256(key, w.data());
+}
+
+/// Session id bound to both nonces (and, when authenticating, the pairwise
+/// key): frames from any previous session carry a different sid and are
+/// rejected before their counters can confuse the anti-replay floor.
+std::uint64_t derive_sid(ByteView key, std::uint32_t dialer,
+                         std::uint32_t acceptor, std::uint64_t nonce_d,
+                         std::uint64_t nonce_a) {
+  const auto mac = hs_mac(key, 's', dialer, acceptor, nonce_d, nonce_a, 0);
+  Reader r(ByteView(mac.data(), mac.size()));
+  const std::uint64_t sid = r.u64();
+  return sid == 0 ? 1 : sid;  // 0 is reserved for "no session"
+}
+
 }  // namespace
+
+struct TcpTransport::Counters {
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> frames_retransmitted{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> mac_failures{0};
+  std::atomic<std::uint64_t> replay_drops{0};
+  std::atomic<std::uint64_t> session_rejects{0};
+  std::atomic<std::uint64_t> counter_gaps{0};
+  std::atomic<std::uint64_t> oversize_drops{0};
+  std::atomic<std::uint64_t> queue_drops{0};
+  std::atomic<std::uint64_t> link_reconnects{0};
+  std::atomic<std::uint64_t> handshake_failures{0};
+};
 
 Fd& Fd::operator=(Fd&& o) noexcept {
   if (this != &o) {
@@ -55,13 +111,47 @@ void Fd::reset() {
 }
 
 TcpTransport::TcpTransport(Options opts, const KeyChain& keys)
-    : opts_(std::move(opts)), keys_(keys), conns_(opts_.n) {
+    : opts_(std::move(opts)), keys_(keys), counters_(std::make_unique<Counters>()) {
   if (opts_.peers.size() != opts_.n) {
     throw std::invalid_argument("TcpTransport: need one address per process");
   }
+  std::uint64_t seed = opts_.rng_seed;
+  if (seed == 0) {
+    std::random_device rd;
+    seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }
+  rng_ = std::make_unique<Rng>(seed);
+  conns_.reserve(opts_.n);
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    conns_.push_back(std::make_unique<Conn>());
+    if (p < opts_.self) {
+      // We dial every lower id; each link's jitter stream is independent.
+      conns_[p]->retry =
+          std::make_unique<LinkRetry>(opts_.backoff, seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+    }
+  }
+  epoch_ns_ = now_ns();
 }
 
 TcpTransport::~TcpTransport() { stop(); }
+
+std::uint64_t TcpTransport::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t TcpTransport::now_ms() const { return (now_ns() - epoch_ns_) / 1'000'000; }
+
+std::uint32_t TcpTransport::start_threshold() const {
+  const std::uint32_t want = opts_.n - 1;
+  if (opts_.min_start_links != 0) {
+    return opts_.min_start_links < want ? opts_.min_start_links : want;
+  }
+  const std::uint32_t f = (opts_.n - 1) / 3;
+  return want - f;  // n - f - 1
+}
 
 void TcpTransport::start() {
   // Wakeup pipe so other threads can interrupt poll_once().
@@ -85,82 +175,36 @@ void TcpTransport::start() {
                              std::to_string(opts_.peers[opts_.self].port));
   }
   if (::listen(lfd.get(), 64) != 0) throw std::runtime_error("listen() failed");
+  set_nonblocking(lfd.get());
   listen_fd_ = std::move(lfd);
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(opts_.connect_timeout_ms);
-  std::uint32_t connected = 0;
-  const std::uint32_t want = opts_.n - 1;
-
-  // Lower id dials, higher id accepts; handshake carries the dialer's id.
-  auto try_dial = [&](ProcessId peer) -> bool {
-    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-    if (!fd.valid()) return false;
-    sockaddr_in peer_addr{};
-    peer_addr.sin_family = AF_INET;
-    peer_addr.sin_port = htons(opts_.peers[peer].port);
-    if (::inet_pton(AF_INET, opts_.peers[peer].host.c_str(), &peer_addr.sin_addr) != 1) {
-      return false;
+  // Partial-mesh startup: pump the reactor until enough links are up; the
+  // stragglers keep dialing from poll_once() for the session's lifetime.
+  const std::uint64_t deadline =
+      now_ms() + static_cast<std::uint64_t>(opts_.connect_timeout_ms);
+  const std::uint32_t want = start_threshold();
+  while (links_up() < want) {
+    if (stopped_.load()) throw std::runtime_error("TcpTransport: stopped during start");
+    if (now_ms() > deadline) {
+      throw std::runtime_error(
+          "TcpTransport: mesh setup timed out (" + std::to_string(links_up()) +
+          "/" + std::to_string(want) + " links up)");
     }
-    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&peer_addr),
-                  sizeof(peer_addr)) != 0) {
-      return false;
-    }
-    Writer w;
-    w.u32(kHandshakeMagic);
-    w.u32(opts_.self);
-    if (!write_all(fd.get(), w.data())) return false;
-    set_nodelay(fd.get());
-    set_nonblocking(fd.get());
-    conns_[peer].fd = std::move(fd);
-    return true;
-  };
-
-  std::vector<bool> dialed(opts_.n, false);
-  while (connected < want) {
-    if (std::chrono::steady_clock::now() > deadline) {
-      throw std::runtime_error("TcpTransport: mesh setup timed out");
-    }
-    // Dial every lower-id... higher-id peer we have not connected yet.
-    for (ProcessId peer = 0; peer < opts_.self; ++peer) {
-      if (!dialed[peer] && try_dial(peer)) {
-        dialed[peer] = true;
-        ++connected;
-      }
-    }
-    // Accept from higher-id peers.
-    pollfd pfd{listen_fd_.get(), POLLIN, 0};
-    if (::poll(&pfd, 1, 50) > 0 && (pfd.revents & POLLIN)) {
-      Fd fd(::accept(listen_fd_.get(), nullptr, nullptr));
-      if (fd.valid()) {
-        std::uint8_t hs[8];
-        std::size_t got = 0;
-        while (got < sizeof(hs)) {
-          const ssize_t k = ::read(fd.get(), hs + got, sizeof(hs) - got);
-          if (k <= 0) break;
-          got += static_cast<std::size_t>(k);
-        }
-        if (got == sizeof(hs)) {
-          Reader r(ByteView(hs, sizeof(hs)));
-          const std::uint32_t magic = r.u32();
-          const std::uint32_t peer = r.u32();
-          if (magic == kHandshakeMagic && peer > opts_.self && peer < opts_.n &&
-              !conns_[peer].fd.valid()) {
-            set_nodelay(fd.get());
-            set_nonblocking(fd.get());
-            conns_[peer].fd = std::move(fd);
-            ++connected;
-          }
-        }
-      }
-    }
+    poll_once(20);
   }
 }
 
 void TcpTransport::stop() {
   stopped_.store(true);
   wakeup();
-  for (auto& c : conns_) c.fd.reset();
+  for (auto& c : conns_) {
+    std::lock_guard<std::mutex> lock(c->mutex);
+    c->fd.reset();
+    c->state = LinkState::kDown;
+    c->sid = 0;
+    c->phase = HsPhase::kIdle;
+  }
+  pending_accepts_.clear();
   listen_fd_.reset();
 }
 
@@ -169,6 +213,17 @@ void TcpTransport::wakeup() {
     const std::uint8_t b = 1;
     [[maybe_unused]] ssize_t k = ::write(wake_tx_.get(), &b, 1);
   }
+}
+
+void TcpTransport::trace_link(TraceEventKind kind, ProcessId peer,
+                              std::uint64_t arg) {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.kind = kind;
+  e.peer = peer;
+  e.arg = arg;
+  tracer_->record(e);
 }
 
 bool TcpTransport::write_all(int fd, ByteView data) {
@@ -188,13 +243,6 @@ bool TcpTransport::write_all(int fd, ByteView data) {
     return false;
   }
   return true;
-}
-
-std::uint64_t TcpTransport::now_ns() const {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
 }
 
 bool TcpTransport::writev_all(int fd, ByteView* parts, std::size_t count) {
@@ -236,69 +284,537 @@ bool TcpTransport::writev_all(int fd, ByteView* parts, std::size_t count) {
   return true;
 }
 
-void TcpTransport::send(ProcessId to, Slice frame) {
-  if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
-  Conn& c = conns_[to];
-  std::lock_guard<std::mutex> lock(c.tx_mutex);
-  if (!c.fd.valid()) return;
-
-  // Wire: u32 body_len | body | [mac]; mac covers (from, to, counter, body).
-  // The body Slice is typically shared with the other n-2 peer sends — it
-  // is written straight from the refcounted buffer, never re-copied here.
-  Writer hdr(4);
+bool TcpTransport::write_frame(Conn& c, ProcessId to, std::uint64_t counter,
+                               Slice frame) {
+  // Wire: u32 body_len | u64 sid | u64 counter | body | [mac]; the mac
+  // covers (from, to, sid, counter, body). The body Slice is typically
+  // shared with the other n-2 peer sends — it is written straight from the
+  // refcounted buffer, never re-copied here.
+  Writer hdr(kFrameHeader);
   hdr.u32(static_cast<std::uint32_t>(frame.size()));
+  hdr.u64(c.sid);
+  hdr.u64(counter);
   Sha256::Digest mac{};
   std::size_t parts_count = 2;
   ByteView parts[3] = {hdr.data(), frame, {}};
   if (opts_.authenticate) {
-    Writer macin(16);
+    Writer macin(24);
     macin.u32(opts_.self);
     macin.u32(to);
-    macin.u64(c.tx_counter);
+    macin.u64(c.sid);
+    macin.u64(counter);
     mac = hmac_sha256_2(keys_.key(to), macin.data(), frame);
     parts[2] = ByteView(mac.data(), mac.size());
     parts_count = 3;
   }
   std::size_t wire_size = 0;
   for (std::size_t i = 0; i < parts_count; ++i) wire_size += parts[i].size();
-  if (writev_all(c.fd.get(), parts, parts_count)) {
-    ++c.tx_counter;  // advance only on success to keep anti-replay in sync
-    ++stats_.frames_sent;
-    stats_.bytes_sent += wire_size;
+  if (!writev_all(c.fd.get(), parts, parts_count)) return false;
+  counters_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+  return true;
+}
+
+void TcpTransport::send(ProcessId to, Slice frame) {
+  if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
+  Conn& c = *conns_[to];
+  std::lock_guard<std::mutex> lock(c.mutex);
+  const std::uint64_t counter = c.tx_next++;
+
+  // Retain the frame for counter resync before (or instead of) writing it.
+  // Drop-oldest keeps the budget bounded; evicting a frame that never
+  // reached a socket is real backpressure loss and is counted.
+  c.retained.push_back(Retained{counter, frame, false});
+  c.retained_bytes += frame.size();
+  while (c.retained_bytes > opts_.send_queue_max_bytes && c.retained.size() > 1) {
+    const Retained& victim = c.retained.front();
+    if (!victim.written) counters_->queue_drops.fetch_add(1, std::memory_order_relaxed);
+    c.retained_bytes -= victim.frame.size();
+    c.retained.pop_front();
+  }
+
+  if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) {
+    return;  // queued; the next session's resync flushes it
+  }
+  if (write_frame(c, to, counter, frame)) {
+    if (!c.retained.empty() && c.retained.back().counter == counter) {
+      c.retained.back().written = true;
+    }
   } else {
     LOG_WARN("tcp send to p%u failed: %s", to, std::strerror(errno));
-    c.fd.reset();  // the stream is unusable after a partial write
+    c.broken = true;  // the poll thread reaps the stream and schedules redial
+    wakeup();
   }
 }
 
-void TcpTransport::poll_once(int timeout_ms) {
-  std::vector<pollfd> pfds;
-  std::vector<ProcessId> owners;
-  pfds.push_back(pollfd{wake_rx_.get(), POLLIN, 0});
-  owners.push_back(kNoProcess);
-  for (ProcessId p = 0; p < opts_.n; ++p) {
-    if (conns_[p].fd.valid()) {
-      pfds.push_back(pollfd{conns_[p].fd.get(), POLLIN, 0});
-      owners.push_back(p);
+void TcpTransport::begin_dial(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  c.retry->on_dialing();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  bool failed = !fd.valid();
+  sockaddr_in peer_addr{};
+  if (!failed) {
+    peer_addr.sin_family = AF_INET;
+    peer_addr.sin_port = htons(opts_.peers[peer].port);
+    failed = ::inet_pton(AF_INET, opts_.peers[peer].host.c_str(),
+                         &peer_addr.sin_addr) != 1;
+  }
+  if (!failed) {
+    set_nonblocking(fd.get());
+    const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&peer_addr),
+                             sizeof(peer_addr));
+    if (rc == 0 || errno == EINPROGRESS) {
+      {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        c.fd = std::move(fd);
+        c.state = LinkState::kConnecting;
+      }
+      c.phase = HsPhase::kDialWait;
+      c.hs_rx.clear();
+      c.hs_deadline_ms = now_ms() + static_cast<std::uint64_t>(opts_.handshake_timeout_ms);
+      if (rc == 0) on_dial_writable(peer);
+      return;
+    }
+    failed = true;
+  }
+  if (failed) c.retry->on_down(now_ms());
+}
+
+void TcpTransport::on_dial_writable(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  int err = 0;
+  socklen_t len = sizeof(err);
+  ::getsockopt(c.fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+  if (err != 0) {
+    link_down(peer);
+    return;
+  }
+  set_nodelay(c.fd.get());
+  c.nonce_local = rng_->next();
+  Writer hello(kHelloSize);
+  hello.u32(kHandshakeMagic);
+  hello.u8(kWireVersion);
+  hello.u8(opts_.authenticate ? kFlagAuthenticate : 0);
+  hello.u32(opts_.self);
+  hello.u64(c.nonce_local);
+  if (!write_all(c.fd.get(), hello.data())) {
+    link_down(peer);
+    return;
+  }
+  c.phase = HsPhase::kHelloSent;
+}
+
+void TcpTransport::handshake_readable(ProcessId peer) {
+  // Dialer side only: accumulate the REPLY, verify it, CONFIRM, resync.
+  Conn& c = *conns_[peer];
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t k = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    if (k > 0) {
+      c.hs_rx.insert(c.hs_rx.end(), buf, buf + k);
+      continue;
+    }
+    if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      link_down(peer);
+      return;
+    }
+    if (errno == EINTR) continue;
+    break;  // EAGAIN: no more bytes for now
+  }
+  const std::size_t reply_size = kReplyBase + (opts_.authenticate ? kMacSize : 0);
+  if (c.hs_rx.size() < reply_size) {
+    if (c.hs_rx.size() > kMaxHandshakeRx) {
+      counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+      link_down(peer);
+    }
+    return;
+  }
+  Reader r(ByteView(c.hs_rx.data(), kReplyBase));
+  const std::uint32_t magic = r.u32();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t flags = r.u8();
+  const std::uint32_t id = r.u32();
+  const std::uint64_t nonce_a = r.u64();
+  const std::uint64_t peer_rx_expected = r.u64();
+  const std::uint8_t want_flags = opts_.authenticate ? kFlagAuthenticate : 0;
+  bool ok = magic == kHandshakeMagic && version == kWireVersion &&
+            flags == want_flags && id == peer;
+  if (ok && opts_.authenticate) {
+    const auto mac = hs_mac(keys_.key(peer), 'a', opts_.self, peer,
+                            c.nonce_local, nonce_a, peer_rx_expected);
+    ok = ct_equal(ByteView(mac.data(), mac.size()),
+                  ByteView(c.hs_rx.data() + kReplyBase, kMacSize));
+  }
+  if (!ok) {
+    counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+    link_down(peer);
+    return;
+  }
+  Writer confirm(kConfirmBase + kMacSize);
+  confirm.u64(c.rx_expected);
+  if (opts_.authenticate) {
+    const auto mac = hs_mac(keys_.key(peer), 'd', opts_.self, peer,
+                            c.nonce_local, nonce_a, c.rx_expected);
+    confirm.raw(ByteView(mac.data(), mac.size()));
+  }
+  if (!write_all(c.fd.get(), confirm.data())) {
+    link_down(peer);
+    return;
+  }
+  // Bytes past the REPLY are already data frames of the new session.
+  Bytes leftover(c.hs_rx.begin() + static_cast<std::ptrdiff_t>(reply_size),
+                 c.hs_rx.end());
+  c.hs_rx.clear();
+  complete_handshake(peer, c.nonce_local, nonce_a, peer_rx_expected);
+  if (!leftover.empty()) {
+    c.rx.insert(c.rx.end(), leftover.begin(), leftover.end());
+    process_rx(peer);
+  }
+}
+
+void TcpTransport::pending_accept_readable(PendingAccept& pa) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t k = ::recv(pa.fd.get(), buf, sizeof(buf), 0);
+    if (k > 0) {
+      pa.rx.insert(pa.rx.end(), buf, buf + k);
+      continue;
+    }
+    if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      pa.fd.reset();  // dialer went away mid-handshake
+      return;
+    }
+    if (errno == EINTR) continue;
+    break;
+  }
+  if (pa.rx.size() > kMaxHandshakeRx) {
+    counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+    pa.fd.reset();
+    return;
+  }
+  if (!pa.got_hello) {
+    if (pa.rx.size() < kHelloSize) return;
+    Reader r(ByteView(pa.rx.data(), kHelloSize));
+    const std::uint32_t magic = r.u32();
+    const std::uint8_t version = r.u8();
+    const std::uint8_t flags = r.u8();
+    const std::uint32_t id = r.u32();
+    const std::uint64_t nonce_d = r.u64();
+    const std::uint8_t want_flags = opts_.authenticate ? kFlagAuthenticate : 0;
+    // Only higher ids dial us; anything else is a malformed or forged hello.
+    if (magic != kHandshakeMagic || version != kWireVersion ||
+        flags != want_flags || id <= opts_.self || id >= opts_.n) {
+      counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+      pa.fd.reset();
+      return;
+    }
+    pa.got_hello = true;
+    pa.claimed = id;
+    pa.nonce_d = nonce_d;
+    pa.nonce_a = rng_->next();
+    pa.rx.erase(pa.rx.begin(), pa.rx.begin() + kHelloSize);
+    set_nodelay(pa.fd.get());
+    // REPLY with our receive floor so the peer can resync its counters.
+    // The established session (if any) stays untouched until the dialer
+    // proves key knowledge with its CONFIRM — an unauthenticated hello
+    // must not be able to take down a healthy link.
+    const std::uint64_t rx_expected = conns_[pa.claimed]->rx_expected;
+    Writer reply(kReplyBase + kMacSize);
+    reply.u32(kHandshakeMagic);
+    reply.u8(kWireVersion);
+    reply.u8(want_flags);
+    reply.u32(opts_.self);
+    reply.u64(pa.nonce_a);
+    reply.u64(rx_expected);
+    if (opts_.authenticate) {
+      const auto mac = hs_mac(keys_.key(pa.claimed), 'a', pa.claimed, opts_.self,
+                              pa.nonce_d, pa.nonce_a, rx_expected);
+      reply.raw(ByteView(mac.data(), mac.size()));
+    }
+    if (!write_all(pa.fd.get(), reply.data())) {
+      pa.fd.reset();
+      return;
     }
   }
-  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  if (rc <= 0) return;
+  const std::size_t confirm_size = kConfirmBase + (opts_.authenticate ? kMacSize : 0);
+  if (pa.rx.size() < confirm_size) return;
+  Reader r(ByteView(pa.rx.data(), kConfirmBase));
+  const std::uint64_t peer_rx_expected = r.u64();
+  if (opts_.authenticate) {
+    const auto mac = hs_mac(keys_.key(pa.claimed), 'd', pa.claimed, opts_.self,
+                            pa.nonce_d, pa.nonce_a, peer_rx_expected);
+    if (!ct_equal(ByteView(mac.data(), mac.size()),
+                  ByteView(pa.rx.data() + kConfirmBase, kMacSize))) {
+      counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+      pa.fd.reset();
+      return;
+    }
+  }
+  // Authenticated: adopt the socket, replacing whatever the slot held (the
+  // dialer redials only when its side of the old stream is dead).
+  const ProcessId peer = pa.claimed;
+  Conn& c = *conns_[peer];
+  if (c.phase == HsPhase::kEstablished) link_down(peer);
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.fd = std::move(pa.fd);
+    c.state = LinkState::kConnecting;
+  }
+  c.phase = HsPhase::kWaitConfirm;
+  c.rx.clear();
+  Bytes leftover(pa.rx.begin() + static_cast<std::ptrdiff_t>(confirm_size),
+                 pa.rx.end());
+  complete_handshake(peer, pa.nonce_d, pa.nonce_a, peer_rx_expected);
+  if (!leftover.empty()) {
+    c.rx.insert(c.rx.end(), leftover.begin(), leftover.end());
+    process_rx(peer);
+  }
+}
+
+void TcpTransport::complete_handshake(ProcessId peer, std::uint64_t nonce_d,
+                                      std::uint64_t nonce_a,
+                                      std::uint64_t peer_rx_expected) {
+  Conn& c = *conns_[peer];
+  const std::uint32_t dialer = peer < opts_.self ? opts_.self : peer;
+  const std::uint32_t acceptor = peer < opts_.self ? peer : opts_.self;
+  const ByteView sid_key = opts_.authenticate ? keys_.key(peer) : ByteView{};
+  const std::uint64_t sid = derive_sid(sid_key, dialer, acceptor, nonce_d, nonce_a);
+
+  std::uint64_t flushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.sid = sid;
+    c.broken = false;
+    // Counter resync: everything below the peer's receive floor was
+    // delivered in a previous session; everything at or above it is
+    // retransmitted under the new session id, oldest first, ahead of any
+    // new sends (which queue behind this mutex).
+    while (!c.retained.empty() && c.retained.front().counter < peer_rx_expected) {
+      c.retained_bytes -= c.retained.front().frame.size();
+      c.retained.pop_front();
+    }
+    for (Retained& e : c.retained) {
+      const bool was_written = e.written;
+      if (!write_frame(c, peer, e.counter, e.frame)) {
+        c.broken = true;
+        break;
+      }
+      e.written = true;
+      ++flushed;
+      if (was_written) {
+        counters_->frames_retransmitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    c.state = LinkState::kUp;
+  }
+  c.phase = HsPhase::kEstablished;
+  if (c.retry) c.retry->on_up();
+  if (c.ever_up) counters_->link_reconnects.fetch_add(1, std::memory_order_relaxed);
+  c.ever_up = true;
+  trace_link(TraceEventKind::kLinkHandshake, peer, flushed);
+  trace_link(TraceEventKind::kLinkUp, peer, sid);
+}
+
+void TcpTransport::link_down(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  const bool was_up = c.phase == HsPhase::kEstablished;
+  std::uint64_t old_sid = 0;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    old_sid = c.sid;
+    c.fd.reset();
+    c.sid = 0;
+    c.broken = false;
+    c.kill_request = 0;
+    c.state = c.retry ? LinkState::kBackoff : LinkState::kDown;
+  }
+  c.phase = HsPhase::kIdle;
+  c.hs_rx.clear();
+  c.rx.clear();
+  if (c.retry) c.retry->on_down(now_ms());
+  if (was_up) trace_link(TraceEventKind::kLinkDown, peer, old_sid);
+}
+
+void TcpTransport::execute_kill(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  std::uint8_t req;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    req = c.kill_request;
+    c.kill_request = 0;
+    fd = c.fd.get();
+  }
+  if (req == 0 || fd < 0) return;
+  const KillMode mode = static_cast<KillMode>(req - 1);
+  if (mode == KillMode::kRst) {
+    // Abortive close: the peer sees ECONNRESET, we tear down immediately.
+    linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    link_down(peer);
+  } else {
+    // Half-close: our FIN reaches the peer as EOF; it tears down its end
+    // and the teardown propagates back to us as EOF too.
+    ::shutdown(fd, SHUT_WR);
+  }
+}
+
+void TcpTransport::kill_link(ProcessId peer, KillMode mode) {
+  if (peer >= opts_.n || peer == opts_.self) return;
+  Conn& c = *conns_[peer];
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.kill_request = static_cast<std::uint8_t>(1 + static_cast<std::uint8_t>(mode));
+  }
+  wakeup();
+}
+
+void TcpTransport::service_timers() {
+  const std::uint64_t now = now_ms();
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    bool broken, killed;
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      broken = c.broken;
+      killed = c.kill_request != 0;
+    }
+    if (killed) execute_kill(p);
+    if (broken) link_down(p);
+    if (c.phase != HsPhase::kIdle && c.phase != HsPhase::kEstablished &&
+        now > c.hs_deadline_ms) {
+      link_down(p);  // handshake stalled; dialer retries after backoff
+    }
+    if (c.retry && c.phase == HsPhase::kIdle && c.retry->should_dial(now)) {
+      begin_dial(p);
+    }
+  }
+  for (auto& pa : pending_accepts_) {
+    if (pa.fd.valid() && now > pa.deadline_ms) {
+      counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
+      pa.fd.reset();
+    }
+  }
+  pending_accepts_.erase(
+      std::remove_if(pending_accepts_.begin(), pending_accepts_.end(),
+                     [](const PendingAccept& pa) { return !pa.fd.valid(); }),
+      pending_accepts_.end());
+}
+
+void TcpTransport::poll_once(int timeout_ms) {
+  if (stopped_.load()) return;
+  service_timers();
+
+  // Owner encoding: -1 wake pipe, -2 listen socket, -(3+k) pending accept
+  // k, otherwise the peer id.
+  std::vector<pollfd> pfds;
+  std::vector<std::int64_t> owners;
+  pfds.push_back(pollfd{wake_rx_.get(), POLLIN, 0});
+  owners.push_back(-1);
+  if (listen_fd_.valid()) {
+    pfds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
+    owners.push_back(-2);
+  }
+  for (std::size_t k = 0; k < pending_accepts_.size(); ++k) {
+    pfds.push_back(pollfd{pending_accepts_[k].fd.get(), POLLIN, 0});
+    owners.push_back(-3 - static_cast<std::int64_t>(k));
+  }
+  std::uint64_t nearest = ~0ULL;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      fd = c.fd.get();
+    }
+    if (fd >= 0 && c.phase != HsPhase::kIdle) {
+      const short events =
+          c.phase == HsPhase::kDialWait ? POLLOUT : POLLIN;
+      pfds.push_back(pollfd{fd, events, 0});
+      owners.push_back(p);
+    }
+    if (c.phase != HsPhase::kIdle && c.phase != HsPhase::kEstablished &&
+        c.hs_deadline_ms < nearest) {
+      nearest = c.hs_deadline_ms;
+    }
+    if (c.retry && c.phase == HsPhase::kIdle &&
+        c.retry->state() == LinkState::kBackoff && c.retry->retry_at_ms() < nearest) {
+      nearest = c.retry->retry_at_ms();
+    }
+  }
+  for (const auto& pa : pending_accepts_) {
+    if (pa.deadline_ms < nearest) nearest = pa.deadline_ms;
+  }
+
+  // Never oversleep a redial or handshake deadline.
+  int tmo = timeout_ms;
+  if (nearest != ~0ULL) {
+    const std::uint64_t now = now_ms();
+    const std::uint64_t until = nearest > now ? nearest - now : 0;
+    if (tmo < 0 || static_cast<std::uint64_t>(tmo) > until) {
+      tmo = static_cast<int>(until);
+    }
+  }
+
+  const int rc = ::poll(pfds.data(), pfds.size(), tmo);
+  if (rc < 0) return;
   for (std::size_t i = 0; i < pfds.size(); ++i) {
-    if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-    if (owners[i] == kNoProcess) {
+    const short rev = pfds[i].revents;
+    if (rev == 0) continue;
+    const std::int64_t owner = owners[i];
+    if (owner == -1) {
       std::uint8_t buf[256];
       while (::read(wake_rx_.get(), buf, sizeof(buf)) > 0) {
       }
       continue;
     }
-    handle_readable(owners[i]);
+    if (owner == -2) {
+      for (;;) {
+        Fd fd(::accept(listen_fd_.get(), nullptr, nullptr));
+        if (!fd.valid()) break;
+        set_nonblocking(fd.get());
+        pending_accepts_.push_back(PendingAccept{
+            std::move(fd), {},
+            now_ms() + static_cast<std::uint64_t>(opts_.handshake_timeout_ms)});
+      }
+      continue;
+    }
+    if (owner <= -3) {
+      const std::size_t k = static_cast<std::size_t>(-3 - owner);
+      if (k < pending_accepts_.size() && pending_accepts_[k].fd.valid()) {
+        pending_accept_readable(pending_accepts_[k]);
+      }
+      continue;
+    }
+    const ProcessId peer = static_cast<ProcessId>(owner);
+    Conn& c = *conns_[peer];
+    switch (c.phase) {
+      case HsPhase::kDialWait:
+        if (rev & (POLLOUT | POLLHUP | POLLERR)) on_dial_writable(peer);
+        break;
+      case HsPhase::kHelloSent:
+        if (rev & (POLLIN | POLLHUP | POLLERR)) handshake_readable(peer);
+        break;
+      case HsPhase::kEstablished:
+        if (rev & (POLLIN | POLLHUP | POLLERR)) handle_readable(peer);
+        break;
+      default:
+        break;
+    }
   }
+  // Bound handshakes may have completed or died; reap dead pending fds.
+  pending_accepts_.erase(
+      std::remove_if(pending_accepts_.begin(), pending_accepts_.end(),
+                     [](const PendingAccept& pa) { return !pa.fd.valid(); }),
+      pending_accepts_.end());
 }
 
 void TcpTransport::handle_readable(ProcessId peer) {
-  Conn& c = conns_[peer];
+  Conn& c = *conns_[peer];
   std::uint8_t buf[64 * 1024];
+  bool dead = false;
   for (;;) {
     const ssize_t k = ::recv(c.fd.get(), buf, sizeof(buf), 0);
     if (k > 0) {
@@ -306,54 +822,78 @@ void TcpTransport::handle_readable(ProcessId peer) {
       continue;
     }
     if (k == 0) {
-      c.fd.reset();  // peer closed
+      dead = true;  // peer closed (EOF; also the far end of a half-close)
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    c.fd.reset();
+    dead = true;  // ECONNRESET and friends
     break;
   }
   process_rx(peer);
+  if (dead) link_down(peer);
 }
 
 void TcpTransport::process_rx(ProcessId peer) {
-  Conn& c = conns_[peer];
+  Conn& c = *conns_[peer];
   std::size_t off = 0;
   const std::size_t trailer = opts_.authenticate ? kMacSize : 0;
-  while (c.rx.size() - off >= 4) {
-    Reader hdr(ByteView(c.rx.data() + off, 4));
+  while (c.rx.size() - off >= kFrameHeader) {
+    Reader hdr(ByteView(c.rx.data() + off, kFrameHeader));
     const std::uint32_t body_len = hdr.u32();
+    const std::uint64_t sid = hdr.u64();
+    const std::uint64_t counter = hdr.u64();
     if (body_len > opts_.max_frame) {
-      ++stats_.oversize_drops;
+      counters_->oversize_drops.fetch_add(1, std::memory_order_relaxed);
       LOG_WARN("oversize frame (%u bytes) from p%u; dropping connection",
                body_len, peer);
-      c.fd.reset();
       c.rx.clear();
+      link_down(peer);
       return;
     }
-    const std::size_t total = 4 + body_len + trailer;
+    const std::size_t total = kFrameHeader + body_len + trailer;
     if (c.rx.size() - off < total) break;
-    const ByteView body(c.rx.data() + off + 4, body_len);
+    const ByteView body(c.rx.data() + off + kFrameHeader, body_len);
     bool ok = true;
-    if (opts_.authenticate) {
-      Writer macin(body_len + 24);
+    if (sid != c.sid) {
+      // Replayed bytes from an earlier session (or a raced teardown): the
+      // frame is structurally fine but cryptographically stale. Never let
+      // it touch the counter floor.
+      counters_->session_rejects.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+    }
+    if (ok && opts_.authenticate) {
+      Writer macin(24);
       macin.u32(peer);
       macin.u32(opts_.self);
-      macin.u64(c.rx_counter);
-      macin.raw(body);
-      const auto mac = hmac_sha256(keys_.key(peer), macin.data());
-      const ByteView got(c.rx.data() + off + 4 + body_len, kMacSize);
+      macin.u64(sid);
+      macin.u64(counter);
+      const auto mac = hmac_sha256_2(keys_.key(peer), macin.data(), body);
+      const ByteView got(c.rx.data() + off + kFrameHeader + body_len, kMacSize);
       if (!ct_equal(ByteView(mac.data(), mac.size()), got)) {
-        // Either tampering or counter desync; with TCP FIFO the counters
-        // can only desync through tampering, so treat it as such.
-        ++stats_.mac_failures;
+        counters_->mac_failures.fetch_add(1, std::memory_order_relaxed);
         ok = false;
       }
     }
     if (ok) {
-      ++c.rx_counter;
-      ++stats_.frames_received;
+      if (counter < c.rx_expected) {
+        // Stale counter under the current session id: a replay (the MAC
+        // already proved sender and session, so this exact frame was
+        // accepted before). Dropping it is what makes retransmit overlap
+        // and replay floods idempotent — never a duplicate delivery.
+        counters_->replay_drops.fetch_add(1, std::memory_order_relaxed);
+        ok = false;
+      } else if (counter > c.rx_expected) {
+        // Forward jump: the sender's retained queue overflowed and frames
+        // are gone for good. Account the loss and move the floor.
+        counters_->counter_gaps.fetch_add(counter - c.rx_expected,
+                                          std::memory_order_relaxed);
+        c.rx_expected = counter;
+      }
+    }
+    if (ok) {
+      ++c.rx_expected;
+      counters_->frames_received.fetch_add(1, std::memory_order_relaxed);
       // One boundary copy out of the reassembly window into a fresh Buffer;
       // everything downstream (decode, batch unpack, delivery) aliases it.
       if (sink_) sink_(peer, Slice(Bytes(body.begin(), body.end())));
@@ -361,6 +901,47 @@ void TcpTransport::process_rx(ProcessId peer) {
     off += total;
   }
   if (off > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+std::vector<LinkState> TcpTransport::link_states() const {
+  std::vector<LinkState> out(opts_.n, LinkState::kUp);
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out[p] = c.state;
+  }
+  return out;
+}
+
+std::uint32_t TcpTransport::links_up() const {
+  std::uint32_t up = 0;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (c.state == LinkState::kUp) ++up;
+  }
+  return up;
+}
+
+TcpTransport::Stats TcpTransport::stats() const {
+  Stats s;
+  s.frames_sent = counters_->frames_sent.load(std::memory_order_relaxed);
+  s.frames_received = counters_->frames_received.load(std::memory_order_relaxed);
+  s.frames_retransmitted =
+      counters_->frames_retransmitted.load(std::memory_order_relaxed);
+  s.bytes_sent = counters_->bytes_sent.load(std::memory_order_relaxed);
+  s.mac_failures = counters_->mac_failures.load(std::memory_order_relaxed);
+  s.replay_drops = counters_->replay_drops.load(std::memory_order_relaxed);
+  s.session_rejects = counters_->session_rejects.load(std::memory_order_relaxed);
+  s.counter_gaps = counters_->counter_gaps.load(std::memory_order_relaxed);
+  s.oversize_drops = counters_->oversize_drops.load(std::memory_order_relaxed);
+  s.queue_drops = counters_->queue_drops.load(std::memory_order_relaxed);
+  s.link_reconnects = counters_->link_reconnects.load(std::memory_order_relaxed);
+  s.handshake_failures =
+      counters_->handshake_failures.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace ritas::net

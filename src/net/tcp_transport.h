@@ -1,28 +1,46 @@
-// Real-socket transport: the paper's "TCP + IPSec AH" reliable channel.
+// Real-socket transport: the paper's "TCP + IPSec AH" reliable channel,
+// made self-healing.
 //
-// Every pair of processes is connected by one TCP stream (full mesh over
-// localhost or a real network). TCP supplies reliability and FIFO; frame
-// integrity and sender authentication come from an HMAC-SHA-256 trailer
-// keyed with the pairwise secret, with a strictly increasing per-direction
-// counter bound into the MAC (anti-replay) — the modern stand-in for the
-// AH protocol the paper used. MAC verification failures and counter
-// mismatches drop the frame (and count in the stats), never the process.
+// Every pair of processes is connected by one TCP stream (the higher id
+// dials, the lower id accepts). TCP supplies reliability and FIFO while a
+// connection lives; frame integrity and sender authentication come from an
+// HMAC-SHA-256 trailer keyed with the pairwise secret, with the session id
+// and a strictly increasing per-direction counter bound into the MAC
+// (anti-replay) — the modern stand-in for the AH protocol the paper used.
 //
-// Threading: send() may be called from any thread; receiving happens in
-// poll_once(), which the owner (one thread — see ritas::Context) calls in
-// its loop. Frames are handed to the sink inline from poll_once.
+// Unlike the paper's idealized channel, real links fail. Each link runs a
+// small state machine (down / connecting / up / backoff, `net/link.h`):
+// a lost connection moves the dialer into jittered exponential backoff and
+// automatic redial, and every (re)connection performs an authenticated
+// nonce handshake that derives a fresh session id and exchanges receive
+// counters so the sender can retransmit exactly the frames the peer never
+// got (counter resync). Frames from an old session are replay-dropped by
+// session id, never accepted. While a link is down, sends land in a
+// bounded per-link retained-frame queue (drop-oldest; drops of frames that
+// never reached a socket are counted). `start()` needs only a partial mesh
+// (>= n-f-1 links) to return; the rest keep dialing in the background.
+// Wire formats: docs/PROTOCOLS.md "Reliable channel".
+//
+// Threading: send() may be called from any thread; receiving and all link
+// management happen in poll_once(), which the owner (one thread — see
+// ritas::Context) calls in its loop. Frames are handed to the sink inline
+// from poll_once.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/trace.h"
 #include "core/transport.h"
 #include "crypto/keychain.h"
+#include "net/link.h"
 
 namespace ritas::net {
 
@@ -56,26 +74,58 @@ class TcpTransport final : public Transport {
     std::uint32_t n = 4;
     ProcessId self = 0;
     std::vector<PeerAddr> peers;  // size n; peers[self] = own listen address
-    bool authenticate = true;     // HMAC frames (the "IPSec" switch)
+    bool authenticate = true;     // HMAC frames + handshake (the "IPSec" switch)
     std::size_t max_frame = 16u << 20;
     int connect_timeout_ms = 15'000;
+    /// start() returns once this many links are up; 0 = auto (n - f - 1,
+    /// f = (n-1)/3): enough links that the local stack can make protocol
+    /// progress while stragglers keep dialing in the background.
+    std::uint32_t min_start_links = 0;
+    /// Per-link retained-frame budget: recent frames kept for counter
+    /// resync and frames queued while the link is down. Overflow drops the
+    /// oldest; drops of frames that never reached a socket count in
+    /// Stats::queue_drops.
+    std::size_t send_queue_max_bytes = 8u << 20;
+    /// Reconnect schedule (jittered exponential, see net/link.h).
+    BackoffOptions backoff;
+    /// Session handshakes must finish within this budget or the attempt is
+    /// abandoned (and, on the dialer side, retried after backoff).
+    int handshake_timeout_ms = 5'000;
+    /// Seeds handshake nonces and backoff jitter; 0 = std::random_device.
+    /// Tests pin it to make reconnect timelines reproducible.
+    std::uint64_t rng_seed = 0;
   };
 
   struct Stats {
-    std::uint64_t frames_sent = 0;
-    std::uint64_t frames_received = 0;
+    std::uint64_t frames_sent = 0;         // frames written to a socket
+    std::uint64_t frames_received = 0;     // frames accepted and delivered
+    std::uint64_t frames_retransmitted = 0;  // re-writes after counter resync
     std::uint64_t bytes_sent = 0;
-    std::uint64_t mac_failures = 0;
-    std::uint64_t replay_drops = 0;
+    std::uint64_t mac_failures = 0;     // frame MAC mismatch (current session)
+    std::uint64_t replay_drops = 0;     // counter below the expected floor
+    std::uint64_t session_rejects = 0;  // frame tagged with a stale session id
+    std::uint64_t counter_gaps = 0;     // frames skipped by a forward jump
     std::uint64_t oversize_drops = 0;
+    std::uint64_t queue_drops = 0;        // never-sent frames evicted by the cap
+    std::uint64_t link_reconnects = 0;    // handshakes that revived a dead link
+    std::uint64_t handshake_failures = 0; // malformed/unauthentic handshakes
+  };
+
+  /// Fault-injection hook for the churn tests: forcibly breaks the live
+  /// connection to `peer`.
+  enum class KillMode {
+    kRst,        // SO_LINGER(0) + close: peer sees ECONNRESET
+    kHalfClose,  // shutdown(SHUT_WR): peer sees EOF, teardown propagates back
   };
 
   TcpTransport(Options opts, const KeyChain& keys);
   ~TcpTransport() override;
 
-  /// Binds + listens, then establishes the full mesh (lower id connects,
-  /// higher id accepts; a handshake identifies the peer). Blocks until all
-  /// n-1 links are up or the timeout expires (throws std::runtime_error).
+  /// Binds + listens, then dials the mesh (higher id connects, lower id
+  /// accepts; an authenticated handshake identifies the peer and opens a
+  /// session). Blocks until at least min_start_links links are up (throws
+  /// std::runtime_error on timeout); remaining links keep connecting in
+  /// the background as long as poll_once keeps being called.
   void start();
   /// Closes every socket; subsequent sends are dropped silently.
   void stop();
@@ -87,44 +137,131 @@ class TcpTransport final : public Transport {
     sink_ = std::move(sink);
   }
 
-  /// Processes pending socket I/O; waits up to timeout_ms for activity.
+  /// Optional link-event tracing (kLinkUp/kLinkDown/kLinkHandshake). The
+  /// tracer is not thread-safe: events are recorded only from the polling
+  /// thread, so share a tracer with the stack only when the stack runs on
+  /// that same thread (as ritas::Context does).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Processes pending socket I/O and link-state timers (redials, expired
+  /// handshakes); waits up to timeout_ms for activity.
   void poll_once(int timeout_ms);
 
   /// Wakes a blocked poll_once() from another thread.
   void wakeup();
 
-  /// Scatter-writes {u32 header, shared frame body, per-peer MAC trailer}
-  /// in one sendmsg(); the refcounted body is never copied per peer.
+  /// Scatter-writes {20-byte header, shared frame body, per-peer MAC
+  /// trailer} in one sendmsg(); the refcounted body is never copied per
+  /// peer. If the link is not up the frame stays queued for the next
+  /// session's counter resync.
   void send(ProcessId to, Slice frame) override;
 
   /// Monotonic wall clock for trace timestamps (real transports are
   /// outside the deterministic core, so reading a clock here is fine).
   std::uint64_t now_ns() const override;
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of every link's state; the self entry reads kUp.
+  std::vector<LinkState> link_states() const override;
+
+  /// Number of links currently in LinkState::kUp.
+  std::uint32_t links_up() const;
+
+  /// Counter snapshot (fields are updated concurrently; the snapshot is
+  /// per-field atomic, not globally consistent).
+  Stats stats() const;
+
+  /// Breaks the connection to `peer` (see KillMode). The actual teardown
+  /// runs on the polling thread; the link then heals through the normal
+  /// backoff/reconnect path. Test-only chaos hook.
+  void kill_link(ProcessId peer, KillMode mode);
 
  private:
-  struct Conn {
-    Fd fd;
-    Bytes rx;                      // accumulated unparsed bytes
-    std::uint64_t rx_counter = 0;  // next expected anti-replay counter
-    std::uint64_t tx_counter = 0;
-    std::mutex tx_mutex;
+  /// Handshake progress for one connection attempt.
+  enum class HsPhase : std::uint8_t {
+    kIdle,         // no socket
+    kDialWait,     // dialer: non-blocking connect() in flight
+    kHelloSent,    // dialer: HELLO written, waiting for REPLY
+    kWaitConfirm,  // acceptor: REPLY written, waiting for CONFIRM
+    kEstablished,  // session open, frames flow
   };
 
+  /// A frame retained for retransmission: queued while the link is down,
+  /// or recently written and kept until the next resync confirms receipt.
+  struct Retained {
+    std::uint64_t counter;
+    Slice frame;
+    bool written;
+  };
+
+  struct Conn {
+    // --- poll-thread-only unless noted ---
+    Fd fd;
+    HsPhase phase = HsPhase::kIdle;
+    Bytes hs_rx;                     // accumulated handshake bytes
+    std::uint64_t nonce_local = 0;
+    std::uint64_t hs_deadline_ms = 0;
+    Bytes rx;                        // stream reassembly window
+    std::uint64_t rx_expected = 0;   // next counter expected (survives sessions)
+    std::unique_ptr<LinkRetry> retry;  // dialed links only (peer < self)
+    bool ever_up = false;
+    // --- shared with sender threads; guarded by mutex ---
+    std::mutex mutex;
+    LinkState state = LinkState::kDown;
+    std::uint64_t sid = 0;           // current session id (0 = none)
+    std::uint64_t tx_next = 0;       // next counter to assign (survives sessions)
+    std::deque<Retained> retained;
+    std::size_t retained_bytes = 0;
+    bool broken = false;             // send() hit a write error; poll thread reaps
+    std::uint8_t kill_request = 0;   // 1 + KillMode; poll thread executes
+  };
+
+  /// An accepted socket working through the session handshake. It does not
+  /// touch the peer's Conn slot until the CONFIRM authenticates — an
+  /// unauthenticated hello must not be able to displace a healthy link.
+  struct PendingAccept {
+    Fd fd;
+    Bytes rx;
+    std::uint64_t deadline_ms = 0;
+    bool got_hello = false;
+    ProcessId claimed = 0;    // dialer id from the HELLO
+    std::uint64_t nonce_d = 0;
+    std::uint64_t nonce_a = 0;
+  };
+
+  struct Counters;  // atomic mirror of Stats
+
+  std::uint64_t now_ms() const;
+  std::uint32_t start_threshold() const;
   bool write_all(int fd, ByteView data);
   bool writev_all(int fd, ByteView* parts, std::size_t count);
+  /// Writes one framed body; caller holds c.mutex. False on socket error.
+  bool write_frame(Conn& c, ProcessId to, std::uint64_t counter, Slice frame);
+  void begin_dial(ProcessId peer);
+  void on_dial_writable(ProcessId peer);
+  void handshake_readable(ProcessId peer);
+  void pending_accept_readable(PendingAccept& pa);
+  /// Session established: derive sid, resync counters, flush the queue.
+  void complete_handshake(ProcessId peer, std::uint64_t nonce_d,
+                          std::uint64_t nonce_a, std::uint64_t peer_rx_expected);
+  void link_down(ProcessId peer);
+  void service_timers();
+  void execute_kill(ProcessId peer);
   void handle_readable(ProcessId peer);
   void process_rx(ProcessId peer);
+  void trace_link(TraceEventKind kind, ProcessId peer, std::uint64_t arg);
 
   Options opts_;
   const KeyChain& keys_;
   std::function<void(ProcessId, Slice)> sink_;
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<Rng> rng_;  // poll-thread-only (nonces)
   Fd listen_fd_;
   Fd wake_rx_, wake_tx_;
-  std::vector<Conn> conns_;  // index = peer id; conns_[self] unused
-  Stats stats_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // index = peer id; self unused
+  std::vector<PendingAccept> pending_accepts_;
+  std::unique_ptr<Counters> counters_;
   std::atomic<bool> stopped_{false};
+  std::uint64_t epoch_ns_ = 0;  // steady_clock origin for now_ms()
 };
 
 }  // namespace ritas::net

@@ -49,6 +49,12 @@ Context::Context(Options opts)
   topts.self = opts_.self;
   topts.peers = opts_.peers;
   topts.authenticate = opts_.authenticate;
+  topts.min_start_links = opts_.min_start_links;
+  // Decorrelate per-process transport randomness (handshake nonces,
+  // backoff jitter) even when every node is configured with the same seed.
+  topts.rng_seed = opts_.rng_seed == 0
+                       ? 0
+                       : opts_.rng_seed ^ (0x9e3779b97f4a7c15ULL * (opts_.self + 1));
   transport_ = std::make_unique<net::TcpTransport>(topts, keys_);
 
   StackConfig cfg = opts_.stack;

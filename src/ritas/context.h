@@ -65,6 +65,10 @@ class Context {
     std::uint64_t rng_seed = 0;  // 0 = seed from std::random_device
     /// Receive-side broadcast instances pre-created per origin.
     std::uint32_t recv_window = 64;
+    /// start() returns once this many links are up (0 = auto: n - f - 1);
+    /// the remaining links keep dialing in the background and heal through
+    /// the transport's backoff/reconnect machinery.
+    std::uint32_t min_start_links = 0;
     /// Atomic-broadcast payload batching (StackConfig::ab_batch). This is
     /// the authoritative knob: it overwrites stack.ab_batch, and — being a
     /// wire-format switch — must be configured identically at every
@@ -97,8 +101,10 @@ class Context {
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
-  /// Establishes the TCP mesh and starts the reactor. Blocks until every
-  /// link is up. Call once before any service function.
+  /// Establishes the TCP mesh and starts the reactor. Blocks until at
+  /// least Options::min_start_links links are up (default: n - f - 1, the
+  /// quorum the stack needs to make progress); stragglers keep connecting
+  /// in the background. Call once before any service function.
   void start();
   void stop();
 
@@ -141,9 +147,16 @@ class Context {
 
   /// Snapshot of the stack's counters (taken on the reactor).
   Metrics metrics();
-  const net::TcpTransport::Stats& transport_stats() const {
+  net::TcpTransport::Stats transport_stats() const {
     return transport_->stats();
   }
+  /// Per-peer channel health (self entry reads kUp).
+  std::vector<LinkState> link_states() const {
+    return transport_->link_states();
+  }
+  /// The underlying transport — fault injection (kill_link) and
+  /// link-level probes for tests and operational tooling.
+  net::TcpTransport& transport() { return *transport_; }
   ProcessId self() const { return opts_.self; }
   std::uint32_t n() const { return opts_.n; }
 

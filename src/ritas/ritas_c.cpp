@@ -78,8 +78,61 @@ int ritas_set_opt(ritas_t* r, int opt, long value) {
       if (value <= 0 || value > 0xffffffffL) return RITAS_EINVAL;
       r->opts.recv_window = static_cast<uint32_t>(value);
       return RITAS_OK;
+    case RITAS_OPT_MIN_START_LINKS:
+      if (value < 0 || value >= r->opts.n) return RITAS_EINVAL;
+      r->opts.min_start_links = static_cast<uint32_t>(value);
+      return RITAS_OK;
   }
   return RITAS_EINVAL;
+}
+
+long ritas_link_states(ritas_t* r, uint8_t* states, size_t cap) {
+  if (r == nullptr || (states == nullptr && cap > 0)) return RITAS_EINVAL;
+  if (!started(r)) return RITAS_ESTATE;
+  if (cap < r->opts.n) return RITAS_ETOOBIG;
+  try {
+    const auto ls = r->ctx->link_states();
+    for (size_t i = 0; i < ls.size(); ++i) {
+      states[i] = static_cast<uint8_t>(ls[i]);
+    }
+    return static_cast<long>(ls.size());
+  } catch (...) {
+    return RITAS_EINTERNAL;
+  }
+}
+
+long long ritas_stat(ritas_t* r, int stat) {
+  if (r == nullptr) return RITAS_EINVAL;
+  if (!started(r)) return RITAS_ESTATE;
+  try {
+    const auto s = r->ctx->transport_stats();
+    switch (stat) {
+      case RITAS_STAT_FRAMES_SENT: return static_cast<long long>(s.frames_sent);
+      case RITAS_STAT_FRAMES_RECEIVED:
+        return static_cast<long long>(s.frames_received);
+      case RITAS_STAT_FRAMES_RETRANSMITTED:
+        return static_cast<long long>(s.frames_retransmitted);
+      case RITAS_STAT_BYTES_SENT: return static_cast<long long>(s.bytes_sent);
+      case RITAS_STAT_MAC_FAILURES:
+        return static_cast<long long>(s.mac_failures);
+      case RITAS_STAT_REPLAY_DROPS:
+        return static_cast<long long>(s.replay_drops);
+      case RITAS_STAT_SESSION_REJECTS:
+        return static_cast<long long>(s.session_rejects);
+      case RITAS_STAT_COUNTER_GAPS:
+        return static_cast<long long>(s.counter_gaps);
+      case RITAS_STAT_OVERSIZE_DROPS:
+        return static_cast<long long>(s.oversize_drops);
+      case RITAS_STAT_QUEUE_DROPS: return static_cast<long long>(s.queue_drops);
+      case RITAS_STAT_LINK_RECONNECTS:
+        return static_cast<long long>(s.link_reconnects);
+      case RITAS_STAT_HANDSHAKE_FAILURES:
+        return static_cast<long long>(s.handshake_failures);
+    }
+    return RITAS_EINVAL;
+  } catch (...) {
+    return RITAS_EINTERNAL;
+  }
 }
 
 int ritas_start(ritas_t* r) {

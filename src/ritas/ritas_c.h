@@ -49,7 +49,33 @@ enum {
   RITAS_OPT_BATCH_ENABLED = 1,   /* 0 or 1 (default 0) */
   RITAS_OPT_BATCH_MAX_MSGS = 2,  /* messages per batch, > 0 (default 64) */
   RITAS_OPT_BATCH_MAX_BYTES = 3, /* framed bytes per batch, > 0 (default 16384) */
-  RITAS_OPT_RECV_WINDOW = 4      /* pre-created rb/eb receive roots, > 0 */
+  RITAS_OPT_RECV_WINDOW = 4,     /* pre-created rb/eb receive roots, > 0 */
+  RITAS_OPT_MIN_START_LINKS = 5  /* links ritas_start waits for; 0 = n-f-1 */
+};
+
+/* Per-link channel health, as reported by ritas_link_states. Values match
+ * the C++ ritas::LinkState enum. */
+enum {
+  RITAS_LINK_DOWN = 0,       /* no connection, no retry scheduled */
+  RITAS_LINK_CONNECTING = 1, /* TCP connect or session handshake in flight */
+  RITAS_LINK_UP = 2,         /* session established; frames flow */
+  RITAS_LINK_BACKOFF = 3     /* waiting out a jittered backoff before redial */
+};
+
+/* Transport counters for ritas_stat. */
+enum {
+  RITAS_STAT_FRAMES_SENT = 1,
+  RITAS_STAT_FRAMES_RECEIVED = 2,
+  RITAS_STAT_FRAMES_RETRANSMITTED = 3, /* re-writes after counter resync */
+  RITAS_STAT_BYTES_SENT = 4,
+  RITAS_STAT_MAC_FAILURES = 5,
+  RITAS_STAT_REPLAY_DROPS = 6,     /* stale counter, current session */
+  RITAS_STAT_SESSION_REJECTS = 7,  /* frame tagged with an old session id */
+  RITAS_STAT_COUNTER_GAPS = 8,     /* frames lost to send-queue overflow */
+  RITAS_STAT_OVERSIZE_DROPS = 9,
+  RITAS_STAT_QUEUE_DROPS = 10,     /* never-sent frames evicted by the cap */
+  RITAS_STAT_LINK_RECONNECTS = 11, /* handshakes that revived a dead link */
+  RITAS_STAT_HANDSHAKE_FAILURES = 12
 };
 
 /* Context management ----------------------------------------------------- */
@@ -70,7 +96,9 @@ int ritas_proc_add_ipv4(ritas_t* r, uint32_t id, const char* host, uint16_t port
 int ritas_set_opt(ritas_t* r, int opt, long value);
 
 /* Establishes the authenticated TCP mesh and starts the protocol stack's
- * thread. Blocks until every link is up. */
+ * thread. Blocks until enough links are up for the stack to make progress
+ * (RITAS_OPT_MIN_START_LINKS, default n-f-1); the remaining links keep
+ * connecting — and broken links keep reconnecting — in the background. */
 int ritas_start(ritas_t* r);
 
 /* Stops the session: shuts the protocol stack down and wakes every thread
@@ -81,6 +109,20 @@ int ritas_stop(ritas_t* r);
 
 /* Tears everything down. Safe on NULL. */
 void ritas_destroy(ritas_t* r);
+
+/* Link probes ------------------------------------------------------------- */
+
+/* Writes the health of every pairwise channel into states[0..n) (one
+ * RITAS_LINK_* byte per process id; the self entry reads RITAS_LINK_UP)
+ * and returns n. RITAS_ETOOBIG if cap < n, RITAS_ESTATE before start.
+ * Links self-heal in the background: a RITAS_LINK_BACKOFF link redials on
+ * its own, so a one-shot snapshot of a down link is not a failure. */
+long ritas_link_states(ritas_t* r, uint8_t* states, size_t cap);
+
+/* Returns the current value of one RITAS_STAT_* transport counter, or a
+ * negative error (RITAS_EINVAL for an unknown stat, RITAS_ESTATE before
+ * start). Counters only grow while the session runs. */
+long long ritas_stat(ritas_t* r, int stat);
 
 /* Broadcast services ------------------------------------------------------ */
 

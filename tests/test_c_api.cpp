@@ -162,6 +162,10 @@ TEST(CApi, SetOptValidation) {
   EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_BATCH_MAX_MSGS, 8), RITAS_OK);
   EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_BATCH_MAX_BYTES, 4096), RITAS_OK);
   EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_RECV_WINDOW, 32), RITAS_OK);
+  EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_MIN_START_LINKS, -1), RITAS_EINVAL);
+  EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_MIN_START_LINKS, 4), RITAS_EINVAL);  // >= n
+  EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_MIN_START_LINKS, 3), RITAS_OK);
+  EXPECT_EQ(ritas_set_opt(r, RITAS_OPT_MIN_START_LINKS, 0), RITAS_OK);  // auto
   ritas_destroy(r);
   // Options are pre-start only: after the mesh is up they are refused.
   CCluster c;
@@ -277,6 +281,45 @@ TEST(CApi, AtomicBroadcastTotalOrder) {
     }
   }
   for (std::uint32_t p = 1; p < 4; ++p) EXPECT_EQ(order[p], order[0]);
+}
+
+TEST(CApi, LinkProbesAndStats) {
+  ritas_t* cold = ritas_init(4, 0, kSecret, sizeof(kSecret));
+  ASSERT_NE(cold, nullptr);
+  std::uint8_t states[4];
+  // Probes are start-gated, and the buffer must hold all n entries.
+  EXPECT_EQ(ritas_link_states(cold, states, sizeof(states)), RITAS_ESTATE);
+  EXPECT_EQ(ritas_stat(cold, RITAS_STAT_FRAMES_SENT), RITAS_ESTATE);
+  ritas_destroy(cold);
+
+  CCluster c;
+  EXPECT_EQ(ritas_link_states(c.r[0], states, 3), RITAS_ETOOBIG);
+  EXPECT_EQ(ritas_link_states(c.r[0], nullptr, sizeof(states)), RITAS_EINVAL);
+  EXPECT_EQ(ritas_stat(c.r[0], 0), RITAS_EINVAL);
+  EXPECT_EQ(ritas_stat(c.r[0], 999), RITAS_EINVAL);
+
+  // Run one broadcast so traffic demonstrably flows through the counters.
+  const char* msg = "probe";
+  ASSERT_EQ(ritas_rb_bcast(c.r[0], reinterpret_cast<const std::uint8_t*>(msg),
+                           std::strlen(msg)),
+            RITAS_OK);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    std::uint8_t buf[16];
+    ASSERT_GT(ritas_rb_recv(c.r[p], nullptr, buf, sizeof(buf)), 0);
+  }
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    ASSERT_EQ(ritas_link_states(c.r[p], states, sizeof(states)), 4);
+    EXPECT_EQ(states[p], RITAS_LINK_UP) << "self entry reads up";
+    for (std::uint32_t q = 0; q < 4; ++q) {
+      EXPECT_GE(states[q], RITAS_LINK_DOWN);
+      EXPECT_LE(states[q], RITAS_LINK_BACKOFF);
+    }
+    EXPECT_GT(ritas_stat(c.r[p], RITAS_STAT_FRAMES_SENT), 0);
+    EXPECT_GT(ritas_stat(c.r[p], RITAS_STAT_FRAMES_RECEIVED), 0);
+    EXPECT_GT(ritas_stat(c.r[p], RITAS_STAT_BYTES_SENT), 0);
+    EXPECT_EQ(ritas_stat(c.r[p], RITAS_STAT_MAC_FAILURES), 0);
+    EXPECT_EQ(ritas_stat(c.r[p], RITAS_STAT_SESSION_REJECTS), 0);
+  }
 }
 
 }  // namespace
