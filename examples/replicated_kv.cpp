@@ -1,15 +1,18 @@
 // Intrusion-tolerant replicated key-value store over real TCP.
 //
 // State machine replication (the canonical application the paper's
-// introduction motivates) on the public ritas::Context API: every node
-// subscribes to the atomic broadcast (ab_subscribe), applies the decided
-// command stream to a deterministic KvMachine, and stays identical to its
-// peers. Client commands are deduplicated by (client, seq), so retrying a
-// command through a second node applies once; payload batching
+// introduction motivates) on the public ritas::Context API, served by the
+// stack's own SMR layer: every node runs an smr::ShardedService with a
+// single shard (G=1) over an smr::KvMachine, subscribes to the atomic
+// broadcast (ab_subscribe), and feeds the decided command stream to the
+// service, staying identical to its peers. Command framing, (client, seq)
+// exactly-once dedup and the SET/DEL/CAS semantics all come from src/smr
+// — the example only wires transport to service. Payload batching
 // (Options::batch) packs bursts of small commands into shared
 // dissemination broadcasts. For the same state machine surviving an
-// actively Byzantine replica, see examples/faultload_explorer.cpp (the
-// deterministic sim applies the paper's §4.2 attack there).
+// actively Byzantine replica, see examples/faultload_explorer.cpp; for a
+// multi-group deployment of the same service, see sim::ShardedCluster and
+// bench_shard_scaling.
 //
 //   $ ./replicated_kv
 #include <netinet/in.h>
@@ -18,15 +21,14 @@
 
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "common/serialize.h"
 #include "ritas/context.h"
+#include "smr/kv_machine.h"
+#include "smr/sharded_service.h"
 
 using namespace ritas;
 
@@ -52,89 +54,61 @@ std::vector<net::PeerAddr> reserve_local_ports(std::uint32_t n) {
   return peers;
 }
 
-// Commands: SET key value | DEL key | CAS key expected value, tagged with
-// (client, seq) for exactly-once application.
-struct Command {
-  enum class Op : std::uint8_t { kSet = 0, kDel = 1, kCas = 2 };
-  Op op;
-  std::string key, value, expected;
+/// One node's service plus the lock that bridges the Context's reactor
+/// thread (on_delivered runs in the ab_subscribe callback) and main-thread
+/// readers. The service itself is single-threaded by design — the harness
+/// owns the synchronization, exactly like the sim loop owns it in tests.
+struct Node {
+  Node()
+      : service({.shards = 1, .key_of = smr::kv_key_of},
+                [](smr::ShardId) { return std::make_unique<smr::KvMachine>(); }) {}
 
-  Bytes encode(std::uint64_t client, std::uint64_t seq) const {
-    Writer w;
-    w.u64(client);
-    w.u64(seq);
-    w.u8(static_cast<std::uint8_t>(op));
-    w.str(key);
-    w.str(value);
-    w.str(expected);
-    return std::move(w).take();
+  std::string snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return to_string(service.snapshot(0));
   }
+  std::uint64_t applied() {
+    std::lock_guard<std::mutex> lock(mu);
+    return service.applied_total();
+  }
+  std::uint64_t duplicates() {
+    std::lock_guard<std::mutex> lock(mu);
+    return service.duplicates_skipped(0);
+  }
+
+  std::mutex mu;
+  smr::ShardedService service;
 };
 
-/// One replica: the deterministic KV map plus the (client, seq) dedup set.
-/// apply() runs on the Context's reactor thread (the ab_subscribe
-/// callback); readers take the mutex.
-class KvReplica {
- public:
-  void apply(ByteView command) {
-    Reader r(command);
-    const std::uint64_t client = r.u64();
-    const std::uint64_t seq = r.u64();
-    const std::uint8_t op = r.u8();
-    const std::string key = r.str();
-    const std::string value = r.str();
-    const std::string expected = r.str();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!r.ok() || !r.done() || op > 2) return;  // byzantine payload: ignore
-    if (!seen_.insert({client, seq}).second) {
-      ++duplicates_;
-      return;
-    }
-    switch (static_cast<Command::Op>(op)) {
-      case Command::Op::kSet:
-        map_[key] = value;
-        break;
-      case Command::Op::kDel:
-        map_.erase(key);
-        break;
-      case Command::Op::kCas: {
-        auto it = map_.find(key);
-        if (it != map_.end() && it->second == expected) it->second = value;
-        break;
-      }
-    }
-    ++applied_;
-  }
-
-  std::string snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::string d;
-    for (const auto& [k, v] : map_) d += k + "=" + v + ";";
-    return d;
-  }
-  std::uint64_t applied() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return applied_;
-  }
-  std::uint64_t duplicates() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return duplicates_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> map_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_;
-  std::uint64_t applied_ = 0;
-  std::uint64_t duplicates_ = 0;
-};
+smr::KvCommand set(const std::string& key, const std::string& value) {
+  smr::KvCommand c;
+  c.op = smr::KvCommand::Op::kSet;
+  c.key = key;
+  c.value = value;
+  return c;
+}
+smr::KvCommand del(const std::string& key) {
+  smr::KvCommand c;
+  c.op = smr::KvCommand::Op::kDel;
+  c.key = key;
+  return c;
+}
+smr::KvCommand cas(const std::string& key, const std::string& expected,
+                   const std::string& value) {
+  smr::KvCommand c;
+  c.op = smr::KvCommand::Op::kCas;
+  c.key = key;
+  c.value = value;
+  c.expected = expected;
+  return c;
+}
 
 }  // namespace
 
 int main() {
   const auto peers = reserve_local_ports(kN);
 
-  std::vector<KvReplica> replicas(kN);
+  std::vector<Node> replicas(kN);
   std::vector<std::unique_ptr<Context>> nodes;
   for (std::uint32_t p = 0; p < kN; ++p) {
     Context::Options o;
@@ -144,10 +118,16 @@ int main() {
     o.master_secret = to_bytes("kv-shared-secret");
     o.batch.enabled = true;  // wire-format switch: identical at every node
     nodes.push_back(std::make_unique<Context>(o));
-    // Subscribe before start(): the decided command stream drives apply()
-    // directly on the reactor thread, in total order.
+    // Outbound: the service frames the command, the context orders it.
+    replicas[p].service.bind_submitter(
+        [&nodes, p](smr::ShardId, const Bytes& command) {
+          nodes[p]->ab_bcast(command);
+        });
+    // Inbound: subscribe before start(); the decided stream drives the
+    // service directly on the reactor thread, in total order.
     nodes[p]->ab_subscribe([&replicas, p](Context::AbDelivery d) {
-      replicas[p].apply(d.payload);
+      std::lock_guard<std::mutex> lock(replicas[p].mu);
+      replicas[p].service.on_delivered(0, d.payload);
     });
   }
 
@@ -162,28 +142,25 @@ int main() {
   // command is retried through a second replica to exercise exactly-once
   // application, and two CAS operations race: the total order decides the
   // winner, the same winner everywhere.
-  const std::vector<Command> workload = {
-      {Command::Op::kSet, "user:1", "alice", ""},
-      {Command::Op::kSet, "user:2", "bob", ""},
-      {Command::Op::kSet, "balance:1", "100", ""},
-      {Command::Op::kCas, "balance:1", "90", "100"},
-      {Command::Op::kCas, "balance:1", "80", "100"},
-      {Command::Op::kSet, "user:3", "carol", ""},
-      {Command::Op::kDel, "user:2", "", ""},
-      {Command::Op::kSet, "balance:3", "55", ""},
+  const std::vector<smr::KvCommand> workload = {
+      set("user:1", "alice"),         set("user:2", "bob"),
+      set("balance:1", "100"),        cas("balance:1", "100", "90"),
+      cas("balance:1", "100", "80"),  set("user:3", "carol"),
+      del("user:2"),                  set("balance:3", "55"),
   };
   constexpr std::uint64_t kClient = 42;
   for (std::size_t i = 0; i < workload.size(); ++i) {
     const std::uint32_t via = static_cast<std::uint32_t>(i % kN);
-    const Bytes cmd = workload[i].encode(kClient, i);
-    nodes[via]->ab_bcast(cmd);
-    if (i == 2) nodes[0]->ab_bcast(cmd);  // impatient client retries
+    replicas[via].service.submit(kClient, i, workload[i].encode());
+    if (i == 2) {  // impatient client retries through another front
+      replicas[0].service.submit(kClient, i, workload[i].encode());
+    }
   }
   for (auto& node : nodes) node->ab_flush();  // seal the submission tails
 
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
   auto all_applied = [&] {
-    for (const KvReplica& r : replicas) {
+    for (Node& r : replicas) {
       if (r.applied() < workload.size()) return false;
     }
     return true;
@@ -196,7 +173,7 @@ int main() {
     return 1;
   }
 
-  std::printf("replicated KV store, n=4, subscribe-driven apply\n");
+  std::printf("replicated KV store, n=4, smr::ShardedService (G=1)\n");
   std::printf("final state at replica 0: %s\n", replicas[0].snapshot().c_str());
   bool consistent = true;
   std::uint64_t duplicates = 0;

@@ -71,6 +71,7 @@ const char* trace_drop_name(TraceDrop d) {
     case TraceDrop::kMalformed: return "drop.malformed";
     case TraceDrop::kUnroutable: return "drop.unroutable";
     case TraceDrop::kInvalid: return "drop.invalid";
+    case TraceDrop::kForeignGroup: return "drop.foreign_group";
   }
   return "drop?";
 }

@@ -124,9 +124,10 @@ enum class TracePhase : std::uint8_t {
 const char* trace_phase_name(TracePhase ph);
 
 enum class TraceDrop : std::uint8_t {
-  kMalformed = 1,  // undecodable frame
-  kUnroutable = 2, // spawn refused with tombstone
-  kInvalid = 3,    // protocol-level validation failure
+  kMalformed = 1,    // undecodable frame
+  kUnroutable = 2,   // spawn refused with tombstone
+  kInvalid = 3,      // protocol-level validation failure
+  kForeignGroup = 4, // frame addressed to a group this stack does not run
 };
 
 const char* trace_drop_name(TraceDrop d);

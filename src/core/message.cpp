@@ -5,12 +5,22 @@
 namespace ritas {
 
 namespace {
+// Version 1: the original single-group frame (no group field, group = 0).
+// Version 2: `u8 2 | u32 group` prefix, group != 0 — the sharded-SMR demux
+// key extension (docs/PROTOCOLS.md "Group multiplexing"). Everything after
+// the version/group prefix is byte-identical between the two versions.
 constexpr std::uint8_t kWireVersion = 1;
-}
+constexpr std::uint8_t kWireVersionGrouped = 2;
+}  // namespace
 
 Buffer Message::encode() const {
-  Writer w(payload.size() + 32);
-  w.u8(kWireVersion);
+  Writer w(payload.size() + 40);
+  if (group == 0) {
+    w.u8(kWireVersion);
+  } else {
+    w.u8(kWireVersionGrouped);
+    w.u32(group);
+  }
   path.encode(w);
   w.u8(tag);
   w.bytes(payload);
@@ -19,10 +29,18 @@ Buffer Message::encode() const {
 
 std::optional<Message> Message::decode(const Slice& frame) {
   Reader r(frame.view());
-  if (r.u8() != kWireVersion) return std::nullopt;
+  const std::uint8_t version = r.u8();
+  Message m;
+  if (version == kWireVersionGrouped) {
+    m.group = r.u32();
+    // Group 0 must encode as version 1; rejecting the alias keeps every
+    // logical frame's byte representation canonical.
+    if (!r.ok() || m.group == 0) return std::nullopt;
+  } else if (version != kWireVersion) {
+    return std::nullopt;
+  }
   auto path = InstanceId::decode(r);
   if (!path) return std::nullopt;
-  Message m;
   m.path = *path;
   m.tag = r.u8();
   const std::uint32_t len = r.u32();
@@ -33,9 +51,21 @@ std::optional<Message> Message::decode(const Slice& frame) {
   return m;
 }
 
+std::optional<GroupId> Message::peek_group(const Slice& frame) {
+  Reader r(frame.view());
+  const std::uint8_t version = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (version == kWireVersion) return GroupId{0};
+  if (version != kWireVersionGrouped) return std::nullopt;
+  const GroupId g = r.u32();
+  if (!r.ok() || g == 0) return std::nullopt;
+  return g;
+}
+
 std::size_t Message::header_size() const {
-  // version + depth byte + 9 bytes per component + tag + u32 length.
-  return 1 + 1 + path.depth() * 9 + 1 + 4;
+  // version [+ u32 group] + depth byte + 9 bytes per component + tag +
+  // u32 length.
+  return 1 + (group != 0 ? 4 : 0) + 1 + path.depth() * 9 + 1 + 4;
 }
 
 }  // namespace ritas

@@ -19,10 +19,18 @@
 #include "common/buffer.h"
 #include "common/bytes.h"
 #include "core/instance_id.h"
+#include "core/types.h"
 
 namespace ritas {
 
 struct Message {
+  /// Consensus group this frame belongs to. The (group, path) pair is the
+  /// demultiplexing key when several groups share one transport mesh.
+  /// Group 0 encodes as the original version-1 frame (bit-identical wire
+  /// format for single-group deployments); any other group encodes as a
+  /// version-2 frame carrying the group id. Stamped by the sending stack —
+  /// protocols never set it.
+  GroupId group = 0;
   InstanceId path;
   std::uint8_t tag = 0;
   Slice payload;
@@ -33,8 +41,15 @@ struct Message {
   /// Parses a frame; the returned payload is a Slice aliasing `frame` (it
   /// keeps the frame's Buffer alive, no bytes are copied). nullopt on any
   /// malformation — never throws; Byzantine bytes on the wire must not
-  /// take the process down.
+  /// take the process down. A version-2 frame claiming group 0 is
+  /// malformed (group 0 has exactly one canonical encoding: version 1).
   static std::optional<Message> decode(const Slice& frame);
+
+  /// Reads only the destination group of a frame (version byte plus, on a
+  /// version-2 frame, the group id) — the cheap prefix read the shared-mesh
+  /// demultiplexer uses to route a frame without parsing the whole header.
+  /// nullopt on an unknown version or a truncated/non-canonical prefix.
+  static std::optional<GroupId> peek_group(const Slice& frame);
 
   /// Header bytes added on top of the payload (for traffic accounting).
   std::size_t header_size() const;

@@ -26,6 +26,10 @@ struct Metrics {
   std::uint64_t malformed_dropped = 0;   // undecodable frames
   std::uint64_t unroutable_dropped = 0;  // spawn refused with tombstone
   std::uint64_t invalid_dropped = 0;     // protocol-level validation failures
+  // Frames addressed to a group this stack does not run (Byzantine or
+  // misconfigured peer; with a shared mesh the GroupMux normally routes
+  // these away before they reach a stack).
+  std::uint64_t foreign_group_dropped = 0;
 
   // Out-of-context table (§3.4).
   std::uint64_t ooc_stored = 0;
@@ -113,6 +117,7 @@ struct Metrics {
     malformed_dropped += o.malformed_dropped;
     unroutable_dropped += o.unroutable_dropped;
     invalid_dropped += o.invalid_dropped;
+    foreign_group_dropped += o.foreign_group_dropped;
     ooc_stored += o.ooc_stored;
     ooc_drained += o.ooc_drained;
     ooc_evicted += o.ooc_evicted;

@@ -37,6 +37,14 @@ void ProtocolStack::on_packet(ProcessId from, Slice frame) {
     trace_drop(TraceDrop::kMalformed, from, {});
     return;
   }
+  if (msg->group != cfg_.group) {
+    // A frame for another consensus group. On a shared mesh the GroupMux
+    // routes by group before stacks see frames, so reaching here means a
+    // Byzantine or misconfigured peer — a counted drop, never a throw.
+    ++metrics_.foreign_group_dropped;
+    trace_drop(TraceDrop::kForeignGroup, from, msg->path.trace_path());
+    return;
+  }
   ++metrics_.msgs_received;
   metrics_.payload_bytes_aliased += msg->payload.size();
   if (tracer_ != nullptr) {
@@ -66,10 +74,14 @@ void ProtocolStack::note_invalid(const InstanceId& id) {
   trace_drop(TraceDrop::kInvalid, 0xffffffffu, id.trace_path());
 }
 
-void ProtocolStack::send_message(ProcessId to, const Message& m) {
+void ProtocolStack::send_message(ProcessId to, const Message& m0) {
   if (to >= cfg_.n) throw std::invalid_argument("send_message: bad destination");
+  // Protocols never set the group; the stack stamps every outbound frame
+  // with its own (the demux key on a shared mesh).
+  Message m = m0;
+  m.group = cfg_.group;
   if (to == cfg_.self) {
-    self_queue_.push_back(m);
+    self_queue_.push_back(std::move(m));
     return;
   }
   if (adversary_ != nullptr && adversary_->omit_to(to)) return;
@@ -84,10 +96,12 @@ void ProtocolStack::send_message(ProcessId to, const Message& m) {
   transport_.send(to, std::move(frame));
 }
 
-void ProtocolStack::broadcast_message(const Message& m) {
+void ProtocolStack::broadcast_message(const Message& m0) {
   // Encode exactly once and share the refcounted frame across every peer
   // (the self copy loops back as a Message and never needs a frame at
   // all). Encoding is lazy so a fully-omitting adversary encodes nothing.
+  Message m = m0;
+  m.group = cfg_.group;
   Buffer frame;
   for (ProcessId p = 0; p < cfg_.n; ++p) {
     if (p == cfg_.self) {

@@ -58,6 +58,14 @@ struct StackConfig {
   std::uint32_t n = 4;
   ProcessId self = 0;
 
+  /// Consensus group this stack runs. Several stacks (one per group) can
+  /// share one transport mesh; every outbound frame is stamped with the
+  /// group, inbound frames for other groups are counted drops
+  /// (`foreign_group_dropped`), and a GroupMux routes shared-mesh traffic
+  /// to the owning stack. Group 0 (the default) keeps the original
+  /// single-group wire format bit-for-bit.
+  GroupId group = 0;
+
   CoinMode coin_mode = CoinMode::kLocal;
 
   /// Atomic broadcast payload batching (see AbBatchConfig).
@@ -116,6 +124,7 @@ class ProtocolStack {
   const StackConfig& config() const { return cfg_; }
   const Quorums& quorums() const { return quorums_; }
   ProcessId self() const { return cfg_.self; }
+  GroupId group() const { return cfg_.group; }
   std::uint32_t n() const { return cfg_.n; }
   const KeyChain& keys() const { return keys_; }
   Rng& rng() { return rng_; }

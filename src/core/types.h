@@ -10,6 +10,13 @@ using ProcessId = std::uint32_t;
 
 constexpr ProcessId kNoProcess = 0xffffffffu;
 
+/// Identifier of one RITAS consensus group when several groups multiplex
+/// one shared transport mesh (sharded SMR: every group runs the full stack
+/// independently; the pair (GroupId, InstanceId) is the demux key). Group
+/// 0 is the default single-group deployment and keeps the original wire
+/// format bit-for-bit (see docs/PROTOCOLS.md "Group multiplexing").
+using GroupId = std::uint32_t;
+
 /// Optimal resilience: the stack tolerates f = floor((n-1)/3) corrupt
 /// processes (paper §2).
 constexpr std::uint32_t max_faults(std::uint32_t n) { return (n - 1) / 3; }

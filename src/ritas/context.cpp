@@ -60,6 +60,7 @@ Context::Context(Options opts)
   StackConfig cfg = opts_.stack;
   cfg.n = opts_.n;
   cfg.self = opts_.self;
+  cfg.group = opts_.group;
   cfg.ab_batch.enabled = opts_.batch.enabled;
   cfg.ab_batch.max_batch_msgs = opts_.batch.max_msgs;
   cfg.ab_batch.max_batch_bytes = opts_.batch.max_bytes;

@@ -61,7 +61,13 @@ class Context {
     /// dealer of §2; distribute out of band).
     Bytes master_secret;
     bool authenticate = true;  // HMAC frames (the "IPSec" switch)
-    StackConfig stack;         // n/self overwritten
+    /// Consensus group this session runs when several groups share one
+    /// mesh (sharded SMR). Authoritative: overwrites stack.group. Group 0
+    /// (default) keeps the original wire format; non-zero groups prefix
+    /// frames with the group id (docs/PROTOCOLS.md "Group multiplexing"),
+    /// so all correct processes of a group must configure it identically.
+    GroupId group = 0;
+    StackConfig stack;         // n/self/group overwritten
     std::uint64_t rng_seed = 0;  // 0 = seed from std::random_device
     /// Receive-side broadcast instances pre-created per origin.
     std::uint32_t recv_window = 64;

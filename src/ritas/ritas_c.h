@@ -50,7 +50,11 @@ enum {
   RITAS_OPT_BATCH_MAX_MSGS = 2,  /* messages per batch, > 0 (default 64) */
   RITAS_OPT_BATCH_MAX_BYTES = 3, /* framed bytes per batch, > 0 (default 16384) */
   RITAS_OPT_RECV_WINDOW = 4,     /* pre-created rb/eb receive roots, > 0 */
-  RITAS_OPT_MIN_START_LINKS = 5  /* links ritas_start waits for; 0 = n-f-1 */
+  RITAS_OPT_MIN_START_LINKS = 5, /* links ritas_start waits for; 0 = n-f-1 */
+  RITAS_OPT_GROUP_ID = 6         /* consensus group on a shared mesh;
+                                  * 0 (default) keeps the original wire
+                                  * format — all correct processes of one
+                                  * group must agree on it */
 };
 
 /* Per-link channel health, as reported by ritas_link_states. Values match

@@ -1,0 +1,68 @@
+#include "smr/kv_machine.h"
+
+#include "common/serialize.h"
+
+namespace ritas::smr {
+
+Bytes KvCommand::encode() const {
+  Writer w(key.size() + value.size() + expected.size() + 16);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  w.str(value);
+  w.str(expected);
+  return std::move(w).take();
+}
+
+std::optional<KvCommand> KvCommand::decode(ByteView bytes) {
+  Reader r(bytes);
+  KvCommand c;
+  const std::uint8_t op = r.u8();
+  c.key = r.str();
+  c.value = r.str();
+  c.expected = r.str();
+  if (!r.ok() || !r.done() || op > static_cast<std::uint8_t>(Op::kGet)) {
+    return std::nullopt;
+  }
+  c.op = static_cast<Op>(op);
+  return c;
+}
+
+std::optional<std::string> kv_key_of(ByteView command) {
+  auto c = KvCommand::decode(command);
+  if (!c) return std::nullopt;
+  return std::move(c->key);
+}
+
+Bytes KvMachine::apply(ByteView command) {
+  const auto c = KvCommand::decode(command);
+  if (!c) return to_bytes("err");  // Byzantine payload: deterministic no-op
+  switch (c->op) {
+    case KvCommand::Op::kSet:
+      map_[c->key] = c->value;
+      return to_bytes("ok");
+    case KvCommand::Op::kDel:
+      map_.erase(c->key);
+      return to_bytes("ok");
+    case KvCommand::Op::kCas: {
+      auto it = map_.find(c->key);
+      if (it != map_.end() && it->second == c->expected) {
+        it->second = c->value;
+        return to_bytes("ok");
+      }
+      return to_bytes("fail");
+    }
+    case KvCommand::Op::kGet: {
+      auto it = map_.find(c->key);
+      return it != map_.end() ? to_bytes(it->second) : to_bytes("nil");
+    }
+  }
+  return to_bytes("err");
+}
+
+Bytes KvMachine::snapshot() const {
+  std::string d;
+  for (const auto& [k, v] : map_) d += k + "=" + v + ";";
+  return to_bytes(d);
+}
+
+}  // namespace ritas::smr

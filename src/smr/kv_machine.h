@@ -1,0 +1,52 @@
+// KvMachine — the canonical key-value StateMachine the examples, tests
+// and benches replicate.
+//
+// Commands are SET / DEL / CAS / GET over string keys and values, encoded
+// `u8 op | str key | str value | str expected` (Writer::str framing).
+// Apply is deterministic and total: malformed or unknown-op commands are
+// deterministic no-ops returning "err", so a Byzantine client's bytes
+// leave every correct replica in the same state. `kv_key_of` exposes the
+// routing key of an encoded command without applying it — that is what
+// the sharded service hashes to pick the owning group.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "smr/state_machine.h"
+
+namespace ritas::smr {
+
+struct KvCommand {
+  enum class Op : std::uint8_t { kSet = 0, kDel = 1, kCas = 2, kGet = 3 };
+  Op op = Op::kSet;
+  std::string key, value, expected;
+
+  Bytes encode() const;
+  /// nullopt on malformed bytes (never throws).
+  static std::optional<KvCommand> decode(ByteView bytes);
+};
+
+/// Routing key of an encoded KvCommand: the command's `key` field, or
+/// nullopt when the bytes do not parse (the caller then falls back to
+/// hashing the raw command so routing stays deterministic).
+std::optional<std::string> kv_key_of(ByteView command);
+
+class KvMachine final : public StateMachine {
+ public:
+  /// SET -> "ok"; DEL -> "ok"; CAS -> "ok" if the swap happened else
+  /// "fail"; GET -> the value or "nil"; malformed -> "err" no-op.
+  Bytes apply(ByteView command) override;
+
+  /// Canonical "k=v;" concatenation in key order.
+  Bytes snapshot() const override;
+
+  const std::map<std::string, std::string>& state() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace ritas::smr

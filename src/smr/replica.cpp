@@ -1,13 +1,12 @@
 #include "smr/replica.h"
 
 #include "common/log.h"
-#include "common/serialize.h"
 
 namespace ritas::smr {
 
 Replica::Replica(ProtocolStack& stack, const InstanceId& root_id,
                  StateMachine& machine)
-    : machine_(machine) {
+    : applier_(machine) {
   root_ = std::make_unique<AtomicBroadcast>(
       stack, nullptr, root_id,
       [this](ProcessId, std::uint64_t, Slice payload) {
@@ -17,34 +16,22 @@ Replica::Replica(ProtocolStack& stack, const InstanceId& root_id,
 }
 
 void Replica::submit(std::uint64_t client, std::uint64_t seq, ByteView op) {
-  Writer w(op.size() + 16);
-  w.u64(client);
-  w.u64(seq);
-  w.raw(op);
-  ab_->bcast(std::move(w).take());
+  ab_->bcast(ExactlyOnceApplier::encode_command(client, seq, op));
 }
 
 void Replica::on_deliver(const Slice& payload) {
-  Reader r(payload.view());
-  const std::uint64_t client = r.u64();
-  const std::uint64_t seq = r.u64();
-  const Bytes op = r.raw(r.remaining());
-  if (!r.ok()) {
-    // A Byzantine replica submitted an unparsable command. Every correct
-    // replica sees the same bytes in the same slot and skips it
-    // identically, so consistency is unaffected.
-    LOG_WARN("smr: skipping malformed command");
+  const std::uint64_t malformed_before = applier_.malformed_skipped();
+  const auto applied = applier_.on_command(payload.view());
+  if (!applied) {
+    if (applier_.malformed_skipped() > malformed_before) {
+      // A Byzantine replica submitted an unparsable command. Every correct
+      // replica sees the same bytes in the same slot and skips it
+      // identically, so consistency is unaffected.
+      LOG_WARN("smr: skipping malformed command");
+    }
     return;
   }
-  ClientWindow& win = applied_[client];
-  if (win.contains(seq)) {
-    ++duplicates_skipped_;
-    return;  // retry or multi-replica submission: already applied
-  }
-  win.insert(seq);
-  const Bytes result = machine_.apply(op);
-  ++applied_count_;
-  if (on_applied_) on_applied_(client, seq, result);
+  if (on_applied_) on_applied_(applied->client, applied->seq, applied->result);
 }
 
 }  // namespace ritas::smr

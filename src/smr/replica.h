@@ -5,16 +5,19 @@
 // order. Client requests are identified by (client id, client sequence)
 // and applied exactly once even when submitted through several replicas
 // at once or retried (at-least-once clients, exactly-once application).
+// Dedup and command framing live in ExactlyOnceApplier, shared with the
+// sharded multi-group service (smr/sharded_service.h) — this class is the
+// single-group (G=1) front.
 //
 // Wire format of a command: u64 client | u64 seq | bytes op.
 #pragma once
 
 #include <functional>
-#include <map>
-#include <set>
+#include <memory>
 
 #include "core/atomic_broadcast.h"
 #include "core/stack.h"
+#include "smr/applier.h"
 #include "smr/state_machine.h"
 
 namespace ritas::smr {
@@ -42,36 +45,19 @@ class Replica {
 
   void set_on_applied(AppliedFn fn) { on_applied_ = std::move(fn); }
 
-  std::uint64_t applied_count() const { return applied_count_; }
-  std::uint64_t duplicates_skipped() const { return duplicates_skipped_; }
-  const StateMachine& machine() const { return machine_; }
+  std::uint64_t applied_count() const { return applier_.applied_count(); }
+  std::uint64_t duplicates_skipped() const {
+    return applier_.duplicates_skipped();
+  }
+  const StateMachine& machine() const { return applier_.machine(); }
 
  private:
-  struct ClientWindow {
-    std::uint64_t floor = 0;        // all seqs below are applied
-    std::set<std::uint64_t> above;  // applied seqs >= floor
-    bool contains(std::uint64_t seq) const {
-      return seq < floor || above.contains(seq);
-    }
-    void insert(std::uint64_t seq) {
-      if (seq < floor) return;
-      above.insert(seq);
-      while (above.contains(floor)) {
-        above.erase(floor);
-        ++floor;
-      }
-    }
-  };
-
   void on_deliver(const Slice& payload);
 
-  StateMachine& machine_;
-  AtomicBroadcast* ab_ = nullptr;  // owned via roots_ below
+  ExactlyOnceApplier applier_;
+  AtomicBroadcast* ab_ = nullptr;  // owned via root_ below
   std::unique_ptr<AtomicBroadcast> root_;
-  std::map<std::uint64_t, ClientWindow> applied_;
   AppliedFn on_applied_;
-  std::uint64_t applied_count_ = 0;
-  std::uint64_t duplicates_skipped_ = 0;
 };
 
 }  // namespace ritas::smr

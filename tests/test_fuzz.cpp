@@ -359,10 +359,11 @@ TEST(Fuzz, CorpusRegression) {
     for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(h.order[p][i], h.order[0][i]);
   }
   // Every injected frame was noticed somewhere: parse rejects, protocol
-  // rejects, unroutable paths and out-of-context parks all count.
+  // rejects, foreign-group rejects, unroutable paths and out-of-context
+  // parks all count.
   const Metrics m = c.total_metrics();
   EXPECT_GE(m.malformed_dropped + m.invalid_dropped + m.unroutable_dropped +
-                m.ooc_stored,
+                m.foreign_group_dropped + m.ooc_stored,
             files.size())
       << "corpus frames absorbed silently";
 }

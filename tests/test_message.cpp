@@ -144,5 +144,86 @@ TEST(Message, HeaderSizeMatchesEncoding) {
   EXPECT_EQ(m.encode().size(), m.header_size() + m.payload.size());
 }
 
+// --- group multiplexing (docs/PROTOCOLS.md "Group multiplexing") ----------
+
+TEST(MessageGroup, GroupZeroKeepsLegacyWireFormat) {
+  // The single-group deployment must stay bit-identical to the pre-group
+  // format: version byte 1, no group field.
+  Message m;
+  m.path = sample_path();
+  m.tag = 3;
+  m.payload = to_bytes("legacy");
+  const Bytes frame = frame_bytes(m);
+  EXPECT_EQ(frame[0], 1);
+  Message grouped = m;
+  grouped.group = 7;
+  EXPECT_EQ(frame_bytes(grouped).size(), frame.size() + 4);
+}
+
+TEST(MessageGroup, GroupedRoundTrip) {
+  Message m;
+  m.group = 0xdeadbeef;
+  m.path = sample_path();
+  m.tag = 2;
+  m.payload = to_bytes("sharded");
+  const Buffer frame = m.encode();
+  EXPECT_EQ(Slice(frame).view()[0], 2);  // version 2 marks a grouped frame
+  auto d = Message::decode(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->group, 0xdeadbeefu);
+  EXPECT_EQ(d->path, m.path);
+  EXPECT_EQ(d->tag, m.tag);
+  EXPECT_EQ(d->payload, m.payload);
+  EXPECT_EQ(frame.size(), m.header_size() + m.payload.size());
+}
+
+TEST(MessageGroup, RejectsGroupedFrameClaimingGroupZero) {
+  // Canonical encoding: group 0 must use version 1. A version-2 frame
+  // claiming group 0 is malformed (two encodings of the same message
+  // would otherwise hash/compare differently).
+  Message m;
+  m.group = 5;
+  m.path = sample_path();
+  Bytes frame = frame_bytes(m);
+  frame[1] = frame[2] = frame[3] = frame[4] = 0;  // u32 group := 0
+  EXPECT_FALSE(Message::decode(std::move(frame)).has_value());
+}
+
+TEST(MessageGroup, RejectsTruncatedGroupedHeader) {
+  Message m;
+  m.group = 9;
+  m.path = sample_path();
+  m.payload = to_bytes("data");
+  const Buffer frame = m.encode();
+  const Slice whole(frame);
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(
+        Message::decode(whole.subslice(0, frame.size() - cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(MessageGroup, PeekGroupReadsOnlyThePrefix) {
+  Message legacy;
+  legacy.path = sample_path();
+  const auto g0 = Message::peek_group(Slice(legacy.encode()));
+  ASSERT_TRUE(g0.has_value());
+  EXPECT_EQ(*g0, 0u);
+
+  Message grouped;
+  grouped.group = 42;
+  grouped.path = sample_path();
+  const auto g42 = Message::peek_group(Slice(grouped.encode()));
+  ASSERT_TRUE(g42.has_value());
+  EXPECT_EQ(*g42, 42u);
+
+  // Truncated or garbage prefixes peek to nullopt, never throw.
+  EXPECT_FALSE(Message::peek_group(Slice(Bytes{})).has_value());
+  EXPECT_FALSE(Message::peek_group(Slice(Bytes{2, 1, 0})).has_value());
+  EXPECT_FALSE(Message::peek_group(Slice(Bytes{99})).has_value());
+  // Version 2 claiming group 0: rejected at the peek already.
+  EXPECT_FALSE(Message::peek_group(Slice(Bytes{2, 0, 0, 0, 0})).has_value());
+}
+
 }  // namespace
 }  // namespace ritas

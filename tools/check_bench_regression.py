@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Fail CI when headline bench figures regress against committed baselines.
+
+The paper-replication benches run on the deterministic simulator and report
+VIRTUAL-time numbers, so the JSON artifacts are machine-independent: a
+baseline committed in bench/baselines/ is comparable across laptops and CI
+runners alike (generate baselines with the same RITAS_BENCH_RUNS as
+bench-smoke, currently 3). Two headline figures are gated:
+
+  * fig4 batched throughput  — BENCH_fig4_failure_free.json, the batched
+    rows' throughput_msgs_s per (burst, msg_bytes) must not drop more than
+    the tolerance below baseline.
+  * buffer frames encoded    — BENCH_buffer.json, the zero-copy layer's
+    frames_encoded per (msg_bytes, batched) must not grow more than the
+    tolerance above baseline (fewer encodes is the whole point).
+
+Usage:  check_bench_regression.py <bench-out-dir> [--baselines DIR]
+                                  [--tolerance 0.20]
+
+Exit codes: 0 ok, 1 regression or malformed/missing artifact.
+Refreshing a baseline intentionally (protocol change, retuned batching) is
+one commit: rerun the bench with RITAS_BENCH_RUNS=3 and copy the JSON over
+bench/baselines/, explaining the shift in EXPERIMENTS.md.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(directory: Path, name: str) -> dict:
+    path = directory / name
+    if not path.is_file():
+        sys.exit(f"FAIL {name}: not found in {directory}")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL {name}: invalid JSON: {e}")
+    if "rows" not in doc or not doc["rows"]:
+        sys.exit(f"FAIL {name}: no rows")
+    return doc
+
+
+def index_rows(doc: dict, keys: tuple) -> dict:
+    out = {}
+    for row in doc["rows"]:
+        try:
+            out[tuple(row[k] for k in keys)] = row
+        except KeyError as e:
+            sys.exit(f"FAIL: row missing key {e}: {row}")
+    return out
+
+
+def check_fig4(out_dir: Path, base_dir: Path, tol: float) -> list:
+    """Batched throughput must stay within tol of baseline (higher is ok)."""
+    name = "BENCH_fig4_failure_free.json"
+    fresh = index_rows(load(out_dir, name), ("burst", "msg_bytes", "batched"))
+    base = index_rows(load(base_dir, name), ("burst", "msg_bytes", "batched"))
+    failures = []
+    for key, brow in sorted(base.items()):
+        if not key[2]:  # only the batched configuration is gated
+            continue
+        if key not in fresh:
+            failures.append(f"fig4 {key}: row disappeared")
+            continue
+        got = fresh[key]["throughput_msgs_s"]
+        want = brow["throughput_msgs_s"]
+        floor = want * (1.0 - tol)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"fig4 burst={key[0]} m={key[1]}B batched: "
+              f"{got:.0f} vs baseline {want:.0f} msgs/s "
+              f"(floor {floor:.0f}) {verdict}")
+        if got < floor:
+            failures.append(
+                f"fig4 {key}: throughput {got:.0f} < floor {floor:.0f} "
+                f"(baseline {want:.0f}, tolerance {tol:.0%})")
+    return failures
+
+
+def check_buffer(out_dir: Path, base_dir: Path, tol: float) -> list:
+    """frames_encoded must stay within tol of baseline (fewer is ok)."""
+    name = "BENCH_buffer.json"
+    fresh = index_rows(load(out_dir, name), ("msg_bytes", "batched"))
+    base = index_rows(load(base_dir, name), ("msg_bytes", "batched"))
+    failures = []
+    for key, brow in sorted(base.items()):
+        if key not in fresh:
+            failures.append(f"buffer {key}: row disappeared")
+            continue
+        got = fresh[key]["frames_encoded"]
+        want = brow["frames_encoded"]
+        ceiling = want * (1.0 + tol)
+        verdict = "ok" if got <= ceiling else "REGRESSED"
+        print(f"buffer m={key[0]}B batched={key[1]}: "
+              f"{got} vs baseline {want} frames encoded "
+              f"(ceiling {ceiling:.0f}) {verdict}")
+        if got > ceiling:
+            failures.append(
+                f"buffer {key}: frames_encoded {got} > ceiling {ceiling:.0f} "
+                f"(baseline {want}, tolerance {tol:.0%})")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_dir", type=Path,
+                    help="directory holding the freshly produced BENCH_*.json")
+    ap.add_argument("--baselines", type=Path, default=Path("bench/baselines"),
+                    help="directory holding the committed baseline JSONs")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20)")
+    args = ap.parse_args()
+
+    failures = check_fig4(args.bench_dir, args.baselines, args.tolerance)
+    failures += check_buffer(args.bench_dir, args.baselines, args.tolerance)
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall headline figures within tolerance of committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
