@@ -47,11 +47,11 @@ BcAttackResult run_bc_attack(bool validation_enabled, std::uint64_t seed) {
   o.adversary_factory = [] { return std::make_unique<StubbornZero>(); };
   Cluster c(o);
 
-  std::vector<BinaryConsensus*> inst(4, nullptr);
+  std::vector<BcAlgorithm*> inst(4, nullptr);
   std::vector<std::optional<bool>> got(4);
   const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 1);
   for (ProcessId p : c.live()) {
-    inst[p] = &c.create_root<BinaryConsensus>(
+    inst[p] = &c.create_bc(
         p, id, Attribution::kAgreement,
         [&got, p](bool b) { got[p] = b; });
   }
@@ -159,11 +159,11 @@ int main() {
               const bool cross = (from < 2) != (to < 2);
               return cross ? 2 * sim::kMillisecond : 0;
             });
-        std::vector<BinaryConsensus*> inst(5, nullptr);
+        std::vector<BcAlgorithm*> inst(5, nullptr);
         std::vector<std::optional<bool>> got(5);
         const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 1);
         for (ProcessId p : c.live()) {
-          inst[p] = &c.create_root<BinaryConsensus>(
+          inst[p] = &c.create_bc(
               p, id, Attribution::kAgreement, [&got, p](bool b) { got[p] = b; });
         }
         const bool props[5] = {true, true, false, false, true};

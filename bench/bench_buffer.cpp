@@ -76,12 +76,12 @@ bool rb_encode_once(std::uint32_t k, std::uint64_t seed) {
   o.lan = paper_lan(true);
   Cluster c(o);
   std::vector<std::uint64_t> got(4, 0);
-  std::vector<ReliableBroadcast*> rb(4, nullptr);
+  std::vector<RbAlgorithm*> rb(4, nullptr);
   for (std::uint32_t i = 0; i < k; ++i) {
     const InstanceId id =
         InstanceId::root(ProtocolType::kReliableBroadcast, i + 1);
     for (ProcessId p : c.live()) {
-      rb[p] = &c.create_root<ReliableBroadcast>(
+      rb[p] = &c.create_rb(
           p, id, 0, Attribution::kPayload, [&got, p](Slice) { ++got[p]; });
     }
     c.call(0, [&] { rb[0]->bcast(to_bytes("encode-once")); });

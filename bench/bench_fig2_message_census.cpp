@@ -55,11 +55,11 @@ Census census_of(Proto proto) {
 
   switch (proto) {
     case Proto::kRB: {
-      std::vector<ReliableBroadcast*> inst(4, nullptr);
+      std::vector<RbAlgorithm*> inst(4, nullptr);
       for (ProcessId p : c.live()) {
-        ReliableBroadcast::DeliverFn cb;
+        RbAlgorithm::DeliverFn cb;
         if (p == 0) cb = [&done](Slice) { done = true; };
-        inst[p] = &c.create_root<ReliableBroadcast>(p, rb_id, 0,
+        inst[p] = &c.create_rb(p, rb_id, 0,
                                                     Attribution::kPayload,
                                                     std::move(cb));
       }
@@ -78,11 +78,11 @@ Census census_of(Proto proto) {
       break;
     }
     case Proto::kBC: {
-      std::vector<BinaryConsensus*> inst(4, nullptr);
+      std::vector<BcAlgorithm*> inst(4, nullptr);
       for (ProcessId p : c.live()) {
-        BinaryConsensus::DecideFn cb;
+        BcAlgorithm::DecideFn cb;
         if (p == 0) cb = [&done](bool) { done = true; };
-        inst[p] = &c.create_root<BinaryConsensus>(p, bc_id, Attribution::kAgreement,
+        inst[p] = &c.create_bc(p, bc_id, Attribution::kAgreement,
                                                   std::move(cb));
       }
       for (ProcessId p : c.live()) {

@@ -86,11 +86,11 @@ inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
       }
       case Proto::kRB: {
         const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, seq);
-        std::vector<ReliableBroadcast*> inst(4, nullptr);
+        std::vector<RbAlgorithm*> inst(4, nullptr);
         for (ProcessId p : c.live()) {
-          ReliableBroadcast::DeliverFn cb;
+          RbAlgorithm::DeliverFn cb;
           if (p == 0) cb = [&done](Slice) { done = true; };
-          inst[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
+          inst[p] = &c.create_rb(p, id, 0, Attribution::kPayload,
                                                       std::move(cb));
         }
         c.call(0, [&] { inst[0]->bcast(Bytes(payload)); });
@@ -98,11 +98,11 @@ inline double isolated_latency_us(Proto proto, bool ipsec, int iterations,
       }
       case Proto::kBC: {
         const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, seq);
-        std::vector<BinaryConsensus*> inst(4, nullptr);
+        std::vector<BcAlgorithm*> inst(4, nullptr);
         for (ProcessId p : c.live()) {
-          BinaryConsensus::DecideFn cb;
+          BcAlgorithm::DecideFn cb;
           if (p == 0) cb = [&done](bool) { done = true; };
-          inst[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+          inst[p] = &c.create_bc(p, id, Attribution::kAgreement,
                                                     std::move(cb));
         }
         for (ProcessId p : c.live()) {

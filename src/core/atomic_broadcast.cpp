@@ -76,13 +76,13 @@ std::optional<std::vector<AtomicBroadcast::MsgId>> AtomicBroadcast::decode_ids(
   return out;
 }
 
-ReliableBroadcast& AtomicBroadcast::ensure_msg_rb(ProcessId origin,
-                                                  std::uint64_t rbid) {
+RbAlgorithm& AtomicBroadcast::ensure_msg_rb(ProcessId origin,
+                                            std::uint64_t rbid) {
   const Component c{ProtocolType::kReliableBroadcast, msg_seq(origin, rbid)};
   if (auto* existing = find_child(c)) {
-    return static_cast<ReliableBroadcast&>(*existing);
+    return static_cast<RbAlgorithm&>(*existing);
   }
-  auto rb = std::make_unique<ReliableBroadcast>(
+  auto rb = make_rb(
       stack_, this, id().child(c), origin, Attribution::kPayload,
       [this, origin, rbid](Slice payload) {
         on_msg_deliver(origin, rbid, std::move(payload));
@@ -92,13 +92,13 @@ ReliableBroadcast& AtomicBroadcast::ensure_msg_rb(ProcessId origin,
   return ref;
 }
 
-ReliableBroadcast& AtomicBroadcast::ensure_vect_rb(std::uint32_t round,
-                                                   ProcessId origin) {
+RbAlgorithm& AtomicBroadcast::ensure_vect_rb(std::uint32_t round,
+                                             ProcessId origin) {
   const Component c{ProtocolType::kReliableBroadcast, vect_seq(round, origin)};
   if (auto* existing = find_child(c)) {
-    return static_cast<ReliableBroadcast&>(*existing);
+    return static_cast<RbAlgorithm&>(*existing);
   }
-  auto rb = std::make_unique<ReliableBroadcast>(
+  auto rb = make_rb(
       stack_, this, id().child(c), origin, Attribution::kAgreement,
       [this, round, origin](Slice payload) {
         on_vect_deliver(round, origin, payload);

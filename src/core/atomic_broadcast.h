@@ -45,8 +45,8 @@
 #include "common/bytes.h"
 #include "core/multivalued_consensus.h"
 #include "core/protocol.h"
-#include "core/reliable_broadcast.h"
 #include "core/stack.h"
+#include "core/variants.h"
 
 namespace ritas {
 
@@ -126,8 +126,8 @@ class AtomicBroadcast final : public Protocol {
   void try_start_round();
   void maybe_propose_mvc();
   void flush_deliveries();
-  ReliableBroadcast& ensure_msg_rb(ProcessId origin, std::uint64_t rbid);
-  ReliableBroadcast& ensure_vect_rb(std::uint32_t round, ProcessId origin);
+  RbAlgorithm& ensure_msg_rb(ProcessId origin, std::uint64_t rbid);
+  RbAlgorithm& ensure_vect_rb(std::uint32_t round, ProcessId origin);
   MultiValuedConsensus& ensure_mvc(std::uint32_t round);
   VectState& vect_state(std::uint32_t round);
   bool enqueued_contains(const MsgId& id) const;

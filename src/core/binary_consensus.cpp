@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "common/log.h"
-#include "crypto/hmac.h"
 
 namespace ritas {
 
@@ -25,7 +24,7 @@ std::uint32_t adopt_quorum(const Quorums& q) {
 BinaryConsensus::BinaryConsensus(ProtocolStack& stack, Protocol* parent,
                                  InstanceId id, Attribution attr,
                                  DecideFn decide)
-    : Protocol(stack, parent, std::move(id)),
+    : BcAlgorithm(stack, parent, std::move(id)),
       attr_(attr),
       decide_(std::move(decide)) {}
 
@@ -65,8 +64,11 @@ void BinaryConsensus::ensure_round_children(std::uint32_t r) {
       auto deliver = [this, r, step, j](Slice payload) {
         on_rb_deliver(r, step, j, payload);
       };
-      add_child(std::make_unique<ReliableBroadcast>(
-          stack_, this, id().child(c), j, attr_, std::move(deliver)));
+      // Through the factory: the step values ride whichever RB variant the
+      // stack is configured with, so e.g. Bracha BC composes with the
+      // Imbs–Raynal broadcast.
+      add_child(make_rb(stack_, this, id().child(c), j, attr_,
+                        std::move(deliver)));
     }
   }
 }
@@ -100,7 +102,7 @@ void BinaryConsensus::broadcast_step(std::uint32_t r, int step,
   ensure_round_children(r);
   const Component c{ProtocolType::kReliableBroadcast,
                     child_seq(r, step, stack_.self(), stack_.n())};
-  auto* rb = static_cast<ReliableBroadcast*>(find_child(c));
+  auto* rb = static_cast<RbAlgorithm*>(find_child(c));
   assert(rb != nullptr);
   rb->bcast(Bytes{*v});
 }
@@ -310,17 +312,8 @@ void BinaryConsensus::try_advance() {
 }
 
 bool BinaryConsensus::toss_coin(std::uint32_t r) {
-  if (stack_.config().coin_mode == CoinMode::kDealt &&
-      !stack_.keys().group_key().empty()) {
-    // Rabin-style dealt coin: every process derives the same bit for
-    // (instance, round) from the dealer's group key.
-    Writer w;
-    id().encode(w);
-    w.u32(r);
-    const auto d = hmac_sha256(stack_.keys().group_key(), w.data());
-    return (d[0] & 1) != 0;
-  }
-  return stack_.rng().coin();  // Ben-Or-style private coin (the paper's)
+  // Shared with the Crain variant so both derive identical coins.
+  return toss_round_coin(stack_, id(), r);
 }
 
 void BinaryConsensus::decide(bool w, std::uint32_t r) {

@@ -33,32 +33,24 @@
 #include "core/protocol.h"
 #include "core/reliable_broadcast.h"
 #include "core/stack.h"
+#include "core/variants.h"
 
 namespace ritas {
 
-class BinaryConsensus final : public Protocol {
+class BinaryConsensus final : public BcAlgorithm {
  public:
-  using DecideFn = std::function<void(bool)>;
-
   static constexpr std::uint8_t kBot = 2;  // ⊥ on the wire
 
-  BinaryConsensus(ProtocolStack& stack, Protocol* parent, InstanceId id,
-                  Attribution attr, DecideFn decide);
-
-  /// Proposes a bit and activates the state machine. Messages that arrived
-  /// before activation were already tallied; progress resumes immediately.
-  void propose(bool v);
+  void propose(bool v) override;
 
   void on_message(ProcessId from, std::uint8_t tag,
                   const Slice& payload) override;
   Protocol* spawn_child(const Component& c, bool& drop) override;
 
-  bool active() const { return active_; }
-  bool decided() const { return decided_; }
-  bool decision() const { return decision_; }
-  /// Round in which the decision was reached (1 = one round, the common
-  /// case the paper reports). Valid only after decided().
-  std::uint32_t decided_round() const { return decided_round_; }
+  bool active() const override { return active_; }
+  bool decided() const override { return decided_; }
+  bool decision() const override { return decision_; }
+  std::uint32_t decided_round() const override { return decided_round_; }
 
   /// Child sequence encoding: (round, step, origin) -> u64 and back.
   static std::uint64_t child_seq(std::uint32_t round, int step,
@@ -71,6 +63,15 @@ class BinaryConsensus final : public Protocol {
   static bool decode_child_seq(std::uint64_t seq, std::uint32_t n, ChildKey& out);
 
  private:
+  // Construction only through the factory (core/variants.h); see the note
+  // on ReliableBroadcast.
+  friend std::unique_ptr<BcAlgorithm> make_bc(ProtocolStack&, Protocol*,
+                                              InstanceId, Attribution,
+                                              BcAlgorithm::DecideFn);
+
+  BinaryConsensus(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                  Attribution attr, DecideFn decide);
+
   struct StepState {
     // Accepted (validated) values in acceptance order; the "first n-f"
     // snapshot every step rule uses is the prefix of this vector.

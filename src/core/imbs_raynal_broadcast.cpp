@@ -1,0 +1,144 @@
+#include "core/imbs_raynal_broadcast.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ritas {
+
+ImbsRaynalBroadcast::ImbsRaynalBroadcast(ProtocolStack& stack,
+                                         Protocol* parent, InstanceId id,
+                                         ProcessId origin, Attribution attr,
+                                         DeliverFn deliver)
+    : RbAlgorithm(stack, parent, std::move(id)),
+      origin_(origin),
+      attr_(attr),
+      deliver_(std::move(deliver)),
+      witness_msgs_(stack.n(), 0) {
+  assert(origin_ < stack.n());
+}
+
+std::uint32_t ImbsRaynalBroadcast::relay_threshold() const {
+  return stack_.n() - 2 * max_faults_ir(stack_.n());
+}
+
+std::uint32_t ImbsRaynalBroadcast::deliver_threshold() const {
+  return stack_.n() - max_faults_ir(stack_.n());
+}
+
+void ImbsRaynalBroadcast::bcast(Slice payload) {
+  if (origin_ != stack_.self()) {
+    throw std::logic_error("ImbsRaynalBroadcast::bcast: not the origin");
+  }
+  if (sent_init_) {
+    throw std::logic_error("ImbsRaynalBroadcast::bcast: already broadcast");
+  }
+  sent_init_ = true;
+  stack_.metrics().count_broadcast_start(ProtocolType::kReliableBroadcast, attr_);
+  trace(TracePhase::kRbInit, static_cast<std::uint64_t>(attr_));
+
+  Adversary* adv = stack_.adversary();
+  std::optional<Bytes> equivocation =
+      adv != nullptr ? adv->rb_equivocate(payload) : std::nullopt;
+  if (equivocation) {
+    // Byzantine origin: even peers get `payload`, odd peers the alternate.
+    const Slice alt(std::move(*equivocation));
+    for (ProcessId p = 0; p < stack_.n(); ++p) {
+      send(p, kIrInit, p % 2 == 0 ? payload : alt);
+    }
+    return;
+  }
+  broadcast(kIrInit, std::move(payload));
+}
+
+void ImbsRaynalBroadcast::on_message(ProcessId from, std::uint8_t tag,
+                                     const Slice& payload) {
+  switch (tag) {
+    case kIrInit:
+      on_init(from, payload);
+      return;
+    case kIrWitness:
+      on_witness(from, payload);
+      return;
+    default:
+      // Includes Bracha's INIT/ECHO/READY tags (0/1/2) from a peer running
+      // the wrong variant: a counted drop, never confusion.
+      drop_invalid();
+  }
+}
+
+void ImbsRaynalBroadcast::on_init(ProcessId from, const Slice& payload) {
+  // Only the origin may INIT, and only its first INIT counts.
+  if (from != origin_ || seen_init_) {
+    drop_invalid();
+    return;
+  }
+  seen_init_ = true;
+  if (!sent_witness_) {
+    sent_witness_ = true;
+    Tally& t = tally_for(payload);
+    t.we_witnessed = true;
+    // Reuses the Bracha phase codes (the trace schema is per ProtocolType,
+    // not per variant): kRbEcho = "first relay step sent".
+    trace(TracePhase::kRbEcho);
+    broadcast(kIrWitness, payload);
+  }
+}
+
+void ImbsRaynalBroadcast::on_witness(ProcessId from, const Slice& payload) {
+  // An honest peer sends at most two WITNESS messages (one INIT-triggered,
+  // one quorum switch); anything beyond is flood, dropped before it can
+  // open a tally.
+  if (witness_msgs_[from] >= 2) {
+    drop_invalid();
+    return;
+  }
+  Tally& t = tally_for(payload);
+  if (t.counted[from]) {
+    drop_invalid();
+    return;
+  }
+  t.counted[from] = true;
+  ++witness_msgs_[from];
+  ++t.witnesses;
+  maybe_relay(t);
+  maybe_deliver(t);
+}
+
+ImbsRaynalBroadcast::Tally& ImbsRaynalBroadcast::tally_for(
+    const Slice& payload) {
+  const Sha1::Digest digest = Sha1::hash(payload);
+  auto [it, inserted] = tallies_.try_emplace(digest);
+  if (inserted) {
+    // Keep a zero-copy alias of the first frame carrying these bytes; it
+    // pins that frame until the instance is garbage-collected.
+    it->second.payload = payload;
+    it->second.counted.assign(stack_.n(), false);
+  }
+  return it->second;
+}
+
+void ImbsRaynalBroadcast::maybe_relay(Tally& t) {
+  // Note: gated per digest, not by sent_witness_ — a quorum for m must be
+  // relayed even by a process that witnessed a different value first (the
+  // totality-restoring switch; see the header).
+  if (t.we_witnessed) return;
+  if (t.witnesses >= relay_threshold()) {
+    t.we_witnessed = true;
+    sent_witness_ = true;
+    trace(TracePhase::kRbEcho);
+    broadcast(kIrWitness, t.payload);
+  }
+}
+
+void ImbsRaynalBroadcast::maybe_deliver(Tally& t) {
+  if (delivered_) return;
+  if (t.witnesses >= deliver_threshold()) {
+    delivered_ = true;
+    trace(TracePhase::kRbDeliver);
+    complete();
+    if (deliver_) deliver_(t.payload);
+  }
+}
+
+}  // namespace ritas

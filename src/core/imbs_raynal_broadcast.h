@@ -1,0 +1,109 @@
+// Imbs–Raynal two-step Byzantine reliable broadcast (RbVariant::kImbsRaynal).
+//
+// Trades resilience for one fewer communication step than Bracha: with
+// n > 5t (we fix t = (n-1)/5, so n >= 6) two message steps suffice where
+// Bracha needs three:
+//
+//   origin:    broadcast (INIT, m)
+//   on INIT:   broadcast (WITNESS, m)             [if no WITNESS sent yet]
+//   on n-2t WITNESS(m), none sent *for m*: broadcast (WITNESS, m)
+//   on n-t  WITNESS(m): deliver m
+//
+// The relay rule deliberately lets a process witness a *second* value: a
+// correct process that witnessed m' (because an equivocating origin sent
+// it INIT(m') first) still relays m once m gathers an n-2t quorum. Without
+// that switch, totality fails — the origin sends INIT(m') to a few correct
+// processes, INIT(m) to the rest, and its own WITNESS(m) to a single
+// victim: the victim reaches n-t and delivers while the m'-witnesses
+// refuse to relay and everyone else is stuck one witness short. The switch
+// is safe because at most ONE value ever assembles an n-2t relay quorum:
+// a switched WITNESS requires a prior quorum for its value, so two quorum
+// values would both need >= n-2t-b *pre-switch* (INIT-triggered, hence
+// one-per-process) correct witnesses from disjoint sets, forcing
+// 2(n-2t-b) <= n-b, i.e. n <= 4t+b <= 5t — contradicting n > 5t.
+//
+// Agreement: a delivered value has n-t >= n-2t witnesses, so two different
+// delivered values would both hold relay quorums — impossible by the
+// uniqueness argument. Totality: a delivery quorum contains >= n-2t
+// correct witnesses of m, whose WITNESS(m) push every correct process over
+// the relay threshold; each either witnessed m already or switches, so all
+// n-b >= n-t correct processes witness m and everyone delivers. Message
+// cost: n + n^2 sends versus Bracha's n + 2n^2 (n + 2n^2 worst case under
+// equivocation, when every process switches once).
+//
+// WITNESS tallies are per payload digest with per-digest-per-peer
+// first-only counting; each peer may contribute at most two WITNESS
+// messages total (the honest maximum: one INIT-triggered plus one switch),
+// which bounds a Byzantine flooder to 2n tallies. The message tags (8/9)
+// are disjoint from every other variant's — a frame from a peer running a
+// different RB variant is a counted drop, never confusion
+// (docs/PROTOCOLS.md).
+#pragma once
+
+#include <map>
+
+#include "common/bytes.h"
+#include "core/stack.h"
+#include "core/variants.h"
+#include "crypto/sha1.h"
+
+namespace ritas {
+
+class ImbsRaynalBroadcast final : public RbAlgorithm {
+ public:
+  static constexpr std::uint8_t kIrInit = 8;
+  static constexpr std::uint8_t kIrWitness = 9;
+
+  /// The variant's own fault budget: t = (n-1)/5 (n > 5t). Stricter than
+  /// the stack-wide f = (n-1)/3; a mixed stack tolerates the minimum of
+  /// the layers' budgets.
+  static std::uint32_t max_faults_ir(std::uint32_t n) { return (n - 1) / 5; }
+
+  void bcast(Slice payload) override;
+
+  void on_message(ProcessId from, std::uint8_t tag,
+                  const Slice& payload) override;
+
+  ProcessId origin() const override { return origin_; }
+  bool delivered() const override { return delivered_; }
+
+ private:
+  friend std::unique_ptr<RbAlgorithm> make_rb(ProtocolStack&, Protocol*,
+                                              InstanceId, ProcessId,
+                                              Attribution,
+                                              RbAlgorithm::DeliverFn);
+
+  ImbsRaynalBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                      ProcessId origin, Attribution attr, DeliverFn deliver);
+
+  struct Tally {
+    Slice payload;  // aliases the first frame that carried these bytes
+    std::uint32_t witnesses = 0;
+    bool we_witnessed = false;   // our WITNESS for this digest is out
+    std::vector<bool> counted;   // peers counted for this digest
+  };
+
+  void on_init(ProcessId from, const Slice& payload);
+  void on_witness(ProcessId from, const Slice& payload);
+  Tally& tally_for(const Slice& payload);
+  void maybe_relay(Tally& t);
+  void maybe_deliver(Tally& t);
+
+  std::uint32_t relay_threshold() const;    // n - 2t
+  std::uint32_t deliver_threshold() const;  // n - t
+
+  const ProcessId origin_;
+  const Attribution attr_;
+  DeliverFn deliver_;
+
+  bool sent_init_ = false;
+  bool seen_init_ = false;
+  bool sent_witness_ = false;  // gates the INIT-triggered witness only
+  bool delivered_ = false;
+  // Per-peer count of WITNESS messages accepted (cap 2 = the honest
+  // maximum); bounds tally growth under Byzantine flooding.
+  std::vector<std::uint8_t> witness_msgs_;
+  std::map<Sha1::Digest, Tally> tallies_;
+};
+
+}  // namespace ritas

@@ -15,23 +15,26 @@ MultiValuedConsensus::MultiValuedConsensus(ProtocolStack& stack,
       vects_(stack.n()) {
   // Fixed child set, created eagerly: INIT broadcasts, VECT echo
   // broadcasts, and the single binary consensus.
+  // RB and BC children go through the variant factories (core/variants.h),
+  // so the MVC composes with whatever algorithms the stack is configured
+  // with. Echo broadcast has no variant seam (the paper's §2.5 VECT
+  // optimization is itself toggled by mvc_vect_via_rb).
   for (ProcessId j = 0; j < stack_.n(); ++j) {
-    add_child(std::make_unique<ReliableBroadcast>(
-        stack_, this, this->id().child(init_component(j)), j, attr_,
-        [this, j](Slice payload) { on_init_deliver(j, payload); }));
+    add_child(make_rb(stack_, this, this->id().child(init_component(j)), j,
+                      attr_,
+                      [this, j](Slice payload) { on_init_deliver(j, payload); }));
     if (stack_.config().mvc_vect_via_rb) {
-      add_child(std::make_unique<ReliableBroadcast>(
-          stack_, this, this->id().child(vect_rb_component(j)), j, attr_,
-          [this, j](Slice payload) { on_vect_deliver(j, payload); }));
+      add_child(make_rb(stack_, this, this->id().child(vect_rb_component(j)),
+                        j, attr_,
+                        [this, j](Slice payload) { on_vect_deliver(j, payload); }));
     } else {
       add_child(std::make_unique<EchoBroadcast>(
           stack_, this, this->id().child(vect_component(j)), j, attr_,
           [this, j](Slice payload) { on_vect_deliver(j, payload); }));
     }
   }
-  auto bc = std::make_unique<BinaryConsensus>(
-      stack_, this, this->id().child(bc_component()), attr_,
-      [this](bool b) { on_bc_decide(b); });
+  auto bc = make_bc(stack_, this, this->id().child(bc_component()), attr_,
+                    [this](bool b) { on_bc_decide(b); });
   bc_ = bc.get();
   add_child(std::move(bc));
 }
@@ -49,7 +52,7 @@ void MultiValuedConsensus::propose(Bytes v) {
   w.u8(value ? 1 : 0);
   if (value) w.raw(*value);
 
-  auto* rb = static_cast<ReliableBroadcast*>(find_child(init_component(stack_.self())));
+  auto* rb = static_cast<RbAlgorithm*>(find_child(init_component(stack_.self())));
   assert(rb != nullptr);
   rb->bcast(std::move(w).take());
 
@@ -191,7 +194,7 @@ void MultiValuedConsensus::maybe_send_vect() {
   Bytes body = encode_vect(w, justification);
   trace(TracePhase::kMvcVect, 0, w ? 1 : 0);
   if (stack_.config().mvc_vect_via_rb) {
-    auto* rb = static_cast<ReliableBroadcast*>(
+    auto* rb = static_cast<RbAlgorithm*>(
         find_child(vect_rb_component(stack_.self())));
     assert(rb != nullptr);
     rb->bcast(std::move(body));

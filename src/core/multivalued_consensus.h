@@ -25,11 +25,10 @@
 #include <vector>
 
 #include "common/bytes.h"
-#include "core/binary_consensus.h"
 #include "core/echo_broadcast.h"
 #include "core/protocol.h"
-#include "core/reliable_broadcast.h"
 #include "core/stack.h"
+#include "core/variants.h"
 
 namespace ritas {
 
@@ -115,7 +114,7 @@ class MultiValuedConsensus final : public Protocol {
   std::vector<std::optional<Vect>> vects_;
   std::vector<ProcessId> valid_order_;
 
-  BinaryConsensus* bc_ = nullptr;
+  BcAlgorithm* bc_ = nullptr;
 };
 
 }  // namespace ritas

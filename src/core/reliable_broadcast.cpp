@@ -9,7 +9,7 @@ namespace ritas {
 ReliableBroadcast::ReliableBroadcast(ProtocolStack& stack, Protocol* parent,
                                      InstanceId id, ProcessId origin,
                                      Attribution attr, DeliverFn deliver)
-    : Protocol(stack, parent, std::move(id)),
+    : RbAlgorithm(stack, parent, std::move(id)),
       origin_(origin),
       attr_(attr),
       deliver_(std::move(deliver)),

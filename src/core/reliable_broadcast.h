@@ -21,35 +21,37 @@
 #include "common/bytes.h"
 #include "core/protocol.h"
 #include "core/stack.h"
+#include "core/variants.h"
 #include "crypto/sha1.h"
 
 namespace ritas {
 
-class ReliableBroadcast final : public Protocol {
+class ReliableBroadcast final : public RbAlgorithm {
  public:
-  /// The delivered Slice aliases the arrival frame that first carried the
-  /// winning payload — zero-copy from the wire to the consumer, which may
-  /// keep the Slice (pinning that frame) as long as it needs.
-  using DeliverFn = std::function<void(Slice payload)>;
-
   static constexpr std::uint8_t kInit = 0;
   static constexpr std::uint8_t kEcho = 1;
   static constexpr std::uint8_t kReady = 2;
 
-  ReliableBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
-                    ProcessId origin, Attribution attr, DeliverFn deliver);
-
-  /// Starts the broadcast. Precondition: this process is the origin and
-  /// bcast was not called before.
-  void bcast(Slice payload);
+  void bcast(Slice payload) override;
 
   void on_message(ProcessId from, std::uint8_t tag,
                   const Slice& payload) override;
 
-  ProcessId origin() const { return origin_; }
-  bool delivered() const { return delivered_; }
+  ProcessId origin() const override { return origin_; }
+  bool delivered() const override { return delivered_; }
 
  private:
+  // Construction only through the factory (core/variants.h): the variant
+  // selected by StackConfig::variants must be uniform across every
+  // construction site, so no caller may hard-code this class.
+  friend std::unique_ptr<RbAlgorithm> make_rb(ProtocolStack&, Protocol*,
+                                              InstanceId, ProcessId,
+                                              Attribution,
+                                              RbAlgorithm::DeliverFn);
+
+  ReliableBroadcast(ProtocolStack& stack, Protocol* parent, InstanceId id,
+                    ProcessId origin, Attribution attr, DeliverFn deliver);
+
   struct Tally {
     Slice payload;  // aliases the first frame that carried these bytes
     std::uint32_t echoes = 0;

@@ -21,6 +21,7 @@ ProtocolStack::ProtocolStack(StackConfig cfg, Transport& transport,
       ooc_count_(cfg.n, 0) {
   if (cfg_.n < 4) throw std::invalid_argument("ProtocolStack: need n >= 4 (n >= 3f+1, f >= 1)");
   if (cfg_.self >= cfg_.n) throw std::invalid_argument("ProtocolStack: self out of range");
+  validate_variants(cfg_.variants, cfg_.n, cfg_.coin_mode);
 }
 
 ProtocolStack::~ProtocolStack() = default;

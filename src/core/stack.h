@@ -28,15 +28,10 @@
 #include "core/protocol.h"
 #include "core/transport.h"
 #include "core/types.h"
+#include "core/variants.h"
 
 namespace ritas {
 
-/// How the binary consensus obtains its round coins (§2.4 / related work).
-/// kLocal is the paper's Ben-Or-style private coin; kDealt derives one
-/// common coin per (instance, round) from the dealer's group key — the
-/// engineering equivalent of Rabin's predistributed coin shares, giving
-/// expected-constant-round termination on split proposals.
-enum class CoinMode : std::uint8_t { kLocal = 0, kDealt = 1 };
 
 /// Payload batching for the atomic broadcast: many application messages
 /// ride one AB_MSG dissemination RB (length-prefixed framing, see
@@ -67,6 +62,14 @@ struct StackConfig {
   GroupId group = 0;
 
   CoinMode coin_mode = CoinMode::kLocal;
+
+  /// Which algorithm runs each swappable layer (core/variants.h). The
+  /// default is the paper's Bracha pair, bit-identical to the pre-variant
+  /// stack; like every wire-format switch, all correct processes of a
+  /// group must select the same variants. Validated (with n and
+  /// coin_mode) in the ProtocolStack constructor — invalid combinations
+  /// throw std::invalid_argument at config time, never on the packet path.
+  VariantConfig variants;
 
   /// Atomic broadcast payload batching (see AbBatchConfig).
   AbBatchConfig ab_batch;

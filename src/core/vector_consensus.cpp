@@ -15,9 +15,9 @@ VectorConsensus::VectorConsensus(ProtocolStack& stack, Protocol* parent,
       decide_(std::move(decide)),
       proposals_(stack.n()) {
   for (ProcessId j = 0; j < stack_.n(); ++j) {
-    add_child(std::make_unique<ReliableBroadcast>(
-        stack_, this, this->id().child(proposal_component(j)), j, attr_,
-        [this, j](Slice payload) { on_proposal_deliver(j, payload); }));
+    add_child(make_rb(stack_, this, this->id().child(proposal_component(j)),
+                      j, attr_,
+                      [this, j](Slice payload) { on_proposal_deliver(j, payload); }));
   }
 }
 
@@ -48,7 +48,7 @@ void VectorConsensus::propose(Bytes v) {
   if (active_) throw std::logic_error("VectorConsensus::propose: already active");
   active_ = true;
   trace(TracePhase::kVcPropose);
-  auto* rb = static_cast<ReliableBroadcast*>(
+  auto* rb = static_cast<RbAlgorithm*>(
       find_child(proposal_component(stack_.self())));
   assert(rb != nullptr);
   rb->bcast(std::move(v));

@@ -22,8 +22,8 @@
 #include "common/bytes.h"
 #include "core/multivalued_consensus.h"
 #include "core/protocol.h"
-#include "core/reliable_broadcast.h"
 #include "core/stack.h"
+#include "core/variants.h"
 
 namespace ritas {
 

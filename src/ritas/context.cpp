@@ -32,6 +32,10 @@ Context::Options validate(Context::Options o) {
   if (o.batch.enabled && (o.batch.max_msgs == 0 || o.batch.max_bytes == 0)) {
     throw std::invalid_argument("ritas::Context: batch limits must be > 0");
   }
+  // Unknown or incompatible protocol-variant selections fail here, before
+  // any networking exists (the ProtocolStack constructor re-checks, but
+  // this path owns the user-facing error).
+  validate_variants(o.stack.variants, o.n, o.stack.coin_mode);
   return o;
 }
 
@@ -164,12 +168,12 @@ void Context::ensure_bcast_windows() {
       const std::uint64_t k = rb_created_[o]++;
       const InstanceId id =
           InstanceId::root(ProtocolType::kReliableBroadcast, bcast_seq(o, k));
-      roots_.emplace(id, std::make_unique<ReliableBroadcast>(
-                             *stack_, nullptr, id, o, Attribution::kPayload,
-                             [this, o, k](Slice payload) {
-                               on_bcast_deliver(ProtocolType::kReliableBroadcast,
-                                                o, k, payload.to_bytes());
-                             }));
+      roots_.emplace(id, make_rb(*stack_, nullptr, id, o, Attribution::kPayload,
+                                 [this, o, k](Slice payload) {
+                                   on_bcast_deliver(
+                                       ProtocolType::kReliableBroadcast, o, k,
+                                       payload.to_bytes());
+                                 }));
     }
     while (eb_created_[o] < eb_delivered_[o] + opts_.recv_window) {
       const std::uint64_t k = eb_created_[o]++;
@@ -212,7 +216,7 @@ void Context::rb_bcast(Bytes payload) {
     if (it == roots_.end()) {
       throw std::logic_error("rb_bcast: sender outran the receive window");
     }
-    static_cast<ReliableBroadcast&>(*it->second).bcast(std::move(payload));
+    static_cast<RbAlgorithm&>(*it->second).bcast(std::move(payload));
   });
 }
 
@@ -274,7 +278,7 @@ bool Context::bc(bool proposal) {
   auto fut = decided.get_future();
   run_on_reactor([this, proposal, &decided] {
     const std::uint64_t k = bc_calls_++;
-    auto inst = std::make_unique<BinaryConsensus>(
+    auto inst = make_bc(
         *stack_, nullptr, InstanceId::root(ProtocolType::kBinaryConsensus, k),
         Attribution::kAgreement,
         [&decided](bool b) { decided.set_value(b); });

@@ -86,6 +86,19 @@ int ritas_set_opt(ritas_t* r, int opt, long value) {
       if (value < 0 || value > 0xffffffffL) return RITAS_EINVAL;
       r->opts.group = static_cast<uint32_t>(value);
       return RITAS_OK;
+    case RITAS_OPT_RB_VARIANT:
+      if (value != 0 && value != 1) return RITAS_EINVAL;
+      r->opts.stack.variants.rb = static_cast<ritas::RbVariant>(value);
+      return RITAS_OK;
+    case RITAS_OPT_BC_VARIANT:
+      if (value != 0 && value != 1) return RITAS_EINVAL;
+      r->opts.stack.variants.bc = static_cast<ritas::BcVariant>(value);
+      /* Crain's agreement argument needs a COMMON coin; selecting it
+       * implies the dealt coin so the pair can't be misconfigured. */
+      if (r->opts.stack.variants.bc == ritas::BcVariant::kCrain) {
+        r->opts.stack.coin_mode = ritas::CoinMode::kDealt;
+      }
+      return RITAS_OK;
   }
   return RITAS_EINVAL;
 }

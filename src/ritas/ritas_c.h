@@ -51,10 +51,23 @@ enum {
   RITAS_OPT_BATCH_MAX_BYTES = 3, /* framed bytes per batch, > 0 (default 16384) */
   RITAS_OPT_RECV_WINDOW = 4,     /* pre-created rb/eb receive roots, > 0 */
   RITAS_OPT_MIN_START_LINKS = 5, /* links ritas_start waits for; 0 = n-f-1 */
-  RITAS_OPT_GROUP_ID = 6         /* consensus group on a shared mesh;
+  RITAS_OPT_GROUP_ID = 6,        /* consensus group on a shared mesh;
                                   * 0 (default) keeps the original wire
                                   * format — all correct processes of one
                                   * group must agree on it */
+  RITAS_OPT_RB_VARIANT = 7,      /* reliable-broadcast algorithm: 0 = Bracha
+                                  * (default), 1 = Imbs-Raynal 2-step
+                                  * (needs n >= 6; enforced at ritas_start,
+                                  * which fails with RITAS_EINVAL below
+                                  * that). Variants use disjoint message
+                                  * tags; all correct processes of a group
+                                  * must pick the same one. */
+  RITAS_OPT_BC_VARIANT = 8       /* binary-consensus algorithm: 0 = Bracha
+                                  * (default), 1 = Crain. Selecting Crain
+                                  * also switches the stack to the dealt
+                                  * common coin (derived from the group
+                                  * key), which its agreement argument
+                                  * requires. */
 };
 
 /* Per-link channel health, as reported by ritas_link_states. Values match

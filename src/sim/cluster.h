@@ -69,6 +69,28 @@ class Cluster {
     return ref;
   }
 
+  /// Root RB/BC instances go through the variant factories (core/variants.h)
+  /// — create_root<T> can't, since the concrete constructors are private —
+  /// so a harness automatically drives whichever algorithm the stack's
+  /// StackConfig::variants selects.
+  RbAlgorithm& create_rb(ProcessId p, const InstanceId& id, ProcessId origin,
+                         Attribution attr, RbAlgorithm::DeliverFn deliver) {
+    auto inst = make_rb(*stacks_[p], nullptr, id, origin, attr,
+                        std::move(deliver));
+    RbAlgorithm& ref = *inst;
+    roots_[p].push_back(std::move(inst));
+    stacks_[p]->pump();
+    return ref;
+  }
+  BcAlgorithm& create_bc(ProcessId p, const InstanceId& id, Attribution attr,
+                         BcAlgorithm::DecideFn decide) {
+    auto inst = make_bc(*stacks_[p], nullptr, id, attr, std::move(decide));
+    BcAlgorithm& ref = *inst;
+    roots_[p].push_back(std::move(inst));
+    stacks_[p]->pump();
+    return ref;
+  }
+
   /// Destroys every root created at process p (recursively tears down the
   /// control-block tree).
   void destroy_roots(ProcessId p) { roots_[p].clear(); }

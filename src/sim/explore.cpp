@@ -15,6 +15,7 @@
 #include "core/atomic_broadcast.h"
 #include "core/binary_consensus.h"
 #include "core/echo_broadcast.h"
+#include "core/imbs_raynal_broadcast.h"
 #include "core/multivalued_consensus.h"
 #include "core/reliable_broadcast.h"
 #include "core/vector_consensus.h"
@@ -188,6 +189,8 @@ std::string Schedule::to_json() const {
   w.field("bc_disable_validation", bc_disable_validation);
   w.field("mvc_vect_via_rb", mvc_vect_via_rb);
   w.field("ab_batching", ab_batching);
+  w.field("rb_variant", rb_variant_name(variants.rb));
+  w.field("bc_variant", bc_variant_name(variants.bc));
   w.key("byzantine").begin_array();
   for (ProcessId p : byzantine) w.value(static_cast<std::uint64_t>(p));
   w.end_array();
@@ -250,6 +253,22 @@ std::optional<Schedule> Schedule::from_json(std::string_view text) {
   s.bc_disable_validation = v->bool_at("bc_disable_validation").value_or(false);
   s.mvc_vect_via_rb = v->bool_at("mvc_vect_via_rb").value_or(false);
   s.ab_batching = v->bool_at("ab_batching").value_or(false);
+  {
+    const auto rb = rb_variant_from_name(
+        v->string_at("rb_variant").value_or("bracha"));
+    const auto bc = bc_variant_from_name(
+        v->string_at("bc_variant").value_or("bracha"));
+    if (!rb || !bc) return std::nullopt;  // unknown variant name
+    s.variants = {*rb, *bc};
+    // A schedule a stack would refuse to construct is not replayable.
+    try {
+      validate_variants(s.variants, s.n,
+                        s.variants.bc == BcVariant::kCrain ? CoinMode::kDealt
+                                                           : s.coin_mode);
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+  }
 
   if (const JsonValue* byz = v->get("byzantine")) {
     if (byz->kind != JsonValue::Kind::kArray) return std::nullopt;
@@ -309,9 +328,18 @@ Schedule Explorer::make_schedule(std::uint64_t trial_seed) const {
   s.bc_disable_validation = cfg_.bc_disable_validation;
   s.mvc_vect_via_rb = cfg_.mvc_vect_via_rb;
   s.ab_batching = cfg_.ab_batching;
+  s.variants = cfg_.variants;
+  // Crain's agreement argument needs the common coin; record it in the
+  // schedule so a replay reconstructs the identical stack.
+  if (s.variants.bc == BcVariant::kCrain) s.coin_mode = CoinMode::kDealt;
 
   Rng rng(derive(trial_seed, kTagSchedule));
-  const std::uint32_t f = max_faults(cfg_.n);
+  std::uint32_t f = max_faults(cfg_.n);
+  // The fault budget respects the weakest configured layer: Imbs–Raynal
+  // only tolerates t = (n-1)/5.
+  if (s.variants.rb == RbVariant::kImbsRaynal) {
+    f = std::min(f, ImbsRaynalBroadcast::max_faults_ir(cfg_.n));
+  }
   const std::uint32_t fault_budget = std::min(cfg_.max_faults, f);
 
   // Partition the fault budget between Byzantine processes and crashes.
@@ -410,6 +438,10 @@ TrialResult Explorer::run_trial(const Schedule& s) {
   o.seed = s.seed;
   o.lan = trial_lan();
   o.stack.coin_mode = s.coin_mode;
+  o.stack.variants = s.variants;
+  // Defensive normalization for hand-written schedules: a Crain stack
+  // refuses to construct with private coins.
+  if (s.variants.bc == BcVariant::kCrain) o.stack.coin_mode = CoinMode::kDealt;
   o.stack.test_weak_bc_quorum = s.weak_bc_quorum;
   o.stack.bc_disable_validation = s.bc_disable_validation;
   o.stack.mvc_vect_via_rb = s.mvc_vect_via_rb;
@@ -476,13 +508,13 @@ TrialResult Explorer::run_trial(const Schedule& s) {
           for (std::uint32_t p = 0; p < n; ++p) row[p] = prop_rng.coin();
         }
       }
-      std::vector<std::vector<BinaryConsensus*>> insts(
-          messages, std::vector<BinaryConsensus*>(n, nullptr));
+      std::vector<std::vector<BcAlgorithm*>> insts(
+          messages, std::vector<BcAlgorithm*>(n, nullptr));
       for (std::uint32_t m = 0; m < messages; ++m) {
         const InstanceId id =
             InstanceId::root(ProtocolType::kBinaryConsensus, m + 1);
         for (ProcessId p : c.live()) {
-          insts[m][p] = &c.create_root<BinaryConsensus>(
+          insts[m][p] = &c.create_bc(
               p, id, Attribution::kAgreement, [&, m, p](bool v) {
                 bc_decisions[m][p] = v;
                 fp.u64((std::uint64_t{1} << 56) | (std::uint64_t{m} << 32) | p);
@@ -637,7 +669,7 @@ TrialResult Explorer::run_trial(const Schedule& s) {
             fp.u64(c.now());
           };
           if (rb) {
-            auto& inst = c.create_root<ReliableBroadcast>(
+            auto& inst = c.create_rb(
                 p, id, origins[m], Attribution::kPayload, sink);
             if (p == origins[m]) {
               c.call(p, [&, m] { inst.bcast(Bytes(proposals[m][0])); });

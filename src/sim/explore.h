@@ -111,6 +111,10 @@ struct Schedule {
   bool bc_disable_validation = false;
   bool mvc_vect_via_rb = false;
   bool ab_batching = false;
+  /// Which RB/BC algorithms the trial's stacks run (JSON fields
+  /// "rb_variant" / "bc_variant", names from core/variants.h; absent =
+  /// "bracha"). from_json rejects combos validate_variants would refuse.
+  VariantConfig variants;
 
   /// Shrink metric: scheduled disturbances + active hook bits + Byzantine
   /// processes + extra workload beyond one message.
@@ -174,6 +178,11 @@ class Explorer {
     bool bc_disable_validation = false;
     bool mvc_vect_via_rb = false;
     bool ab_batching = false;
+    /// RB/BC algorithm selection for every generated schedule. Imbs–Raynal
+    /// shrinks the per-trial fault budget to its own t = (n-1)/5 bound;
+    /// Crain forces the dealt coin (recorded in the schedule so replays
+    /// stay bit-identical).
+    VariantConfig variants;
 
     /// Treat a stalled trial as a finding to shrink (off by default: the
     /// randomized consensus only terminates with probability 1, so a

@@ -53,10 +53,10 @@ inline Capture<bool> run_binary_consensus(Cluster& c,
                                           const std::vector<bool>& proposals,
                                           std::uint64_t root_seq = 1) {
   Capture<bool> cap(c.n());
-  std::vector<BinaryConsensus*> insts(c.n(), nullptr);
+  std::vector<BcAlgorithm*> insts(c.n(), nullptr);
   const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, root_seq);
   for (ProcessId p : c.live()) {
-    insts[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+    insts[p] = &c.create_bc(p, id, Attribution::kAgreement,
                                                cap.sink(p));
   }
   for (ProcessId p : c.live()) {

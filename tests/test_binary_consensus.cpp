@@ -184,10 +184,10 @@ TEST(BinaryConsensus, ByzantineWithSplitCorrectProposalsManySeeds) {
 TEST(BinaryConsensus, DecisionVisibleThroughAccessors) {
   Cluster c(fast_lan(4, 9));
   test::Capture<bool> cap(4);
-  std::vector<BinaryConsensus*> insts(4, nullptr);
+  std::vector<BcAlgorithm*> insts(4, nullptr);
   const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 1);
   for (ProcessId p : c.live()) {
-    insts[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+    insts[p] = &c.create_bc(p, id, Attribution::kAgreement,
                                                cap.sink(p));
     EXPECT_FALSE(insts[p]->active());
   }
@@ -205,7 +205,7 @@ TEST(BinaryConsensus, DecisionVisibleThroughAccessors) {
 TEST(BinaryConsensus, DoubleProposeThrows) {
   Cluster c(fast_lan(4, 10));
   test::Capture<bool> cap(4);
-  auto& bc = c.create_root<BinaryConsensus>(
+  auto& bc = c.create_bc(
       0, InstanceId::root(ProtocolType::kBinaryConsensus, 1),
       Attribution::kAgreement, cap.sink(0));
   c.call(0, [&] { bc.propose(true); });

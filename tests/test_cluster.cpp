@@ -45,9 +45,9 @@ TEST(Cluster, PairwiseKeysAgreeAcrossStacks) {
 
 TEST(Cluster, DestroyRootsTearsDownSubtrees) {
   Cluster c(fast_lan(4, 3));
-  auto& rb = c.create_root<ReliableBroadcast>(
+  auto& rb = c.create_rb(
       0, InstanceId::root(ProtocolType::kReliableBroadcast, 1), 0,
-      Attribution::kPayload, ReliableBroadcast::DeliverFn{});
+      Attribution::kPayload, RbAlgorithm::DeliverFn{});
   (void)rb;
   EXPECT_EQ(c.stack(0).instance_count(), 1u);
   c.destroy_roots(0);
@@ -59,10 +59,10 @@ TEST(Cluster, MetricsAggregateSkipsCrashed) {
   o.crashed = {3};
   Cluster c(o);
   test::DeliveryLog log(4);
-  std::vector<ReliableBroadcast*> rb(4, nullptr);
+  std::vector<RbAlgorithm*> rb(4, nullptr);
   const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
   for (ProcessId p : c.live()) {
-    rb[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
+    rb[p] = &c.create_rb(p, id, 0, Attribution::kPayload,
                                               log.sink(p));
   }
   c.call(0, [&] { rb[0]->bcast(to_bytes("m")); });

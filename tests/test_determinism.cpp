@@ -167,6 +167,135 @@ TEST(Determinism, TracingDoesNotPerturbExecution) {
   EXPECT_EQ(fingerprint(false), fingerprint(true));
 }
 
+// --- variant-API golden traces ---------------------------------------------
+// The pluggable-variant refactor (core/variants.h) must leave the default
+// Bracha path bit-identical: same seed => the exact trace bytes the
+// pre-variant stack produced. The constants below were captured from the
+// last pre-refactor build (direct ReliableBroadcast/BinaryConsensus
+// construction); the workloads replicate that capture verbatim.
+
+std::uint64_t fnv1a(const Bytes& b) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t c : b) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Bytes golden_bc_trace(const VariantConfig& variants) {
+  test::ClusterOptions o = fast_lan(4, 21);
+  o.lan.jitter_ns = 500'000;
+  o.trace = true;
+  o.stack.variants = variants;
+  Cluster c(o);
+  std::vector<std::optional<bool>> got(4);
+  const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 0);
+  const std::vector<bool> proposals = {true, false, true, false};
+  std::vector<BcAlgorithm*> bc(4, nullptr);
+  for (ProcessId p : c.live()) {
+    bc[p] = &c.create_bc(p, id, Attribution::kAgreement,
+                         [&got, p](bool v) { got[p] = v; });
+  }
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] { bc[p]->propose(proposals[p]); });
+  }
+  c.run_until(
+      [&] {
+        for (ProcessId p : c.live()) {
+          if (!got[p].has_value()) return false;
+        }
+        return true;
+      },
+      kDeadline);
+  c.run_all();
+  return c.trace_bytes();
+}
+
+TEST(Determinism, DefaultVariantTraceMatchesPreRefactorGolden) {
+  const Bytes t = golden_bc_trace(VariantConfig{});
+  EXPECT_EQ(t.size(), 92808u);
+  EXPECT_EQ(fnv1a(t), 0x1b098e5b449cce0dULL);
+  // Selecting Bracha explicitly is the same configuration as the default.
+  VariantConfig explicit_bracha;
+  explicit_bracha.rb = RbVariant::kBracha;
+  explicit_bracha.bc = BcVariant::kBracha;
+  EXPECT_EQ(t, golden_bc_trace(explicit_bracha));
+}
+
+TEST(Determinism, DefaultVariantMvcTraceMatchesPreRefactorGolden) {
+  // The MVC composite exercises RB + EB + BC children through the factory
+  // seam in one run.
+  test::ClusterOptions o = fast_lan(4, 3);
+  o.trace = true;
+  Cluster c(o);
+  std::vector<std::optional<std::optional<Bytes>>> got(4);
+  const InstanceId id =
+      InstanceId::root(ProtocolType::kMultiValuedConsensus, 0);
+  std::vector<MultiValuedConsensus*> mvc(4, nullptr);
+  for (ProcessId p : c.live()) {
+    mvc[p] = &c.create_root<MultiValuedConsensus>(
+        p, id, Attribution::kAgreement,
+        [&got, p](std::optional<Bytes> v) { got[p] = std::move(v); });
+  }
+  for (ProcessId p : c.live()) {
+    c.call(p, [&, p] { mvc[p]->propose(to_bytes("m")); });
+  }
+  c.run_until(
+      [&] {
+        for (ProcessId p : c.live()) {
+          if (!got[p].has_value()) return false;
+        }
+        return true;
+      },
+      kDeadline);
+  c.run_all();
+  const Bytes t = c.trace_bytes();
+  EXPECT_EQ(t.size(), 132336u);
+  EXPECT_EQ(fnv1a(t), 0x9bbd4d6f1d98da24ULL);
+}
+
+TEST(Determinism, NonDefaultVariantTracesAreDeterministicAndDistinct) {
+  // Same seed => bit-identical run holds for every variant, and a variant
+  // switch actually changes the wire activity.
+  VariantConfig crain;
+  crain.bc = BcVariant::kCrain;
+  // The Crain variant requires the dealt common coin (validate_variants).
+  auto crain_trace = [&] {
+    test::ClusterOptions o = fast_lan(4, 21);
+    o.lan.jitter_ns = 500'000;
+    o.trace = true;
+    o.stack.coin_mode = CoinMode::kDealt;
+    o.stack.variants = crain;
+    Cluster c(o);
+    std::vector<std::optional<bool>> got(4);
+    const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 0);
+    const std::vector<bool> proposals = {true, false, true, false};
+    std::vector<BcAlgorithm*> bc(4, nullptr);
+    for (ProcessId p : c.live()) {
+      bc[p] = &c.create_bc(p, id, Attribution::kAgreement,
+                           [&got, p](bool v) { got[p] = v; });
+    }
+    for (ProcessId p : c.live()) {
+      c.call(p, [&, p] { bc[p]->propose(proposals[p]); });
+    }
+    c.run_until(
+        [&] {
+          for (ProcessId p : c.live()) {
+            if (!got[p].has_value()) return false;
+          }
+          return true;
+        },
+        kDeadline);
+    c.run_all();
+    return c.trace_bytes();
+  };
+  const Bytes a = crain_trace();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, crain_trace());
+  EXPECT_NE(a, golden_bc_trace(VariantConfig{}));
+}
+
 TEST(Determinism, ClusterMetricsAreStableAcrossRuns) {
   auto metrics_of = [](std::uint64_t seed) {
     test::ClusterOptions o = fast_lan(4, seed);

@@ -60,9 +60,9 @@ TEST(EchoBroadcast, UsesFewerMessagesThanReliableBroadcast) {
 
   Cluster c2(fast_lan(4, 3));
   DeliveryLog log2(4);
-  std::vector<ReliableBroadcast*> rb(4, nullptr);
+  std::vector<RbAlgorithm*> rb(4, nullptr);
   for (ProcessId p : c2.live()) {
-    rb[p] = &c2.create_root<ReliableBroadcast>(
+    rb[p] = &c2.create_rb(
         p, InstanceId::root(ProtocolType::kReliableBroadcast, 1), 0,
         Attribution::kPayload, log2.sink(p));
   }

@@ -93,6 +93,92 @@ TEST(Explore, CleanSweepFindsNothing) {
   EXPECT_EQ(ex.metrics().explore_stalls, 0u);
 }
 
+TEST(Explore, VariantSweepsFindNothing) {
+  // Per-variant explorer smoke: every non-default algorithm must survive
+  // the same randomized-schedule battery (faultloads, perturbations,
+  // adversary hooks) the default stack does — 40+ seeds per variant.
+  struct Case {
+    Workload workload;
+    std::uint32_t n;
+    VariantConfig variants;
+  };
+  const Case cases[] = {
+      {Workload::kReliableBroadcast, 6,
+       {RbVariant::kImbsRaynal, BcVariant::kBracha}},
+      {Workload::kBinaryConsensus, 4, {RbVariant::kBracha, BcVariant::kCrain}},
+      {Workload::kMultiValuedConsensus, 6,
+       {RbVariant::kImbsRaynal, BcVariant::kCrain}},
+  };
+  for (const Case& cs : cases) {
+    Explorer::Config cfg;
+    cfg.workload = cs.workload;
+    cfg.n = cs.n;
+    cfg.variants = cs.variants;
+    cfg.messages = 1;
+    Explorer ex(cfg);
+    const auto finding = ex.explore(1, 45);
+    EXPECT_FALSE(finding.has_value())
+        << rb_variant_name(cs.variants.rb) << "/"
+        << bc_variant_name(cs.variants.bc) << " seed "
+        << (finding ? finding->trial_seed : 0) << ": "
+        << (finding ? finding->result.violations.size() : 0) << " violations";
+    EXPECT_EQ(ex.metrics().explore_trials, 45u);
+    EXPECT_EQ(ex.metrics().explore_violations, 0u);
+  }
+}
+
+TEST(Explore, VariantScheduleJsonRoundTripAndValidation) {
+  Explorer::Config cfg;
+  cfg.workload = Workload::kReliableBroadcast;
+  cfg.n = 6;
+  cfg.variants = {RbVariant::kImbsRaynal, BcVariant::kCrain};
+  Explorer ex(cfg);
+  const Schedule s = ex.make_schedule(11);
+  EXPECT_EQ(s.variants, cfg.variants);
+  EXPECT_EQ(s.coin_mode, CoinMode::kDealt);  // implied by crain
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"rb_variant\":\"imbs-raynal\""), std::string::npos);
+  EXPECT_NE(json.find("\"bc_variant\":\"crain\""), std::string::npos);
+  const auto back = Schedule::from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  // Unknown variant names are rejected, as are combos a stack would refuse
+  // to construct (imbs-raynal below n = 6).
+  std::string bad = json;
+  const auto pos = bad.find("\"rb_variant\":\"imbs-raynal\"");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 26, "\"rb_variant\":\"nonesuch12\"");
+  EXPECT_FALSE(Schedule::from_json(bad).has_value());
+  bad = json;
+  const auto npos_ = bad.find("\"n\":6");
+  ASSERT_NE(npos_, std::string::npos);
+  bad.replace(npos_, 5, "\"n\":4");
+  EXPECT_FALSE(Schedule::from_json(bad).has_value());
+  // Absent variant fields mean the default (Bracha) stack.
+  const auto legacy = Schedule::from_json(Schedule{}.to_json());
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->variants, VariantConfig{});
+}
+
+TEST(Explore, ImbsRaynalFaultBudgetRespectsItsBound) {
+  // At n = 6 the stack-wide budget is f = 1 but so is (n-1)/5; at n = 7
+  // the stack allows 2 while Imbs–Raynal still only tolerates 1. No
+  // generated schedule may exceed the weaker bound.
+  Explorer::Config cfg;
+  cfg.workload = Workload::kReliableBroadcast;
+  cfg.n = 7;
+  cfg.variants.rb = RbVariant::kImbsRaynal;
+  Explorer ex(cfg);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Schedule s = ex.make_schedule(seed);
+    std::size_t crashes = 0;
+    for (const Perturbation& p : s.perturbations) {
+      if (p.kind == Perturbation::Kind::kCrash) ++crashes;
+    }
+    EXPECT_LE(s.byzantine.size() + crashes, 1u) << "seed " << seed;
+  }
+}
+
 TEST(Explore, WeakQuorumBugIsFoundShrunkAndReplaysBitIdentically) {
   // The acceptance gate for the whole harness: with the deliberately
   // weakened BC decide rule the explorer must find an agreement violation

@@ -270,6 +270,97 @@ TEST(Fuzz, MalformedBatchFramesAreCountedDrops) {
   EXPECT_GE(m.invalid_dropped, m.ab_batch_malformed);
 }
 
+TEST(Fuzz, CrossVariantFramesAreCountedDrops) {
+  // The variant seam's wire guarantee, in the direction the corpus files
+  // can't exercise: Bracha-coded frames injected into live stacks running
+  // the non-default variants. Tag spaces are disjoint by construction
+  // (docs/PROTOCOLS.md "Variant negotiation & tag encodings"), so none of
+  // these may enter a quorum — every frame is a counted drop or an
+  // out-of-context park, and the variant workloads still complete.
+
+  // Bracha INIT/ECHO/READY into a live Imbs–Raynal broadcast (n = 6).
+  {
+    test::ClusterOptions o = fast_lan(6, 1234);
+    o.stack.variants.rb = RbVariant::kImbsRaynal;
+    Cluster c(o);
+    test::DeliveryLog log(c.n());
+    const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
+    std::vector<RbAlgorithm*> rb(c.n(), nullptr);
+    for (ProcessId p : c.live()) {
+      rb[p] = &c.create_rb(p, id, 0, Attribution::kPayload, log.sink(p));
+    }
+    c.call(0, [&] { rb[0]->bcast(to_bytes("genuine")); });
+    Message m;
+    m.path = id;
+    m.payload = to_bytes("forged");
+    std::size_t injected = 0;
+    for (std::uint8_t tag : {ReliableBroadcast::kInit, ReliableBroadcast::kEcho,
+                             ReliableBroadcast::kReady}) {
+      m.tag = tag;
+      for (ProcessId victim : c.live()) {
+        c.stack(victim).on_packet(victim == 3 ? 2 : 3, m.encode());
+        ++injected;
+      }
+    }
+    ASSERT_TRUE(c.run_until(
+        [&] { return log.everyone_has(c.correct_set(), 1); }, kDeadline));
+    c.run_all();
+    for (ProcessId p : c.correct_set()) {
+      ASSERT_EQ(log.by_process[p].size(), 1u);
+      EXPECT_EQ(log.by_process[p][0], to_bytes("genuine"));
+    }
+    EXPECT_GE(c.total_metrics().invalid_dropped, injected);
+  }
+
+  // Bracha-era frames into a live Crain consensus (n = 4): RB tags at the
+  // BC path itself, plus a Bracha step-RB child path — under Crain the BC
+  // instance has no RB children at all, so the child frame must park or
+  // drop rather than spawn anything.
+  {
+    test::ClusterOptions o = fast_lan(4, 4321);
+    o.stack.variants.bc = BcVariant::kCrain;
+    o.stack.coin_mode = CoinMode::kDealt;
+    Cluster c(o);
+    test::Capture<bool> cap(c.n());
+    const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, 1);
+    std::vector<BcAlgorithm*> bc(c.n(), nullptr);
+    for (ProcessId p : c.live()) {
+      bc[p] = &c.create_bc(p, id, Attribution::kAgreement, cap.sink(p));
+    }
+    for (ProcessId p : c.live()) {
+      c.call(p, [&, p] { bc[p]->propose(p % 2 == 0); });
+    }
+    std::size_t injected = 0;
+    Message m;
+    m.path = id;
+    m.payload = to_bytes("x");
+    for (std::uint8_t tag : {ReliableBroadcast::kInit, ReliableBroadcast::kEcho,
+                             ReliableBroadcast::kReady}) {
+      m.tag = tag;
+      for (ProcessId victim : c.live()) {
+        c.stack(victim).on_packet(victim == 3 ? 2 : 3, m.encode());
+        ++injected;
+      }
+    }
+    Message child;
+    child.path = id.child({ProtocolType::kReliableBroadcast,
+                           BinaryConsensus::child_seq(1, 1, 0, 4)});
+    child.tag = ReliableBroadcast::kInit;
+    child.payload = to_bytes("y");
+    for (ProcessId victim : c.live()) {
+      c.stack(victim).on_packet(victim == 3 ? 2 : 3, child.encode());
+      ++injected;
+    }
+    ASSERT_TRUE(
+        c.run_until([&] { return cap.all_set(c.correct_set()); }, kDeadline));
+    c.run_all();
+    EXPECT_TRUE(cap.agree(c.correct_set()));
+    const Metrics met = c.total_metrics();
+    EXPECT_GE(met.invalid_dropped + met.unroutable_dropped + met.ooc_stored,
+              injected);
+  }
+}
+
 /// Loads one corpus file: hex bytes, whitespace ignored, '#' to EOL is a
 /// comment. Returns nullopt on a file that is not well-formed hex (a test
 /// bug, not a Byzantine input — the corpus itself must stay clean).

@@ -40,10 +40,10 @@ TEST(Metrics, Aggregation) {
 TEST(Metrics, SingleReliableBroadcastCountsOnce) {
   Cluster c(fast_lan(4, 1));
   test::DeliveryLog log(4);
-  std::vector<ReliableBroadcast*> rb(4, nullptr);
+  std::vector<RbAlgorithm*> rb(4, nullptr);
   const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
   for (ProcessId p : c.live()) {
-    rb[p] = &c.create_root<ReliableBroadcast>(p, id, 0, Attribution::kPayload,
+    rb[p] = &c.create_rb(p, id, 0, Attribution::kPayload,
                                               log.sink(p));
   }
   c.call(0, [&] { rb[0]->bcast(to_bytes("m")); });

@@ -22,7 +22,7 @@ TEST(ProtocolEdges, RbTotalityWithoutInitAtOneProcess) {
   DeliveryLog log(4);
   const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
   for (ProcessId p : c.live()) {
-    c.create_root<ReliableBroadcast>(p, id, /*origin=*/3, Attribution::kPayload,
+    c.create_rb(p, id, /*origin=*/3, Attribution::kPayload,
                                      log.sink(p));
   }
   Message init;
@@ -48,7 +48,7 @@ TEST(ProtocolEdges, RbInitToTooFewProcessesDeliversNowhere) {
   DeliveryLog log(4);
   const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
   for (ProcessId p : c.live()) {
-    c.create_root<ReliableBroadcast>(p, id, 3, Attribution::kPayload, log.sink(p));
+    c.create_rb(p, id, 3, Attribution::kPayload, log.sink(p));
   }
   Message init;
   init.path = id;
@@ -70,7 +70,7 @@ TEST(ProtocolEdges, RbReadyAmplificationFromReadiesAlone) {
   DeliveryLog log(4);
   const InstanceId id = InstanceId::root(ProtocolType::kReliableBroadcast, 1);
   for (ProcessId p : c.live()) {
-    c.create_root<ReliableBroadcast>(p, id, 3, Attribution::kPayload, log.sink(p));
+    c.create_rb(p, id, 3, Attribution::kPayload, log.sink(p));
   }
   // Forge READYs from peers 1 and 2 into p0 (as if they ran far ahead).
   Message ready;

@@ -20,12 +20,12 @@ InstanceId rb_root(std::uint64_t seq = 1) {
 
 /// Creates one RB instance (same id) at every live process; `origin` is the
 /// sender. Returns pointers indexed by process.
-std::vector<ReliableBroadcast*> make_rb(Cluster& c, DeliveryLog& log,
+std::vector<RbAlgorithm*> make_rb(Cluster& c, DeliveryLog& log,
                                         ProcessId origin,
                                         std::uint64_t seq = 1) {
-  std::vector<ReliableBroadcast*> rb(c.n(), nullptr);
+  std::vector<RbAlgorithm*> rb(c.n(), nullptr);
   for (ProcessId p : c.live()) {
-    rb[p] = &c.create_root<ReliableBroadcast>(p, rb_root(seq), origin,
+    rb[p] = &c.create_rb(p, rb_root(seq), origin,
                                               Attribution::kPayload, log.sink(p));
   }
   return rb;

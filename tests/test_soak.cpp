@@ -101,10 +101,10 @@ TEST(Soak, RepeatedConsensusInstancesDoNotLeakOoc) {
   Cluster c(fast_lan(4, 515151));
   for (std::uint64_t k = 1; k <= 200; ++k) {
     test::Capture<bool> cap(4);
-    std::vector<BinaryConsensus*> inst(4, nullptr);
+    std::vector<BcAlgorithm*> inst(4, nullptr);
     const InstanceId id = InstanceId::root(ProtocolType::kBinaryConsensus, k);
     for (ProcessId p : c.live()) {
-      inst[p] = &c.create_root<BinaryConsensus>(p, id, Attribution::kAgreement,
+      inst[p] = &c.create_bc(p, id, Attribution::kAgreement,
                                                 cap.sink(p));
     }
     for (ProcessId p : c.live()) {

@@ -13,6 +13,12 @@ bench-smoke, currently 3). Two headline figures are gated:
   * buffer frames encoded    — BENCH_buffer.json, the zero-copy layer's
     frames_encoded per (msg_bytes, batched) must not grow more than the
     tolerance above baseline (fewer encodes is the whole point).
+  * variant matrix           — BENCH_variants.json, every in-binary shape
+    gate must hold (imbs-raynal beats bracha RB on latency and messages,
+    crain uses fewer messages per decision, all cells completed), and per
+    (combo, faultload, n) the RB/BC latencies must not grow more than the
+    tolerance above baseline. Message counts per instance are exact on the
+    deterministic simulator, so they are compared exactly.
 
 Usage:  check_bench_regression.py <bench-out-dir> [--baselines DIR]
                                   [--tolerance 0.20]
@@ -102,6 +108,56 @@ def check_buffer(out_dir: Path, base_dir: Path, tol: float) -> list:
     return failures
 
 
+def check_variants(out_dir: Path, base_dir: Path, tol: float) -> list:
+    """Shape gates must hold; latencies within tol; message counts exact."""
+    name = "BENCH_variants.json"
+    fresh_doc = load(out_dir, name)
+    keys = ("rb_variant", "bc_variant", "faultload", "n")
+    fresh = index_rows(fresh_doc, keys)
+    base = index_rows(load(base_dir, name), keys)
+    failures = []
+
+    meta = fresh_doc.get("meta", {})
+    for gate in ("gate_rb_latency_ok", "gate_rb_msgs_ok", "gate_bc_msgs_ok",
+                 "all_completed"):
+        ok = meta.get(gate)
+        print(f"variants meta {gate}: {ok}")
+        if ok is not True:
+            failures.append(f"variants: meta gate {gate} is {ok!r}")
+
+    for key, brow in sorted(base.items()):
+        if key not in fresh:
+            failures.append(f"variants {key}: row disappeared")
+            continue
+        frow = fresh[key]
+        if brow.get("skipped"):
+            if not frow.get("skipped"):
+                print(f"variants {key}: now runs (was skipped) ok")
+            continue
+        if frow.get("skipped"):
+            failures.append(f"variants {key}: newly skipped")
+            continue
+        for field in ("rb_msgs_per_bcast", "bc_msgs_per_decide"):
+            got, want = frow[field], brow[field]
+            verdict = "ok" if got == want else "CHANGED"
+            print(f"variants {key} {field}: {got} vs baseline {want} {verdict}")
+            if got != want:
+                failures.append(
+                    f"variants {key}: {field} {got} != baseline {want} "
+                    f"(message counts are deterministic)")
+        for field in ("rb_latency_us", "bc_latency_us"):
+            got, want = frow[field], brow[field]
+            ceiling = want * (1.0 + tol)
+            verdict = "ok" if got <= ceiling else "REGRESSED"
+            print(f"variants {key} {field}: {got:.1f} vs baseline {want:.1f} "
+                  f"(ceiling {ceiling:.1f}) {verdict}")
+            if got > ceiling:
+                failures.append(
+                    f"variants {key}: {field} {got:.1f} > ceiling "
+                    f"{ceiling:.1f} (baseline {want:.1f}, tolerance {tol:.0%})")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_dir", type=Path,
@@ -114,6 +170,7 @@ def main() -> int:
 
     failures = check_fig4(args.bench_dir, args.baselines, args.tolerance)
     failures += check_buffer(args.bench_dir, args.baselines, args.tolerance)
+    failures += check_variants(args.bench_dir, args.baselines, args.tolerance)
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)

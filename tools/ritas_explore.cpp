@@ -40,6 +40,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--workload rb|eb|bc|mvc|vc|ab] [--n N] [--seeds FIRST[:COUNT]]\n"
       "          [--messages M] [--max-events E] [--coin local|dealt]\n"
+      "          [--rb-variant bracha|imbs-raynal] [--bc-variant bracha|crain]\n"
       "          [--weak-bc-quorum] [--stall-is-violation] [--out-dir DIR]\n"
       "          [--json]\n"
       "       %s --replay schedule_<seed>.json\n",
@@ -184,6 +185,20 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 1;
       }
+    } else if (arg == "--rb-variant") {
+      const auto v = ritas::rb_variant_from_name(next());
+      if (!v) {
+        std::fprintf(stderr, "ritas_explore: --rb-variant bracha|imbs-raynal\n");
+        return 1;
+      }
+      cfg.variants.rb = *v;
+    } else if (arg == "--bc-variant") {
+      const auto v = ritas::bc_variant_from_name(next());
+      if (!v) {
+        std::fprintf(stderr, "ritas_explore: --bc-variant bracha|crain\n");
+        return 1;
+      }
+      cfg.variants.bc = *v;
     } else if (arg == "--weak-bc-quorum") {
       cfg.weak_bc_quorum = true;
     } else if (arg == "--stall-is-violation") {
@@ -204,6 +219,18 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) return replay(replay_path);
+
+  try {
+    // Surface incompatible variant selections (e.g. imbs-raynal below
+    // n = 6) here, not as a crash inside the first trial.
+    ritas::validate_variants(cfg.variants, cfg.n,
+                             cfg.variants.bc == ritas::BcVariant::kCrain
+                                 ? CoinMode::kDealt
+                                 : cfg.coin_mode);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "ritas_explore: %s\n", e.what());
+    return 1;
+  }
 
   Explorer explorer(cfg);
   const auto finding = explorer.explore(first_seed, seed_count);
