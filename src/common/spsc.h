@@ -1,0 +1,81 @@
+// Bounded single-producer / single-consumer ring — the handoff queue
+// between the transport poll thread and one reactor thread.
+//
+// Exactly one thread may call try_push and exactly one thread may call
+// try_pop; under that contract the ring is lock-free and wait-free. The
+// producer publishes a slot with a release store of tail_ after the value
+// is written; the consumer acquires tail_ before reading, so the value
+// write happens-before the read. Capacity is fixed at construction
+// (rounded up to a power of two) — a full ring rejects the push and the
+// caller decides whether to block, retry, or drop (ReactorPool counts the
+// outcome either way).
+//
+// Slots are default-constructed T and assigned through; a popped slot is
+// overwritten with T{} so refcounted payloads (Slice) release their
+// buffer as soon as the consumer takes them, not when the slot is next
+// reused.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ritas {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    slots_[head & mask_] = T{};
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy — exact from either endpoint thread, a
+  /// snapshot from anywhere else (used for queue-depth gauges).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Head and tail live on separate cache lines so the producer's tail
+  // stores do not bounce the consumer's head line (and vice versa).
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ritas

@@ -1,0 +1,178 @@
+#include "core/reactor.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "core/stack.h"
+
+namespace ritas {
+
+ReactorPool::ReactorPool() : ReactorPool(Options{}) {}
+
+ReactorPool::ReactorPool(Options o) : opts_(o) {
+  reactors_.reserve(opts_.threads);
+  for (std::uint32_t i = 0; i < opts_.threads; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(opts_.queue_capacity));
+  }
+}
+
+ReactorPool::~ReactorPool() { stop(); }
+
+void ReactorPool::pin(GroupId g, std::uint32_t reactor) {
+  assert(!running_.load());
+  assert(inline_mode() || reactor < opts_.threads);
+  pins_[g] = reactor;
+}
+
+std::uint32_t ReactorPool::reactor_of(GroupId g) const {
+  auto it = pins_.find(g);
+  if (it != pins_.end()) return it->second;
+  return opts_.threads == 0 ? 0 : g % opts_.threads;
+}
+
+void ReactorPool::set_idle_hook(std::uint32_t reactor, std::function<void()> hook) {
+  assert(!running_.load());
+  if (reactor < reactors_.size()) reactors_[reactor]->idle = std::move(hook);
+}
+
+void ReactorPool::start() {
+  if (inline_mode() || running_.load()) return;
+  stopping_.store(false);
+  running_.store(true);
+  for (auto& r : reactors_) {
+    r->thread = std::thread([this, rp = r.get()] { run(*rp); });
+  }
+}
+
+void ReactorPool::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  for (auto& r : reactors_) {
+    {
+      std::lock_guard<std::mutex> lk(r->m);
+    }
+    r->cv.notify_one();
+  }
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  running_.store(false);
+}
+
+void ReactorPool::ring_doorbell(Reactor& r) {
+  // The empty critical section orders the ring push before the
+  // consumer's predicate re-check: the reactor is either not yet waiting
+  // (its locked predicate check will see the frame) or waiting (the
+  // notify wakes it).
+  {
+    std::lock_guard<std::mutex> lk(r.m);
+  }
+  r.cv.notify_one();
+}
+
+bool ReactorPool::route(GroupId g, ProtocolStack& stack, ProcessId from, Slice frame) {
+  if (inline_mode()) {
+    stack.on_packet(from, std::move(frame));
+    return true;
+  }
+  Reactor& r = *reactors_[reactor_of(g)];
+  FrameJob job{&stack, from, std::move(frame)};
+  while (!r.ring.try_push(std::move(job))) {
+    if (!opts_.block_on_full || stopping_.load(std::memory_order_relaxed)) {
+      handoff_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Backpressure: the transport thread stalls until the reactor makes
+    // room. Ring the doorbell in case the reactor is parked, then yield.
+    ring_doorbell(r);
+    std::this_thread::yield();
+  }
+  handoff_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  ring_doorbell(r);
+  return true;
+}
+
+void ReactorPool::post(GroupId g, std::function<void()> task) {
+  post_to(reactor_of(g), std::move(task));
+}
+
+void ReactorPool::post_to(std::uint32_t reactor, std::function<void()> task) {
+  if (inline_mode()) {
+    task();
+    return;
+  }
+  Reactor& r = *reactors_[reactor];
+  {
+    std::lock_guard<std::mutex> lk(r.m);
+    r.tasks.push_back(std::move(task));
+  }
+  r.cv.notify_one();
+}
+
+void ReactorPool::run(Reactor& r) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(r.m);
+      r.cv.wait(lk, [&] {
+        return stopping_.load(std::memory_order_relaxed) || !r.tasks.empty() ||
+               !r.ring.empty();
+      });
+    }
+    // Drain frames FIFO, then tasks, then run the idle hook once. Frames
+    // first keeps protocol work ahead of housekeeping under load.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      FrameJob job;
+      while (r.ring.try_pop(job)) {
+        progressed = true;
+        job.stack->on_packet(job.from, std::move(job.frame));
+        job = FrameJob{};
+      }
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::lock_guard<std::mutex> lk(r.m);
+          if (r.tasks.empty()) break;
+          task = std::move(r.tasks.front());
+          r.tasks.pop_front();
+        }
+        progressed = true;
+        task();
+        tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (r.idle) r.idle();
+    if (stopping_.load(std::memory_order_relaxed)) {
+      // Final sweep so frames and tasks enqueued before stop() still run.
+      FrameJob job;
+      while (r.ring.try_pop(job)) {
+        job.stack->on_packet(job.from, std::move(job.frame));
+        job = FrameJob{};
+      }
+      std::deque<std::function<void()>> rest;
+      {
+        std::lock_guard<std::mutex> lk(r.m);
+        rest.swap(r.tasks);
+      }
+      for (auto& t : rest) {
+        t();
+        tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (r.idle) r.idle();
+      return;
+    }
+  }
+}
+
+ReactorPool::Stats ReactorPool::stats() const {
+  Stats s;
+  s.handoff_enqueued = handoff_enqueued_.load(std::memory_order_relaxed);
+  s.handoff_dropped = handoff_dropped_.load(std::memory_order_relaxed);
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.queue_depth.reserve(reactors_.size());
+  for (const auto& r : reactors_) s.queue_depth.push_back(r->ring.size());
+  return s;
+}
+
+}  // namespace ritas

@@ -1,0 +1,132 @@
+// ReactorPool — T reactor threads, each owning a disjoint static set of
+// consensus groups, fed by per-reactor bounded SPSC handoff rings from
+// the single transport poll thread.
+//
+// The execution model keeps every protocol a single-threaded passive
+// reactor: a group is pinned to exactly one reactor (pin(), default
+// g % T), so one thread ever touches a stack's state. The transport
+// thread is the only producer into every ring (SPSC holds per ring), and
+// each reactor drains its ring FIFO — so the frame order a stack
+// observes is exactly the arrival order the transport chose, independent
+// of T. That is why per-group traces stay bit-identical for a fixed seed
+// and pinning: the pool moves work across cores but never reorders it
+// within a group, and never lets another group's interleaving leak into
+// a stack.
+//
+// threads == 0 is the inline mode: route() and post() execute on the
+// caller's thread, byte-for-byte the pre-pipeline single-thread path (no
+// rings, no handoff counters, no extra threads).
+//
+// Besides frames, a reactor runs posted tasks (post(), any thread →
+// mutex-guarded queue, kept separate from the ring so the ring's single-
+// producer contract survives) and an optional per-reactor idle hook that
+// fires after every drain batch (owners hang stack->pump() and GC off
+// it). A full ring applies backpressure by default — the producer spins
+// until space, which on the TCP path simply stops reading sockets, the
+// same flow control TCP itself provides. With block_on_full=false the
+// frame is dropped and counted (handoff_dropped) instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/spsc.h"
+#include "core/types.h"
+
+namespace ritas {
+
+class ProtocolStack;
+
+class ReactorPool {
+ public:
+  struct Options {
+    /// Reactor thread count; 0 = inline single-thread mode.
+    std::uint32_t threads = 0;
+    /// Frames buffered per reactor ring (rounded up to a power of two).
+    std::size_t queue_capacity = 4096;
+    /// Full ring: true = producer spins (backpressure), false = counted drop.
+    bool block_on_full = true;
+  };
+
+  struct Stats {
+    std::uint64_t handoff_enqueued = 0;  ///< frames handed to a ring
+    std::uint64_t handoff_dropped = 0;   ///< frames dropped on a full ring
+    std::uint64_t tasks_run = 0;         ///< posted tasks executed
+    std::vector<std::size_t> queue_depth;  ///< per-reactor ring occupancy
+  };
+
+  ReactorPool();  // inline mode (threads = 0)
+  explicit ReactorPool(Options o);
+  ~ReactorPool();
+  ReactorPool(const ReactorPool&) = delete;
+  ReactorPool& operator=(const ReactorPool&) = delete;
+
+  std::uint32_t threads() const { return opts_.threads; }
+  bool inline_mode() const { return opts_.threads == 0; }
+
+  /// Pins group `g` to reactor `r` (call before start(); r < threads).
+  /// Unpinned groups default to g % threads.
+  void pin(GroupId g, std::uint32_t reactor);
+  std::uint32_t reactor_of(GroupId g) const;
+
+  /// Registers a hook run by reactor `r` after each drain batch (and once
+  /// per wakeup). Call before start(). Inline mode ignores hooks — the
+  /// caller drives pump() itself, exactly as before the pipeline.
+  void set_idle_hook(std::uint32_t reactor, std::function<void()> hook);
+
+  void start();
+  void stop();
+
+  /// Hands one inbound frame to the reactor owning `g`. TRANSPORT THREAD
+  /// ONLY — the rings are single-producer. Inline mode dispatches on the
+  /// caller. Returns false only for a counted drop (full ring with
+  /// block_on_full=false, or pool stopped).
+  bool route(GroupId g, ProtocolStack& stack, ProcessId from, Slice frame);
+
+  /// Runs `task` on the reactor owning `g`; callable from any thread.
+  /// Inline mode executes immediately on the caller.
+  void post(GroupId g, std::function<void()> task);
+  void post_to(std::uint32_t reactor, std::function<void()> task);
+
+  Stats stats() const;
+
+ private:
+  struct FrameJob {
+    ProtocolStack* stack = nullptr;
+    ProcessId from = 0;
+    Slice frame;
+  };
+
+  struct Reactor {
+    explicit Reactor(std::size_t cap) : ring(cap) {}
+    SpscQueue<FrameJob> ring;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    std::function<void()> idle;
+    std::thread thread;
+  };
+
+  void run(Reactor& r);
+  void ring_doorbell(Reactor& r);
+
+  Options opts_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::unordered_map<GroupId, std::uint32_t> pins_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> handoff_enqueued_{0};
+  std::atomic<std::uint64_t> handoff_dropped_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+};
+
+}  // namespace ritas

@@ -1,0 +1,59 @@
+#include "net/crypto_pool.h"
+
+namespace ritas::net {
+
+CryptoPool::CryptoPool(std::uint32_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+CryptoPool::~CryptoPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void CryptoPool::submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void CryptoPool::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return stopping_ || !jobs_.empty(); });
+      // Drain before exiting so a stop never strands a queued verify —
+      // the poll thread may be parked waiting for its verdict.
+      if (jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++jobs_run_;
+    }
+    job();
+  }
+}
+
+std::uint64_t CryptoPool::jobs_run() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return jobs_run_;
+}
+
+std::size_t CryptoPool::queue_depth() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return jobs_.size();
+}
+
+}  // namespace ritas::net

@@ -1,0 +1,57 @@
+// CryptoPool — worker threads for per-frame HMAC work.
+//
+// HMAC-SHA-256 over a frame is stateless over ByteView, so verify and
+// compute jobs are embarrassingly parallel: the transport hands each one
+// a self-contained closure (key view, ids, counter, refcounted body) and
+// the ordering that matters — per-link arrival order on receive, counter
+// order on send — is re-imposed by the poll thread when it harvests the
+// results, never by the workers. Workers therefore share nothing and
+// take no transport locks; they write their result into a dedicated slot
+// (an atomic publish) and ring the transport's wakeup.
+//
+// A plain mutex+condvar MPMC queue is deliberate: one HMAC over a
+// protocol frame costs microseconds, so queue overhead is noise, and the
+// simple queue is trivially correct under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ritas::net {
+
+class CryptoPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `threads` workers (must be >= 1; callers gate the 0 =
+  /// inline-crypto case before constructing a pool).
+  explicit CryptoPool(std::uint32_t threads);
+  /// Drains outstanding jobs, then joins the workers.
+  ~CryptoPool();
+  CryptoPool(const CryptoPool&) = delete;
+  CryptoPool& operator=(const CryptoPool&) = delete;
+
+  std::uint32_t threads() const { return static_cast<std::uint32_t>(workers_.size()); }
+
+  void submit(Job job);
+
+  std::uint64_t jobs_run() const;
+  std::size_t queue_depth() const;
+
+ private:
+  void run();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  std::uint64_t jobs_run_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ritas::net

@@ -92,6 +92,8 @@ struct TcpTransport::Counters {
   std::atomic<std::uint64_t> queue_drops{0};
   std::atomic<std::uint64_t> link_reconnects{0};
   std::atomic<std::uint64_t> handshake_failures{0};
+  std::atomic<std::uint64_t> crypto_offloaded{0};
+  std::atomic<std::uint64_t> crypto_mac_offloaded{0};
 };
 
 Fd& Fd::operator=(Fd&& o) noexcept {
@@ -121,6 +123,11 @@ TcpTransport::TcpTransport(Options opts, const KeyChain& keys)
     seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   }
   rng_ = std::make_unique<Rng>(seed);
+  // Crypto offload only exists when there is MAC work to move; with
+  // authentication off the option is inert and the wire path untouched.
+  if (opts_.authenticate && opts_.crypto_threads > 0) {
+    crypto_ = std::make_unique<CryptoPool>(opts_.crypto_threads);
+  }
   conns_.reserve(opts_.n);
   for (ProcessId p = 0; p < opts_.n; ++p) {
     conns_.push_back(std::make_unique<Conn>());
@@ -197,6 +204,10 @@ void TcpTransport::start() {
 void TcpTransport::stop() {
   stopped_.store(true);
   wakeup();
+  // Join the crypto workers first: their jobs touch counters_ and the
+  // wakeup pipe, both of which stay alive below; after the join no
+  // off-thread code runs against this object.
+  crypto_.reset();
   for (auto& c : conns_) {
     std::lock_guard<std::mutex> lock(c->mutex);
     c->fd.reset();
@@ -315,6 +326,73 @@ bool TcpTransport::write_frame(Conn& c, ProcessId to, std::uint64_t counter,
   return true;
 }
 
+bool TcpTransport::write_frame_mac(Conn& c, std::uint64_t counter,
+                                   const Slice& frame, const Sha256::Digest& mac) {
+  Writer hdr(kFrameHeader);
+  hdr.u32(static_cast<std::uint32_t>(frame.size()));
+  hdr.u64(c.sid);
+  hdr.u64(counter);
+  ByteView parts[3] = {hdr.data(), frame, ByteView(mac.data(), mac.size())};
+  const std::size_t wire_size = parts[0].size() + parts[1].size() + parts[2].size();
+  if (!writev_all(c.fd.get(), parts, 3)) return false;
+  counters_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+  return true;
+}
+
+void TcpTransport::stage_mac(Conn& c, ProcessId to, std::uint64_t counter,
+                             const Slice& frame) {
+  auto slot = std::make_shared<MacSlot>();
+  slot->sid = c.sid;
+  c.retained.back().mac = slot;
+  // The job is self-contained: key view (keys_ outlives the joined pool),
+  // ids, counter, refcounted frame. No transport locks are taken.
+  const ProcessId self = opts_.self;
+  const std::uint64_t sid = c.sid;
+  const ByteView key = keys_.key(to);
+  crypto_->submit([this, slot, key, self, to, sid, counter, frame] {
+    Writer macin(24);
+    macin.u32(self);
+    macin.u32(to);
+    macin.u64(sid);
+    macin.u64(counter);
+    slot->mac = hmac_sha256_2(key, macin.data(), frame);
+    slot->ready.store(true, std::memory_order_release);
+    counters_->crypto_mac_offloaded.fetch_add(1, std::memory_order_relaxed);
+    wakeup();  // poll thread flushes the staged write in counter order
+  });
+}
+
+void TcpTransport::flush_staged(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  std::lock_guard<std::mutex> lock(c.mutex);
+  if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) return;
+  for (;;) {
+    if (c.retained.empty()) break;
+    const std::uint64_t base = c.retained.front().counter;
+    if (c.tx_staged_next < base) c.tx_staged_next = base;  // evicted/pruned
+    const std::uint64_t idx = c.tx_staged_next - base;
+    if (idx >= c.retained.size()) break;
+    Retained& e = c.retained[static_cast<std::size_t>(idx)];
+    if (e.written) {  // resync already wrote it under the current session
+      e.mac.reset();
+      ++c.tx_staged_next;
+      continue;
+    }
+    if (!e.mac) break;  // queued while down; the next resync owns it
+    if (!e.mac->ready.load(std::memory_order_acquire)) break;  // counter order
+    if (e.mac->sid != c.sid) break;  // stale session; resync will re-MAC inline
+    if (!write_frame_mac(c, e.counter, e.frame, e.mac->mac)) {
+      LOG_WARN("tcp staged send to p%u failed: %s", peer, std::strerror(errno));
+      c.broken = true;  // poll thread reaps the stream and schedules redial
+      break;
+    }
+    e.written = true;
+    e.mac.reset();
+    ++c.tx_staged_next;
+  }
+}
+
 void TcpTransport::send(ProcessId to, Slice frame) {
   if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
   Conn& c = *conns_[to];
@@ -324,7 +402,7 @@ void TcpTransport::send(ProcessId to, Slice frame) {
   // Retain the frame for counter resync before (or instead of) writing it.
   // Drop-oldest keeps the budget bounded; evicting a frame that never
   // reached a socket is real backpressure loss and is counted.
-  c.retained.push_back(Retained{counter, frame, false});
+  c.retained.push_back(Retained{counter, frame, false, nullptr});
   c.retained_bytes += frame.size();
   while (c.retained_bytes > opts_.send_queue_max_bytes && c.retained.size() > 1) {
     const Retained& victim = c.retained.front();
@@ -335,6 +413,13 @@ void TcpTransport::send(ProcessId to, Slice frame) {
 
   if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) {
     return;  // queued; the next session's resync flushes it
+  }
+  if (crypto_) {
+    // Offload: the MAC computes on the pool and the poll thread performs
+    // the socket write once the digest is ready — the sender never blocks
+    // on crypto or I/O here, it only assigned a counter and queued.
+    stage_mac(c, to, counter, frame);
+    return;
   }
   if (write_frame(c, to, counter, frame)) {
     if (!c.retained.empty() && c.retained.back().counter == counter) {
@@ -600,6 +685,7 @@ void TcpTransport::complete_handshake(ProcessId peer, std::uint64_t nonce_d,
         break;
       }
       e.written = true;
+      e.mac.reset();  // any staged MAC was for the old sid; this write is fresh
       ++flushed;
       if (was_written) {
         counters_->frames_retransmitted.fetch_add(1, std::memory_order_relaxed);
@@ -705,6 +791,15 @@ void TcpTransport::service_timers() {
 void TcpTransport::poll_once(int timeout_ms) {
   if (stopped_.load()) return;
   service_timers();
+  if (crypto_) {
+    // Crypto workers completed jobs and rang the wakeup pipe; push staged
+    // sends (counter order) and deliver verified receives (arrival order).
+    for (ProcessId p = 0; p < opts_.n; ++p) {
+      if (p == opts_.self) continue;
+      flush_staged(p);
+      harvest_verified(p);
+    }
+  }
 
   // Owner encoding: -1 wake pipe, -2 listen socket, -(3+k) pending accept
   // k, otherwise the peer id.
@@ -862,6 +957,35 @@ void TcpTransport::process_rx(ProcessId peer) {
       counters_->session_rejects.fetch_add(1, std::memory_order_relaxed);
       ok = false;
     }
+    if (ok && opts_.authenticate && crypto_) {
+      // Offload: park the frame in arrival order and let a worker verify
+      // the MAC. The counter-floor decision and delivery both wait for
+      // the harvest so nothing outruns an unverified predecessor.
+      auto pv = std::make_shared<PendingVerify>();
+      pv->counter = counter;
+      pv->body = Slice(Bytes(body.begin(), body.end()));
+      Sha256::Digest want{};
+      std::memcpy(want.data(), c.rx.data() + off + kFrameHeader + body_len,
+                  kMacSize);
+      c.verify_q.push_back(pv);
+      counters_->crypto_offloaded.fetch_add(1, std::memory_order_relaxed);
+      const ProcessId self = opts_.self;
+      const ByteView key = keys_.key(peer);
+      crypto_->submit([this, pv, key, peer, self, sid, want] {
+        Writer macin(24);
+        macin.u32(peer);
+        macin.u32(self);
+        macin.u64(sid);
+        macin.u64(pv->counter);
+        const auto mac = hmac_sha256_2(key, macin.data(), pv->body);
+        const bool good = ct_equal(ByteView(mac.data(), mac.size()),
+                                   ByteView(want.data(), want.size()));
+        pv->verdict.store(good ? 1 : 0, std::memory_order_release);
+        wakeup();  // poll thread harvests in arrival order
+      });
+      off += total;
+      continue;
+    }
     if (ok && opts_.authenticate) {
       Writer macin(24);
       macin.u32(peer);
@@ -901,6 +1025,37 @@ void TcpTransport::process_rx(ProcessId peer) {
     off += total;
   }
   if (off > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(off));
+  if (crypto_) harvest_verified(peer);
+}
+
+void TcpTransport::harvest_verified(ProcessId peer) {
+  Conn& c = *conns_[peer];
+  while (!c.verify_q.empty()) {
+    PendingVerify& pv = *c.verify_q.front();
+    const int verdict = pv.verdict.load(std::memory_order_acquire);
+    if (verdict < 0) break;  // FIFO: never deliver past an unresolved frame
+    if (verdict == 0) {
+      // Same accounting as the inline path: a forged frame is a counted
+      // drop that consumes no counter and delays nothing behind it.
+      counters_->mac_failures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bool ok = true;
+      if (pv.counter < c.rx_expected) {
+        counters_->replay_drops.fetch_add(1, std::memory_order_relaxed);
+        ok = false;
+      } else if (pv.counter > c.rx_expected) {
+        counters_->counter_gaps.fetch_add(pv.counter - c.rx_expected,
+                                          std::memory_order_relaxed);
+        c.rx_expected = pv.counter;
+      }
+      if (ok) {
+        ++c.rx_expected;
+        counters_->frames_received.fetch_add(1, std::memory_order_relaxed);
+        if (sink_) sink_(peer, std::move(pv.body));
+      }
+    }
+    c.verify_q.pop_front();
+  }
 }
 
 std::vector<LinkState> TcpTransport::link_states() const {
@@ -941,6 +1096,9 @@ TcpTransport::Stats TcpTransport::stats() const {
   s.link_reconnects = counters_->link_reconnects.load(std::memory_order_relaxed);
   s.handshake_failures =
       counters_->handshake_failures.load(std::memory_order_relaxed);
+  s.crypto_offloaded = counters_->crypto_offloaded.load(std::memory_order_relaxed);
+  s.crypto_mac_offloaded =
+      counters_->crypto_mac_offloaded.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -21,10 +21,24 @@
 // (>= n-f-1 links) to return; the rest keep dialing in the background.
 // Wire formats: docs/PROTOCOLS.md "Reliable channel".
 //
-// Threading: send() may be called from any thread; receiving and all link
-// management happen in poll_once(), which the owner (one thread — see
-// ritas::Context) calls in its loop. Frames are handed to the sink inline
-// from poll_once.
+// Threading contract:
+//   * send() may be called from ANY number of threads concurrently (the
+//     multi-core pipeline has every reactor call it). Each link's counter
+//     assignment, retained-queue update, and socket write happen under
+//     that link's Conn mutex, so concurrent senders serialize per link:
+//     frames from one sender thread keep their relative order, and the
+//     per-link counter sequence is gap-free. tests/test_tcp_transport.cpp
+//     (ConcurrentSenders*) enforces this under ASan/TSan.
+//   * Receiving and all link management happen in poll_once(), which the
+//     owner (one thread — see ritas::Context) calls in its loop. Frames
+//     are handed to the sink inline from poll_once.
+//   * With crypto_threads > 0, per-frame HMAC work runs on a CryptoPool:
+//     receive-side MACs verify in parallel and the poll thread re-imposes
+//     per-link arrival order before the sink sees anything (a MAC failure
+//     stays a counted drop and never reorders delivery past a verified
+//     frame); send-side MACs are staged into the retained queue and the
+//     poll thread writes them in counter order. 0 keeps every byte of the
+//     inline single-thread path.
 #pragma once
 
 #include <atomic>
@@ -40,6 +54,8 @@
 #include "common/trace.h"
 #include "core/transport.h"
 #include "crypto/keychain.h"
+#include "crypto/sha256.h"
+#include "net/crypto_pool.h"
 #include "net/link.h"
 
 namespace ritas::net {
@@ -94,6 +110,10 @@ class TcpTransport final : public Transport {
     /// Seeds handshake nonces and backoff jitter; 0 = std::random_device.
     /// Tests pin it to make reconnect timelines reproducible.
     std::uint64_t rng_seed = 0;
+    /// Crypto worker threads for per-frame HMAC verify/compute. 0 = all
+    /// MAC work inline on the calling thread (the pre-pipeline path,
+    /// bit-identical on the wire). Ignored when authenticate == false.
+    std::uint32_t crypto_threads = 0;
   };
 
   struct Stats {
@@ -109,6 +129,8 @@ class TcpTransport final : public Transport {
     std::uint64_t queue_drops = 0;        // never-sent frames evicted by the cap
     std::uint64_t link_reconnects = 0;    // handshakes that revived a dead link
     std::uint64_t handshake_failures = 0; // malformed/unauthentic handshakes
+    std::uint64_t crypto_offloaded = 0;     // rx MAC verifies run on the pool
+    std::uint64_t crypto_mac_offloaded = 0; // tx MAC computes run on the pool
   };
 
   /// Fault-injection hook for the churn tests: forcibly breaks the live
@@ -185,12 +207,33 @@ class TcpTransport final : public Transport {
     kEstablished,  // session open, frames flow
   };
 
+  /// Crypto-offload result slot for one send-side MAC: a worker fills
+  /// `mac` then publishes with a release store of `ready`; the poll
+  /// thread acquires `ready` before reading. `sid` pins the session the
+  /// MAC was computed under — if the link re-handshakes first, the stale
+  /// MAC is discarded and the resync path re-MACs inline.
+  struct MacSlot {
+    std::uint64_t sid = 0;
+    Sha256::Digest mac{};
+    std::atomic<bool> ready{false};
+  };
+
+  /// A receive-side frame parked in per-link arrival order while a crypto
+  /// worker verifies its MAC off-thread. verdict: -1 pending, 0 bad MAC,
+  /// 1 verified (release-published by the worker).
+  struct PendingVerify {
+    std::uint64_t counter = 0;
+    Slice body;
+    std::atomic<int> verdict{-1};
+  };
+
   /// A frame retained for retransmission: queued while the link is down,
   /// or recently written and kept until the next resync confirms receipt.
   struct Retained {
     std::uint64_t counter;
     Slice frame;
     bool written;
+    std::shared_ptr<MacSlot> mac;  // staged MAC (crypto offload); null = inline
   };
 
   struct Conn {
@@ -204,11 +247,18 @@ class TcpTransport final : public Transport {
     std::uint64_t rx_expected = 0;   // next counter expected (survives sessions)
     std::unique_ptr<LinkRetry> retry;  // dialed links only (peer < self)
     bool ever_up = false;
+    /// Frames awaiting an off-thread MAC verdict, in arrival order; the
+    /// poll thread harvests from the front and never past an unresolved
+    /// entry, so offload cannot reorder a link's deliveries. Survives
+    /// link_down: a verified frame that arrived before the failure is
+    /// still delivered (its retransmit then replay-drops).
+    std::deque<std::shared_ptr<PendingVerify>> verify_q;
     // --- shared with sender threads; guarded by mutex ---
     std::mutex mutex;
     LinkState state = LinkState::kDown;
     std::uint64_t sid = 0;           // current session id (0 = none)
     std::uint64_t tx_next = 0;       // next counter to assign (survives sessions)
+    std::uint64_t tx_staged_next = 0;  // next counter the staged-write path flushes
     std::deque<Retained> retained;
     std::size_t retained_bytes = 0;
     bool broken = false;             // send() hit a write error; poll thread reaps
@@ -236,6 +286,18 @@ class TcpTransport final : public Transport {
   bool writev_all(int fd, ByteView* parts, std::size_t count);
   /// Writes one framed body; caller holds c.mutex. False on socket error.
   bool write_frame(Conn& c, ProcessId to, std::uint64_t counter, Slice frame);
+  /// Like write_frame but with a pool-computed MAC; caller holds c.mutex.
+  bool write_frame_mac(Conn& c, std::uint64_t counter, const Slice& frame,
+                       const Sha256::Digest& mac);
+  /// Send-side offload: attaches a MacSlot to the just-retained frame and
+  /// submits the HMAC job; caller holds c.mutex.
+  void stage_mac(Conn& c, ProcessId to, std::uint64_t counter, const Slice& frame);
+  /// Poll thread: writes retained frames whose staged MACs are ready, in
+  /// counter order.
+  void flush_staged(ProcessId peer);
+  /// Poll thread: delivers verified frames from the front of verify_q in
+  /// arrival order, stopping at the first unresolved verdict.
+  void harvest_verified(ProcessId peer);
   void begin_dial(ProcessId peer);
   void on_dial_writable(ProcessId peer);
   void handshake_readable(ProcessId peer);
@@ -259,6 +321,7 @@ class TcpTransport final : public Transport {
   Fd wake_rx_, wake_tx_;
   std::vector<std::unique_ptr<Conn>> conns_;  // index = peer id; self unused
   std::vector<PendingAccept> pending_accepts_;
+  std::unique_ptr<CryptoPool> crypto_;  // null = inline crypto path
   std::unique_ptr<Counters> counters_;
   std::atomic<bool> stopped_{false};
   std::uint64_t epoch_ns_ = 0;  // steady_clock origin for now_ms()

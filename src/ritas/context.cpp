@@ -32,6 +32,10 @@ Context::Options validate(Context::Options o) {
   if (o.batch.enabled && (o.batch.max_msgs == 0 || o.batch.max_bytes == 0)) {
     throw std::invalid_argument("ritas::Context: batch limits must be > 0");
   }
+  if (o.reactor_threads > 64 || o.crypto_threads > 64) {
+    throw std::invalid_argument(
+        "ritas::Context: reactor_threads/crypto_threads must be <= 64");
+  }
   // Unknown or incompatible protocol-variant selections fail here, before
   // any networking exists (the ProtocolStack constructor re-checks, but
   // this path owns the user-facing error).
@@ -54,6 +58,7 @@ Context::Context(Options opts)
   topts.peers = opts_.peers;
   topts.authenticate = opts_.authenticate;
   topts.min_start_links = opts_.min_start_links;
+  topts.crypto_threads = opts_.crypto_threads;
   // Decorrelate per-process transport randomness (handshake nonces,
   // backoff jitter) even when every node is configured with the same seed.
   topts.rng_seed = opts_.rng_seed == 0
@@ -68,6 +73,14 @@ Context::Context(Options opts)
   cfg.ab_batch.enabled = opts_.batch.enabled;
   cfg.ab_batch.max_batch_msgs = opts_.batch.max_msgs;
   cfg.ab_batch.max_batch_bytes = opts_.batch.max_bytes;
+  cfg.reactor_threads = opts_.reactor_threads;
+  cfg.crypto_threads = opts_.crypto_threads;
+  if (opts_.reactor_threads > 0) {
+    ReactorPool::Options popts;
+    popts.threads = opts_.reactor_threads;
+    pool_ = std::make_unique<ReactorPool>(popts);
+    pool_->pin(opts_.group, 0);  // single-group session: reactor 0 owns it
+  }
   std::uint64_t seed = opts_.rng_seed;
   if (seed == 0) {
     std::random_device rd;
@@ -80,9 +93,24 @@ Context::~Context() { stop(); }
 
 void Context::start() {
   if (running_.load()) return;
-  transport_->set_sink([this](ProcessId from, Slice frame) {
-    stack_->on_packet(from, std::move(frame));
-  });
+  if (pool_) {
+    // Pipeline mode: the poll thread only moves frames into the reactor
+    // ring; all protocol work (and the roots_ bookkeeping) happens on
+    // reactor 0, which also pumps the stack after every drain batch.
+    pool_->set_idle_hook(0, [this] {
+      stack_->pump();
+      for (const InstanceId& id : dead_roots_) roots_.erase(id);
+      dead_roots_.clear();
+    });
+    pool_->start();
+    transport_->set_sink([this](ProcessId from, Slice frame) {
+      pool_->route(opts_.group, *stack_, from, std::move(frame));
+    });
+  } else {
+    transport_->set_sink([this](ProcessId from, Slice frame) {
+      stack_->on_packet(from, std::move(frame));
+    });
+  }
   transport_->start();
   running_.store(true);
   reactor_ = std::thread([this] { reactor_loop(); });
@@ -112,6 +140,9 @@ void Context::stop() {
   if (!running_.exchange(false)) return;
   transport_->wakeup();
   if (reactor_.joinable()) reactor_.join();
+  // Poll thread is gone, so no new frames enter the rings; drain the
+  // reactors before touching reactor-owned state (roots_).
+  if (pool_) pool_->stop();
   // Wake any threads blocked in the recv calls.
   rb_rx_.close();
   eb_rx_.close();
@@ -124,6 +155,12 @@ void Context::stop() {
 }
 
 void Context::reactor_loop() {
+  if (pool_) {
+    // Pipeline mode: this thread owns only the transport; frames hand
+    // off through the ring and tasks go straight to the pool.
+    while (running_.load()) transport_->poll_once(20);
+    return;
+  }
   while (running_.load()) {
     transport_->poll_once(20);
     std::deque<std::function<void()>> tasks;
@@ -145,20 +182,25 @@ void Context::run_on_reactor(std::function<void()> fn) {
   if (!running_.load()) throw std::logic_error("Context not started");
   std::promise<void> done;
   auto fut = done.get_future();
-  {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
-    // Exceptions must not unwind the reactor thread: capture and rethrow
-    // in the calling thread instead.
-    tasks_.push_back([&done, f = std::move(fn)] {
-      try {
-        f();
-        done.set_value();
-      } catch (...) {
-        done.set_exception(std::current_exception());
-      }
-    });
+  // Exceptions must not unwind the reactor thread: capture and rethrow
+  // in the calling thread instead.
+  auto wrapped = [&done, f = std::move(fn)] {
+    try {
+      f();
+      done.set_value();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+  };
+  if (pool_) {
+    pool_->post(opts_.group, std::move(wrapped));
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(tasks_mutex_);
+      tasks_.push_back(std::move(wrapped));
+    }
+    transport_->wakeup();
   }
-  transport_->wakeup();
   fut.get();
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/atomic_broadcast.h"
+#include "core/reactor.h"
 #include "core/stack.h"
 #include "crypto/keychain.h"
 #include "net/tcp_transport.h"
@@ -85,6 +86,16 @@ class Context {
       std::uint32_t max_bytes = 16 * 1024;
     };
     Batch batch;
+    /// Multi-core execution pipeline knobs (authoritative: overwrite
+    /// stack.reactor_threads / stack.crypto_threads). 0 = today's inline
+    /// single-thread path, bit-identical on wire, trace and bench output.
+    /// reactor_threads > 0 moves protocol work off the transport poll
+    /// thread onto a ReactorPool (this single-group session pins its
+    /// group to reactor 0; smr::ShardedService spreads G groups across
+    /// reactors); crypto_threads > 0 moves per-frame HMAC work onto the
+    /// transport's crypto workers. Validated: both <= 64.
+    std::uint32_t reactor_threads = 0;
+    std::uint32_t crypto_threads = 0;
   };
 
   struct Delivery {
@@ -155,6 +166,11 @@ class Context {
   Metrics metrics();
   net::TcpTransport::Stats transport_stats() const {
     return transport_->stats();
+  }
+  /// Execution-pipeline counters: frame handoffs into the reactor rings
+  /// and per-reactor queue depths. All-zero (empty depths) in inline mode.
+  ReactorPool::Stats pipeline_stats() const {
+    return pool_ ? pool_->stats() : ReactorPool::Stats{};
   }
   /// Per-peer channel health (self entry reads kUp).
   std::vector<LinkState> link_states() const {
@@ -242,6 +258,10 @@ class Context {
   KeyChain keys_;
   std::unique_ptr<net::TcpTransport> transport_;
   std::unique_ptr<ProtocolStack> stack_;
+  /// Non-null iff reactor_threads > 0: protocol work runs on the pool
+  /// (group pinned to reactor 0) and reactor_loop() is poll-only. Null =
+  /// the original single-thread path, untouched.
+  std::unique_ptr<ReactorPool> pool_;
 
   std::thread reactor_;
   std::atomic<bool> running_{false};

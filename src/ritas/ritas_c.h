@@ -62,12 +62,21 @@ enum {
                                   * that). Variants use disjoint message
                                   * tags; all correct processes of a group
                                   * must pick the same one. */
-  RITAS_OPT_BC_VARIANT = 8       /* binary-consensus algorithm: 0 = Bracha
+  RITAS_OPT_BC_VARIANT = 8,      /* binary-consensus algorithm: 0 = Bracha
                                   * (default), 1 = Crain. Selecting Crain
                                   * also switches the stack to the dealt
                                   * common coin (derived from the group
                                   * key), which its agreement argument
                                   * requires. */
+  RITAS_OPT_REACTOR_THREADS = 9, /* execution-pipeline reactor threads,
+                                  * 0..64; 0 (default) = inline
+                                  * single-thread path, bit-identical on
+                                  * wire/trace/bench. Local knob: it never
+                                  * touches the wire, so processes may
+                                  * differ. */
+  RITAS_OPT_CRYPTO_THREADS = 10  /* HMAC worker threads, 0..64; 0 = MACs
+                                  * inline on the calling thread. Local
+                                  * knob like REACTOR_THREADS. */
 };
 
 /* Per-link channel health, as reported by ritas_link_states. Values match
@@ -92,7 +101,13 @@ enum {
   RITAS_STAT_OVERSIZE_DROPS = 9,
   RITAS_STAT_QUEUE_DROPS = 10,     /* never-sent frames evicted by the cap */
   RITAS_STAT_LINK_RECONNECTS = 11, /* handshakes that revived a dead link */
-  RITAS_STAT_HANDSHAKE_FAILURES = 12
+  RITAS_STAT_HANDSHAKE_FAILURES = 12,
+  /* Execution-pipeline counters (all 0 with the default inline knobs). */
+  RITAS_STAT_CRYPTO_OFFLOADED = 13,     /* rx MAC verifies run on workers */
+  RITAS_STAT_CRYPTO_MAC_OFFLOADED = 14, /* tx MAC computes run on workers */
+  RITAS_STAT_HANDOFF_ENQUEUED = 15,     /* frames handed to reactor rings */
+  RITAS_STAT_HANDOFF_DROPPED = 16,      /* frames dropped on a full ring */
+  RITAS_STAT_REACTOR_QUEUE_DEPTH = 17   /* max current ring occupancy */
 };
 
 /* Context management ----------------------------------------------------- */

@@ -67,7 +67,9 @@ ShardId ShardedService::submit(std::uint64_t client, std::uint64_t seq,
 ShardId ShardedService::submit_via(ShardId via, std::uint64_t client,
                                    std::uint64_t seq, ByteView op) {
   const ShardId owner = shard_of(op);
-  if (owner != via) ++forwarded_;  // wrong front: reroute, never drop
+  if (owner != via) {
+    forwarded_.fetch_add(1, std::memory_order_relaxed);  // wrong front: reroute
+  }
   if (!submit_) throw std::logic_error("ShardedService: no submitter bound");
   submit_(owner, ExactlyOnceApplier::encode_command(client, seq, op));
   return owner;
@@ -82,7 +84,7 @@ void ShardedService::on_delivered(ShardId shard, ByteView command) {
   if (command.size() >= 16) {
     const ByteView op = command.subspan(16);
     if (shard_of(op) != shard) {
-      ++misrouted_dropped_;
+      misrouted_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }

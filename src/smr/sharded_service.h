@@ -26,10 +26,18 @@
 // submitter that places a framed command on shard s's atomic broadcast
 // and call on_delivered from the per-shard AB deliver callback.
 //
-// Threading follows the stack it serves: single-threaded, driven by the
-// reactor/sim loop. No locks, no clocks, no unseeded randomness.
+// Threading follows the stacks it serves. In the single-thread and sim
+// harnesses everything runs on one loop. Under the multi-core pipeline
+// (ReactorPool) each shard's on_delivered runs on the reactor that owns
+// that shard's group — per-shard state (machine, applier) is still
+// touched by exactly one thread, the partition doubling as the ownership
+// map. Only the service-wide tallies (forwarded, misrouted_dropped,
+// applied_total) cross shards, so they are atomics; submit/submit_via
+// are safe from any thread once bind_submitter's target is (reactors
+// post through the pool). No clocks, no unseeded randomness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -118,9 +126,13 @@ class ShardedService {
   // --- service-wide stats --------------------------------------------------
   std::uint64_t applied_total() const;
   /// Requests submitted at a non-owner front and rerouted to the owner.
-  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
   /// Delivered commands whose routing key belongs to another shard.
-  std::uint64_t misrouted_dropped() const { return misrouted_dropped_; }
+  std::uint64_t misrouted_dropped() const {
+    return misrouted_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   Config cfg_;
@@ -128,8 +140,8 @@ class ShardedService {
   std::vector<std::unique_ptr<ExactlyOnceApplier>> appliers_;
   SubmitFn submit_;
   AppliedFn on_applied_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t misrouted_dropped_ = 0;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> misrouted_dropped_{0};
 };
 
 }  // namespace ritas::smr
