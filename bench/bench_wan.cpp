@@ -13,6 +13,7 @@
 
 #include "core/atomic_broadcast.h"
 #include "paper_harness.h"
+#include "sim/wan_model.h"
 
 namespace {
 
@@ -33,16 +34,14 @@ Outcome run(bool wan, std::uint32_t burst, std::uint64_t seed) {
   o.n = 4;
   o.seed = seed;
   o.lan = paper_lan(true);
+  // One process per site, delays from the shared canonical WAN profile
+  // (sim/wan_model.h): asymmetric one-way ms-scale extras, roughly an
+  // intra-continent / inter-continent mix. Jitter and loss stay off so
+  // this bench keeps measuring pure asymmetry, as it always did.
+  sim::WanModel model(wan ? sim::wan_profile(4) : sim::WanModelConfig{},
+                      seed);
   Cluster c(o);
-  if (wan) {
-    // One process per site; one-way extra delays between sites (ms scale,
-    // asymmetric): roughly intra-continent / inter-continent mix.
-    static constexpr sim::Time kSiteDelay[4][4] = {
-        {0, 5, 40, 90}, {5, 0, 35, 85}, {45, 38, 0, 60}, {95, 88, 65, 0}};
-    c.network().set_delay_policy([](ProcessId from, ProcessId to, sim::Time) {
-      return kSiteDelay[from][to] * sim::kMillisecond;
-    });
-  }
+  if (wan) c.network().set_delay_policy(model.policy());
 
   std::vector<AtomicBroadcast*> ab(4, nullptr);
   std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> order(4);

@@ -72,7 +72,9 @@ double Sample::percentile(double p) const {
 }
 
 void Histogram::add(std::uint64_t v) {
-  ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+  const auto b = static_cast<std::size_t>(std::bit_width(v));
+  ++buckets_[b];
+  bucket_max_[b] = std::max(bucket_max_[b], v);
   ++count_;
   total_ += v;
   min_ = std::min(min_, v);
@@ -93,16 +95,20 @@ std::uint64_t Histogram::percentile_bound(double p) const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
-      // Upper bound of bucket i, clamped to the actual observed max.
-      const std::uint64_t bound = i == 0 ? 0 : i >= 64 ? ~0ull : (1ull << i) - 1;
-      return std::min(bound, max_);
+      // Largest value observed in bucket i: exact when the bucket holds one
+      // distinct value (the common case at sparse tails), otherwise an upper
+      // bound that never drops below the true rank value.
+      return bucket_max_[i];
     }
   }
   return max_;
 }
 
 Histogram& Histogram::operator+=(const Histogram& other) {
-  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+    bucket_max_[i] = std::max(bucket_max_[i], other.bucket_max_[i]);
+  }
   count_ += other.count_;
   total_ += other.total_;
   min_ = std::min(min_, other.min_);

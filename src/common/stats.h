@@ -59,6 +59,9 @@ class Sample {
 /// bucket 0 = {0}, bucket i = [2^(i-1), 2^i). Adding is branch-free and
 /// allocation-free, so `Metrics` can carry these unconditionally; merging
 /// with += matches the cluster-wide `Metrics::operator+=` aggregation.
+/// Each bucket also tracks the largest value it absorbed, so percentile
+/// extraction reports observed values (exact on sparse tails) rather than
+/// raw power-of-two bucket bounds.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;
@@ -75,14 +78,22 @@ class Histogram {
   /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
   static std::uint64_t bucket_floor(std::size_t i);
 
-  /// Upper bound of the bucket containing the p-th percentile observation
-  /// (nearest-rank over the bucketed distribution), p in [0,100].
+  /// Nearest-rank percentile over the bucketed distribution, p in [0,100].
+  /// Returns the LARGEST OBSERVED value in the bucket holding the p-th
+  /// rank: exact when that bucket is sparse (one distinct value — the
+  /// common case at the p99.9 tail), otherwise conservatively rounded up
+  /// within the bucket. Never exceeds max() and never falls below the true
+  /// rank value. 0 on an empty histogram.
   std::uint64_t percentile_bound(double p) const;
+  std::uint64_t p50() const { return percentile_bound(50.0); }
+  std::uint64_t p99() const { return percentile_bound(99.0); }
+  std::uint64_t p999() const { return percentile_bound(99.9); }
 
   Histogram& operator+=(const Histogram& other);
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
+  std::array<std::uint64_t, kBuckets> bucket_max_{};
   std::uint64_t count_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t min_ = ~0ull;

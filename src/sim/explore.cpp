@@ -21,6 +21,7 @@
 #include "core/vector_consensus.h"
 #include "sim/cluster.h"
 #include "sim/oracles.h"
+#include "sim/wan_model.h"
 
 namespace ritas::sim {
 
@@ -33,6 +34,7 @@ constexpr std::uint64_t kTagProposals = 0x5c4ed01e00000002ull;
 constexpr std::uint64_t kTagPayloads = 0x5c4ed01e00000003ull;
 constexpr std::uint64_t kTagEquivocate = 0x5c4ed01e00000004ull;
 constexpr std::uint64_t kTagProbability = 0x5c4ed01e00000005ull;
+constexpr std::uint64_t kTagWan = 0x5c4ed01e00000006ull;
 
 // Workload payload size. Fixed (not configurable) so a Schedule is fully
 // self-describing: payload bytes derive from the seed alone.
@@ -172,7 +174,8 @@ std::string schedule_filename(std::uint64_t seed) {
 std::size_t Schedule::size() const {
   return perturbations.size() +
          static_cast<std::size_t>(std::popcount(adversary_hooks)) +
-         byzantine.size() + (messages > 1 ? messages - 1 : 0);
+         byzantine.size() + (messages > 1 ? messages - 1 : 0) +
+         (wan.enabled ? 1 : 0);
 }
 
 std::string Schedule::to_json() const {
@@ -209,6 +212,16 @@ std::string Schedule::to_json() const {
     w.end_object();
   }
   w.end_array();
+  // Legacy default: a LAN-only schedule serializes without a "wan" member,
+  // so artifacts written before the WAN dimension replay unchanged.
+  if (wan.enabled) {
+    w.key("wan").begin_object();
+    w.field("sites", static_cast<std::uint64_t>(wan.sites));
+    w.field("jitter_permille", static_cast<std::uint64_t>(wan.jitter_permille));
+    w.field("loss_ppm", static_cast<std::uint64_t>(wan.loss_ppm));
+    w.field("rto_ns", wan.rto_ns);
+    w.end_object();
+  }
   w.end_object();
   return w.take();
 }
@@ -313,6 +326,21 @@ std::optional<Schedule> Schedule::from_json(std::string_view text) {
       s.perturbations.push_back(p);
     }
   }
+
+  if (const JsonValue* wan = v->get("wan")) {
+    if (wan->kind != JsonValue::Kind::kObject) return std::nullopt;
+    s.wan.enabled = true;
+    const auto sites = wan->u64_at("sites").value_or(4);
+    if (sites == 0 || sites > kCanonicalSites) return std::nullopt;
+    s.wan.sites = static_cast<std::uint32_t>(sites);
+    const auto jitter = wan->u64_at("jitter_permille").value_or(100);
+    if (jitter > 1000) return std::nullopt;
+    s.wan.jitter_permille = static_cast<std::uint32_t>(jitter);
+    const auto loss = wan->u64_at("loss_ppm").value_or(0);
+    if (loss >= 1'000'000) return std::nullopt;
+    s.wan.loss_ppm = static_cast<std::uint32_t>(loss);
+    s.wan.rto_ns = wan->u64_at("rto_ns").value_or(200 * kMillisecond);
+  }
   return s;
 }
 
@@ -329,6 +357,7 @@ Schedule Explorer::make_schedule(std::uint64_t trial_seed) const {
   s.mvc_vect_via_rb = cfg_.mvc_vect_via_rb;
   s.ab_batching = cfg_.ab_batching;
   s.variants = cfg_.variants;
+  s.wan = cfg_.wan;
   // Crain's agreement argument needs the common coin; record it in the
   // schedule so a replay reconstructs the identical stack.
   if (s.variants.bc == BcVariant::kCrain) s.coin_mode = CoinMode::kDealt;
@@ -456,7 +485,17 @@ TrialResult Explorer::run_trial(const Schedule& s) {
   }
 
   // Observation state — declared before the Cluster so protocol callbacks
-  // referencing it can never dangle.
+  // referencing it can never dangle. The WAN model lives here too: the
+  // network's delay policy captures it.
+  std::optional<WanModel> wan_model;
+  if (s.wan.enabled) {
+    WanProfileOptions wo;
+    wo.sites = s.wan.sites;
+    wo.jitter_permille = s.wan.jitter_permille;
+    wo.loss_ppm = s.wan.loss_ppm;
+    wo.rto_ns = s.wan.rto_ns;
+    wan_model.emplace(wan_profile(n, wo), derive(s.seed, kTagWan));
+  }
   Fingerprint fp;
   std::vector<std::vector<bool>> bc_proposals;
   std::vector<std::vector<std::optional<bool>>> bc_decisions;
@@ -470,8 +509,10 @@ TrialResult Explorer::run_trial(const Schedule& s) {
   std::map<ProcessId, std::uint64_t> ab_sent_per_origin;
 
   Cluster c(o);
-  c.network().set_delay_policy([&s](ProcessId from, ProcessId to, Time now) -> Time {
-    Time extra = 0;
+  c.network().set_delay_policy([&s, &wan_model](ProcessId from, ProcessId to,
+                                                Time now) -> Time {
+    // WAN extra first, scheduled perturbations layered on top.
+    Time extra = wan_model ? wan_model->extra_delay(from, to, now) : 0;
     for (const Perturbation& p : s.perturbations) {
       if (now < p.start || now >= p.end) continue;
       if (p.kind == Perturbation::Kind::kLinkDelay) {
@@ -917,6 +958,17 @@ Schedule Explorer::shrink(const Schedule& failing, bool want_stall,
         best = std::move(t);
         changed = true;
         break;
+      }
+    }
+
+    // 5. Drop the WAN overlay: a failure that reproduces on the plain LAN
+    // is a simpler artifact.
+    if (best.wan.enabled) {
+      Schedule t = best;
+      t.wan = WanSpec{};
+      if (still_fails(t)) {
+        best = std::move(t);
+        changed = true;
       }
     }
   }

@@ -70,6 +70,21 @@ struct Perturbation {
   friend bool operator==(const Perturbation&, const Perturbation&) = default;
 };
 
+/// Optional WAN overlay for a trial (sim/wan_model.h): processes spread
+/// round-robin over `sites` canonical sites, with per-link jitter and a
+/// modeled retransmission loss penalty, all seeded from the schedule seed.
+/// Disabled = the legacy LAN-only trial — and the spec is then absent from
+/// the schedule JSON, so pre-WAN artifacts replay bit-identically.
+struct WanSpec {
+  bool enabled = false;
+  std::uint32_t sites = 4;
+  std::uint32_t jitter_permille = 100;  ///< +-0..10% of the one-way delay
+  std::uint32_t loss_ppm = 0;
+  Time rto_ns = 200 * kMillisecond;
+
+  friend bool operator==(const WanSpec&, const WanSpec&) = default;
+};
+
 /// Adversary hook bits: which single-strategy adversaries (core/adversary.h)
 /// the Byzantine processes compose. kProbabilistic gates the whole
 /// composition at p = 1/2 through a schedule-seeded Rng.
@@ -103,6 +118,9 @@ struct Schedule {
   std::uint64_t omit_victims = 0;     // hook::kOmission target mask
 
   std::vector<Perturbation> perturbations;
+
+  /// WAN overlay the trial's network runs under (off = plain LAN).
+  WanSpec wan;
 
   // Stack switches that change protocol behaviour (must replay with the
   // trial for bit-identical re-execution).
@@ -183,6 +201,9 @@ class Explorer {
     /// Crain forces the dealt coin (recorded in the schedule so replays
     /// stay bit-identical).
     VariantConfig variants;
+
+    /// WAN overlay applied to every generated schedule (off = legacy LAN).
+    WanSpec wan;
 
     /// Treat a stalled trial as a finding to shrink (off by default: the
     /// randomized consensus only terminates with probability 1, so a

@@ -1,0 +1,101 @@
+// Open-loop load generator for the simulated cluster.
+//
+// Models thousands of independent clients whose merged arrival process is
+// Poisson: inter-arrival gaps are exponential with rate ops_per_sec, drawn
+// from a seeded Rng (same seed => the identical arrival schedule). Open
+// loop means arrivals never wait for completions — when the service lags,
+// the backlog grows and the tail latency shows it, which is exactly the
+// number a production deployment is judged on (closed-loop burst drivers
+// hide queueing delay by throttling the offered load).
+//
+// Each op is submitted to one front-end origin process; completion is
+// reported back by the caller when the op is delivered at the observer.
+// Latency is matched per-origin FIFO (valid because atomic broadcast
+// preserves per-origin submission order, batching included) and recorded
+// into a Histogram for p50/p99/p999 extraction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/types.h"
+#include "sim/scheduler.h"
+
+namespace ritas::sim {
+
+class LoadGen {
+ public:
+  struct Options {
+    /// Simulated client population (tags payloads; the merged Poisson
+    /// stream is what actually drives arrivals).
+    std::uint32_t clients = 1000;
+    /// Aggregate offered rate over all clients, ops per simulated second.
+    double ops_per_sec = 1000.0;
+    std::uint32_t payload_bytes = 100;
+    /// Stop offering after this many arrivals (0 = until stop()).
+    std::uint64_t max_ops = 0;
+    std::uint64_t seed = 1;
+    /// Front-end processes arrivals are assigned to (uniformly, seeded).
+    std::vector<ProcessId> origins = {0};
+  };
+
+  /// Submits one op to an origin's service endpoint.
+  using SubmitFn = std::function<void(ProcessId origin, Bytes payload)>;
+  /// Invoked once when the offered stream is exhausted (max_ops reached).
+  using DrainedFn = std::function<void()>;
+
+  LoadGen(Scheduler& sched, Options opts, SubmitFn submit);
+
+  /// Schedules the first arrival. Call at most once.
+  void start();
+  /// Stops offering new load. In-flight ops stay pending and still
+  /// complete/count — a clean drain loses nothing.
+  void stop() { stopped_ = true; }
+  /// Fires after the last scheduled arrival has been submitted.
+  void set_on_drained(DrainedFn fn) { on_drained_ = std::move(fn); }
+
+  /// Reports one delivered op from `origin` at the current simulated time;
+  /// matched FIFO against that origin's oldest in-flight op. Deliveries
+  /// with no matching in-flight op (e.g. Byzantine senders injecting
+  /// traffic) are ignored.
+  void on_completed(ProcessId origin);
+
+  /// Arrivals generated (== ops submitted: the loop is open).
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t backlog() const { return offered_ - completed_; }
+  std::uint64_t backlog_peak() const { return backlog_peak_; }
+  /// True once every offered op has completed and no more will arrive.
+  bool drained() const {
+    return stopped_ && offered_ == completed_;
+  }
+
+  /// Per-op submit->deliver latency in simulated nanoseconds.
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  void arrive();
+  Time next_gap();
+
+  Scheduler& sched_;
+  Options opts_;
+  SubmitFn submit_;
+  DrainedFn on_drained_;
+  Rng rng_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t backlog_peak_ = 0;
+  Histogram latency_;
+  /// Per-origin submit timestamps of in-flight ops, FIFO.
+  std::vector<std::deque<Time>> pending_;
+  std::vector<ProcessId> origins_;
+};
+
+}  // namespace ritas::sim

@@ -1,0 +1,174 @@
+#include "sim/load_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace ritas::sim {
+namespace {
+
+struct Submitted {
+  ProcessId origin;
+  Time at;
+  Bytes payload;
+};
+
+TEST(LoadGen, PoissonInterArrivalsMatchRate) {
+  // 2000 arrivals at 1000 ops/s: the mean gap must land near 1 ms (the
+  // exponential's std dev equals its mean, so a 10% band over 2000 samples
+  // is generous), and the gaps must actually vary.
+  Scheduler sched;
+  std::vector<Time> arrivals;
+  LoadGen::Options o;
+  o.ops_per_sec = 1000.0;
+  o.max_ops = 2000;
+  o.seed = 5;
+  LoadGen gen(sched, o, [&](ProcessId, Bytes) { arrivals.push_back(sched.now()); });
+  gen.start();
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 2000u);
+
+  double sum_gap = 0;
+  std::uint64_t distinct = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    ASSERT_GE(arrivals[i], arrivals[i - 1]);  // time moves forward
+    const double gap = static_cast<double>(arrivals[i] - arrivals[i - 1]);
+    sum_gap += gap;
+    if (arrivals[i] != arrivals[i - 1]) ++distinct;
+  }
+  const double mean_gap_ns = sum_gap / static_cast<double>(arrivals.size() - 1);
+  EXPECT_NEAR(mean_gap_ns, 1e6, 1e5);  // 1 ms +- 10%
+  EXPECT_GT(distinct, 1900u);          // genuinely spread, not a fixed tick
+}
+
+TEST(LoadGen, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    Scheduler sched;
+    std::vector<Submitted> log;
+    LoadGen::Options o;
+    o.ops_per_sec = 500.0;
+    o.max_ops = 200;
+    o.seed = seed;
+    o.origins = {0, 1, 2};
+    LoadGen gen(sched, o, [&](ProcessId p, Bytes b) {
+      log.push_back({p, sched.now(), std::move(b)});
+    });
+    gen.start();
+    sched.run();
+    return log;
+  };
+  const auto a = run(9);
+  const auto b = run(9);
+  const auto c = run(10);
+  ASSERT_EQ(a.size(), b.size());
+  bool identical = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    identical = identical && a[i].origin == b[i].origin &&
+                a[i].at == b[i].at && a[i].payload == b[i].payload;
+  }
+  EXPECT_TRUE(identical);
+  // A different seed must not reproduce the same arrival times.
+  bool same_as_c = a.size() == c.size();
+  for (std::size_t i = 0; same_as_c && i < a.size(); ++i) {
+    same_as_c = a[i].at == c[i].at;
+  }
+  EXPECT_FALSE(same_as_c);
+}
+
+TEST(LoadGen, OpenLoopBacklogGrowsWhenServiceLags) {
+  // The service never completes anything: an open-loop generator keeps
+  // offering anyway, and the backlog accounts for every op.
+  Scheduler sched;
+  LoadGen::Options o;
+  o.ops_per_sec = 1000.0;
+  o.max_ops = 50;
+  o.seed = 3;
+  LoadGen gen(sched, o, [](ProcessId, Bytes) {});
+  gen.start();
+  sched.run();
+  EXPECT_EQ(gen.offered(), 50u);
+  EXPECT_EQ(gen.completed(), 0u);
+  EXPECT_EQ(gen.backlog(), 50u);
+  EXPECT_EQ(gen.backlog_peak(), 50u);
+  EXPECT_FALSE(gen.drained());
+  EXPECT_EQ(gen.latency().count(), 0u);
+}
+
+TEST(LoadGen, CleanDrainLosesNoInFlightOps) {
+  // Service lags 5 ms behind each submit; after the offered stream ends,
+  // every in-flight op still completes and is measured.
+  Scheduler sched;
+  LoadGen::Options o;
+  o.ops_per_sec = 2000.0;
+  o.max_ops = 100;
+  o.seed = 4;
+  o.origins = {0, 1};
+  bool drained_fired = false;
+  LoadGen* gp = nullptr;
+  LoadGen gen(sched, o, [&](ProcessId p, Bytes) {
+    sched.after(5 * kMillisecond, [&, p] { gp->on_completed(p); });
+  });
+  gp = &gen;
+  gen.set_on_drained([&] { drained_fired = true; });
+  gen.start();
+  sched.run();
+  EXPECT_TRUE(drained_fired);
+  EXPECT_EQ(gen.offered(), 100u);
+  EXPECT_EQ(gen.completed(), 100u);
+  EXPECT_EQ(gen.backlog(), 0u);
+  EXPECT_TRUE(gen.drained());
+  EXPECT_EQ(gen.latency().count(), 100u);
+  // Every op took exactly the 5 ms service time.
+  EXPECT_EQ(gen.latency().min(), 5 * kMillisecond);
+  EXPECT_EQ(gen.latency().max(), 5 * kMillisecond);
+  EXPECT_EQ(gen.latency().p999(), 5 * kMillisecond);
+}
+
+TEST(LoadGen, StopHaltsOfferingButKeepsAccounting) {
+  Scheduler sched;
+  LoadGen::Options o;
+  o.ops_per_sec = 1000.0;
+  o.max_ops = 0;  // unbounded: only stop() ends the stream
+  o.seed = 8;
+  std::uint64_t submitted = 0;
+  LoadGen* gp = nullptr;
+  LoadGen gen(sched, o, [&](ProcessId p, Bytes) {
+    ++submitted;
+    sched.after(kMillisecond, [&, p] { gp->on_completed(p); });
+  });
+  gp = &gen;
+  gen.start();
+  // Stop the stream after 20 ms of simulated offering.
+  sched.after(20 * kMillisecond, [&] { gen.stop(); });
+  sched.run();
+  EXPECT_GT(gen.offered(), 0u);
+  EXPECT_EQ(gen.offered(), submitted);
+  EXPECT_EQ(gen.completed(), gen.offered());  // drain completed everything
+  EXPECT_TRUE(gen.drained());
+}
+
+TEST(LoadGen, PayloadsCarryDistinctTags) {
+  Scheduler sched;
+  LoadGen::Options o;
+  o.ops_per_sec = 1000.0;
+  o.max_ops = 64;
+  o.payload_bytes = 100;
+  o.seed = 12;
+  std::vector<Bytes> payloads;
+  LoadGen gen(sched, o, [&](ProcessId, Bytes b) { payloads.push_back(std::move(b)); });
+  gen.start();
+  sched.run();
+  ASSERT_EQ(payloads.size(), 64u);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i].size(), 100u);
+    for (std::size_t j = i + 1; j < payloads.size(); ++j) {
+      EXPECT_NE(payloads[i], payloads[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ritas::sim

@@ -117,11 +117,55 @@ TEST(Histogram, PercentileBounds) {
   Histogram h;
   for (int i = 0; i < 90; ++i) h.add(10);    // bucket 4 (8..15)
   for (int i = 0; i < 10; ++i) h.add(5000);  // bucket 13 (4096..8191)
-  EXPECT_EQ(h.percentile_bound(50), 15u);
-  // The tail bound is clamped to the observed max.
+  // Sparse buckets (one distinct value) are exact, not rounded to the
+  // power-of-two bucket ceiling.
+  EXPECT_EQ(h.percentile_bound(50), 10u);
   EXPECT_EQ(h.percentile_bound(100), 5000u);
+  EXPECT_EQ(h.p50(), 10u);
+  EXPECT_EQ(h.p99(), 5000u);
   Histogram empty;
   EXPECT_EQ(empty.percentile_bound(99), 0u);
+  EXPECT_EQ(empty.p999(), 0u);
+}
+
+TEST(Histogram, SparseTailIsExactNeverBelowMax) {
+  // 998 fast ops plus one slow outlier (rank 999 of 999 = p99.9): the tail
+  // percentile must report the outlier exactly, never a value interpolated
+  // below the observed max.
+  Histogram h;
+  for (int i = 0; i < 998; ++i) h.add(100);
+  h.add(777'777);
+  EXPECT_EQ(h.p50(), 100u);
+  EXPECT_EQ(h.p99(), 100u);
+  EXPECT_EQ(h.p999(), 777'777u);
+  EXPECT_EQ(h.p999(), h.max());
+}
+
+TEST(Histogram, MixedBucketRoundsUpWithinBucket) {
+  // Two distinct values share bucket 4 (8..15); the p50 rank lands on the
+  // smaller one but the bound may only round UP within the bucket.
+  Histogram h;
+  h.add(9);
+  h.add(9);
+  h.add(14);
+  EXPECT_EQ(h.percentile_bound(50), 14u);  // bucket max, >= true rank value 9
+  EXPECT_LE(h.percentile_bound(50), h.max());
+}
+
+TEST(Histogram, PercentileSurvivesMerge) {
+  Histogram a, b;
+  for (int i = 0; i < 500; ++i) a.add(40);
+  for (int i = 0; i < 498; ++i) b.add(50);
+  b.add(1'000'000);
+  a += b;
+  EXPECT_EQ(a.count(), 999u);
+  EXPECT_EQ(a.p50(), 50u);   // rank 500 falls in bucket 6 whose max is 50
+  EXPECT_EQ(a.p999(), 1'000'000u);  // rank 999 of 999 is the outlier
+  // Merging an empty histogram is a no-op for percentiles.
+  Histogram empty;
+  a += empty;
+  EXPECT_EQ(a.p50(), 50u);
+  EXPECT_EQ(a.p999(), 1'000'000u);
 }
 
 TEST(Histogram, MergePreservesMoments) {

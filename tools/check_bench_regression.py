@@ -19,6 +19,13 @@ bench-smoke, currently 3). Two headline figures are gated:
     (combo, faultload, n) the RB/BC latencies must not grow more than the
     tolerance above baseline. Message counts per instance are exact on the
     deterministic simulator, so they are compared exactly.
+  * scaling_wan campaign     — BENCH_scaling_wan.json, the open-loop
+    n-scaling battery. Virtual-time rows only: per (n, net, fault) cell
+    (intersection with baseline, so a trimmed RITAS_SCALING_SMOKE run is
+    checked against the same rows of a full-sweep baseline) completed and
+    ordered must be true, every offered op must have been delivered, and
+    the p50/p99/p999 delivery tails must not grow more than the tolerance
+    above baseline.
   * execution pipeline       — BENCH_pipeline.json is the one REAL-TIME
     artifact: absolute ops/s depend on the host, so the fresh run is
     checked against its own in-binary gates instead of baseline numbers.
@@ -31,6 +38,7 @@ bench-smoke, currently 3). Two headline figures are gated:
 
 Usage:  check_bench_regression.py <bench-out-dir> [--baselines DIR]
                                   [--tolerance 0.20]
+                                  [--checks fig4,buffer,variants,pipeline]
 
 Exit codes: 0 ok, 1 regression or malformed/missing artifact.
 Refreshing a baseline intentionally (protocol change, retuned batching) is
@@ -228,6 +236,56 @@ def check_pipeline(out_dir: Path, base_dir: Path, tol: float) -> list:
     return failures
 
 
+def check_scaling_wan(out_dir: Path, base_dir: Path, tol: float) -> list:
+    """Open-loop campaign cells: liveness/order exact, tails within tol.
+
+    Keys are intersected so a trimmed smoke sweep (RITAS_SCALING_SMOKE=1)
+    validates against the full-sweep baseline: per-cell seeds derive from
+    the (n, net, fault) key, so shared rows are the same virtual runs.
+    """
+    name = "BENCH_scaling_wan.json"
+    keys = ("n", "net", "fault")
+    fresh = index_rows(load(out_dir, name), keys)
+    base = index_rows(load(base_dir, name), keys)
+    failures = []
+
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        return [f"scaling_wan: no (n, net, fault) keys shared with baseline"]
+    for key in shared:
+        frow, brow = fresh[key], base[key]
+        cell = f"scaling_wan n={key[0]} {key[1]}/{key[2]}"
+        if not (frow.get("completed") is True and frow.get("ordered") is True):
+            failures.append(
+                f"{cell}: completed={frow.get('completed')} "
+                f"ordered={frow.get('ordered')}")
+            continue
+        if frow.get("ops_completed") != frow.get("ops"):
+            failures.append(
+                f"{cell}: delivered {frow.get('ops_completed')} of "
+                f"{frow.get('ops')} offered ops")
+        for field in ("p50_ns", "p99_ns", "p999_ns"):
+            got, want = frow[field], brow[field]
+            ceiling = want * (1.0 + tol)
+            verdict = "ok" if got <= ceiling else "REGRESSED"
+            print(f"{cell} {field}: {got} vs baseline {want} "
+                  f"(ceiling {ceiling:.0f}) {verdict}")
+            if got > ceiling:
+                failures.append(
+                    f"{cell}: {field} {got} > ceiling {ceiling:.0f} "
+                    f"(baseline {want}, tolerance {tol:.0%})")
+    return failures
+
+
+CHECKS = {
+    "fig4": check_fig4,
+    "buffer": check_buffer,
+    "variants": check_variants,
+    "pipeline": check_pipeline,
+    "scaling_wan": check_scaling_wan,
+}
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_dir", type=Path,
@@ -236,12 +294,21 @@ def main() -> int:
                     help="directory holding the committed baseline JSONs")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
+    ap.add_argument("--checks", default="fig4,buffer,variants,pipeline",
+                    help="comma-separated subset of checks to run "
+                         f"(known: {','.join(sorted(CHECKS))})")
     args = ap.parse_args()
 
-    failures = check_fig4(args.bench_dir, args.baselines, args.tolerance)
-    failures += check_buffer(args.bench_dir, args.baselines, args.tolerance)
-    failures += check_variants(args.bench_dir, args.baselines, args.tolerance)
-    failures += check_pipeline(args.bench_dir, args.baselines, args.tolerance)
+    selected = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in selected if c not in CHECKS]
+    if unknown:
+        sys.exit(f"FAIL: unknown checks {unknown} "
+                 f"(known: {','.join(sorted(CHECKS))})")
+
+    failures = []
+    for check in selected:
+        failures += CHECKS[check](args.bench_dir, args.baselines,
+                                  args.tolerance)
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)

@@ -25,6 +25,7 @@
 
 #include "common/json.h"
 #include "sim/explore.h"
+#include "sim/wan_model.h"
 
 using namespace ritas;
 using sim::Explorer;
@@ -42,7 +43,8 @@ void usage(const char* argv0) {
       "          [--messages M] [--max-events E] [--coin local|dealt]\n"
       "          [--rb-variant bracha|imbs-raynal] [--bc-variant bracha|crain]\n"
       "          [--weak-bc-quorum] [--stall-is-violation] [--out-dir DIR]\n"
-      "          [--json]\n"
+      "          [--wan] [--wan-sites S] [--wan-jitter-permille J]\n"
+      "          [--wan-loss-ppm L] [--json]\n"
       "       %s --replay schedule_<seed>.json\n",
       argv0, argv0);
 }
@@ -199,6 +201,34 @@ int main(int argc, char** argv) {
         return 1;
       }
       cfg.variants.bc = *v;
+    } else if (arg == "--wan") {
+      cfg.wan.enabled = true;
+    } else if (arg == "--wan-sites") {
+      cfg.wan.enabled = true;
+      cfg.wan.sites = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (cfg.wan.sites < 1 || cfg.wan.sites > sim::kCanonicalSites) {
+        std::fprintf(stderr, "ritas_explore: --wan-sites must be in [1, %u]\n",
+                     sim::kCanonicalSites);
+        return 1;
+      }
+    } else if (arg == "--wan-jitter-permille") {
+      cfg.wan.enabled = true;
+      cfg.wan.jitter_permille =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (cfg.wan.jitter_permille > 1000) {
+        std::fprintf(stderr,
+                     "ritas_explore: --wan-jitter-permille must be <= 1000\n");
+        return 1;
+      }
+    } else if (arg == "--wan-loss-ppm") {
+      cfg.wan.enabled = true;
+      cfg.wan.loss_ppm =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (cfg.wan.loss_ppm >= 1'000'000) {
+        std::fprintf(stderr,
+                     "ritas_explore: --wan-loss-ppm must be < 1000000\n");
+        return 1;
+      }
     } else if (arg == "--weak-bc-quorum") {
       cfg.weak_bc_quorum = true;
     } else if (arg == "--stall-is-violation") {
