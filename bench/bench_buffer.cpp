@@ -10,6 +10,24 @@
 // (frames_encoded == broadcast count) and the receive path copied zero
 // payload bytes — the machine-checkable form of the zero-copy claim, also
 // asserted by the CI bench-smoke job against BENCH_buffer.json.
+//
+// A second, REAL-TIME section measures the transport fast path over actual
+// loopback TCP: a 2-node pair pushes a burst of small frames through the
+// batched sendmsg drain and reports syscalls per frame ("syscall_rows" in
+// the artifact). Gated here and in CI bench-smoke: a bursty 10 B workload
+// must pack >= 4 frames per sendmsg, and assembling batches must copy zero
+// payload bytes (scatter-gather straight from the retained queue).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "crypto/keychain.h"
+#include "net/tcp_transport.h"
 #include "paper_harness.h"
 
 namespace ritas::bench {
@@ -91,6 +109,95 @@ bool rb_encode_once(std::uint32_t k, std::uint64_t seed) {
   return m.frames_encoded * 3 == m.msgs_sent;
 }
 
+// --- real-TCP syscall batching section -------------------------------------
+
+std::vector<net::PeerAddr> reserve_local_ports(std::uint32_t n) {
+  std::vector<net::PeerAddr> peers;
+  std::vector<int> fds;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    peers.push_back(net::PeerAddr{"127.0.0.1", ntohs(addr.sin_port)});
+    fds.push_back(fd);
+  }
+  for (int fd : fds) ::close(fd);
+  return peers;
+}
+
+struct SyscallResult {
+  std::uint64_t frames = 0;
+  std::uint64_t sendmsg_calls = 0;
+  std::uint64_t bytes_to_kernel = 0;
+  std::uint64_t batch_copy_bytes = 0;
+  double frames_per_syscall = 0;
+};
+
+/// One bursty sender → receiver run over real loopback TCP: kFrames small
+/// frames enqueued from the app thread while the transport's poll thread
+/// flushes; the sender's counters tell how many frames each sendmsg
+/// carried. batch_sends=false reproduces the one-drain-per-send legacy
+/// behavior for the side-by-side table row.
+SyscallResult run_syscall_burst(std::size_t msg_bytes, bool batch_sends) {
+  constexpr std::uint32_t kFrames = 2000;
+  const auto peers = reserve_local_ports(2);
+  std::vector<std::unique_ptr<KeyChain>> keys;
+  std::vector<std::unique_ptr<net::TcpTransport>> tp;
+  std::atomic<std::uint64_t> received{0};
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    keys.push_back(std::make_unique<KeyChain>(
+        KeyChain::deal(to_bytes("bench-buffer-syscalls"), 2, p)));
+    net::TcpTransport::Options o;
+    o.n = 2;
+    o.self = p;
+    o.peers = peers;
+    o.batch_sends = batch_sends;
+    o.rng_seed = 77 + p;
+    tp.push_back(std::make_unique<net::TcpTransport>(o, *keys[p]));
+  }
+  tp[0]->set_sink([&](ProcessId, Slice) { received.fetch_add(1); });
+  tp[1]->set_sink([](ProcessId, Slice) {});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> runners;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    runners.emplace_back([&, p] {
+      tp[p]->start();
+      while (!stop.load()) tp[p]->poll_once(10);
+    });
+  }
+  auto deadline_spin = [](const std::function<bool()>& cond) {
+    for (int waited = 0; waited < 60'000; waited += 2) {
+      if (cond()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return cond();
+  };
+  SyscallResult r;
+  if (deadline_spin([&] { return tp[1]->links_up() == 1; })) {
+    const Bytes payload(msg_bytes, 0x73);
+    for (std::uint32_t i = 0; i < kFrames; ++i) {
+      tp[1]->send(0, Bytes(payload));
+    }
+    deadline_spin([&] { return received.load() >= kFrames; });
+  }
+  const auto s = tp[1]->stats();
+  r.frames = s.frames_sent;
+  r.sendmsg_calls = s.sendmsg_calls;
+  r.bytes_to_kernel = s.bytes_to_kernel;
+  r.batch_copy_bytes = s.batch_copy_bytes;
+  r.frames_per_syscall = s.frames_per_syscall();
+  stop.store(true);
+  for (auto& t : tp) t->wakeup();
+  for (auto& t : runners) t.join();
+  for (auto& t : tp) t->stop();
+  return r;
+}
+
 int run() {
   const std::size_t sizes[4] = {10, 100, 1000, 10000};
   const std::uint32_t kBurst = 100;
@@ -154,6 +261,44 @@ int run() {
 
   const bool rb_exact = rb_encode_once(20, kSeed);
 
+  // Real-TCP transport fast path: syscalls per frame under a small-frame
+  // burst, batched drain vs the legacy per-send drain. Real-time numbers
+  // (loopback kernel in the loop), so the gates are shape-only: batching
+  // must pack frames (>= 4 per sendmsg at 10 B; the legacy mode hovers
+  // near 1) and batch assembly must copy zero payload bytes.
+  constexpr double kMinFramesPerSyscall10B = 4.0;
+  bool syscall_gate = true;
+  bool batch_zero_copy = true;
+  std::printf("\n%-6s %-9s %10s %12s %14s %14s %12s\n", "m", "drain",
+              "frames", "sendmsg", "B_to_kernel", "copied_B", "frames/call");
+  for (const bool batched : {false, true}) {
+    for (const std::size_t sz : {std::size_t{10}, std::size_t{100},
+                                 std::size_t{1000}}) {
+      const SyscallResult r = run_syscall_burst(sz, batched);
+      std::printf("%-6zu %-9s %10llu %12llu %14llu %14llu %12.1f\n", sz,
+                  batched ? "batched" : "per-send",
+                  static_cast<unsigned long long>(r.frames),
+                  static_cast<unsigned long long>(r.sendmsg_calls),
+                  static_cast<unsigned long long>(r.bytes_to_kernel),
+                  static_cast<unsigned long long>(r.batch_copy_bytes),
+                  r.frames_per_syscall);
+      if (batched && sz == 10 &&
+          r.frames_per_syscall < kMinFramesPerSyscall10B) {
+        syscall_gate = false;
+      }
+      if (r.batch_copy_bytes != 0) batch_zero_copy = false;
+      report.add_section_row("syscall_rows", [&](JsonWriter& w) {
+        w.field("msg_bytes", static_cast<std::uint64_t>(sz));
+        w.field("batched", batched);
+        w.field("frames_sent", r.frames);
+        w.field("sendmsg_calls", r.sendmsg_calls);
+        w.field("bytes_to_kernel", r.bytes_to_kernel);
+        w.field("batch_copy_bytes", r.batch_copy_bytes);
+        w.field("frames_per_syscall", r.frames_per_syscall);
+      });
+    }
+  }
+
   std::printf("\nchecks:\n");
   std::printf("  RB broadcasts: frames*(n-1) == sends exactly : %s\n",
               rb_exact ? "PASS" : "FAIL");
@@ -161,11 +306,21 @@ int run() {
               encode_once ? "PASS" : "FAIL");
   std::printf("  zero payload copies on receive path         : %s\n",
               zero_copy_rx ? "PASS" : "FAIL");
+  std::printf("  batched 10 B burst >= %.0f frames/sendmsg    : %s\n",
+              kMinFramesPerSyscall10B, syscall_gate ? "PASS" : "FAIL");
+  std::printf("  zero payload copies assembling batches      : %s\n",
+              batch_zero_copy ? "PASS" : "FAIL");
   report.meta("encode_once", encode_once && rb_exact);
   report.meta("zero_copy_rx", zero_copy_rx);
+  report.meta("syscall_gate_min_fps", kMinFramesPerSyscall10B);
+  report.meta("gate_frames_per_syscall_ok", syscall_gate);
+  report.meta("gate_batch_zero_copy_ok", batch_zero_copy);
   const bool wrote = report.write();
   std::printf("  wrote %s : %s\n", report.path().c_str(), wrote ? "PASS" : "FAIL");
-  return (encode_once && rb_exact && zero_copy_rx && wrote) ? 0 : 1;
+  return (encode_once && rb_exact && zero_copy_rx && syscall_gate &&
+          batch_zero_copy && wrote)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -295,6 +295,25 @@ class BenchReport {
     rows_.push_back(w.take());
   }
 
+  /// Adds one row to a named auxiliary array emitted next to "rows"
+  /// (e.g. bench_buffer's "syscall_rows"): different experiments in one
+  /// artifact without disturbing consumers that index the main rows.
+  void add_section_row(std::string_view section,
+                       const std::function<void(JsonWriter&)>& fill) {
+    JsonWriter w;
+    w.begin_object();
+    fill(w);
+    w.end_object();
+    for (auto& [name, rows] : sections_) {
+      if (name == section) {
+        rows.push_back(w.take());
+        return;
+      }
+    }
+    sections_.emplace_back(std::string(section),
+                           std::vector<std::string>{w.take()});
+  }
+
   std::string path() const { return "BENCH_" + name_ + ".json"; }
 
   /// Writes the artifact into the current directory; true on success.
@@ -307,7 +326,16 @@ class BenchReport {
       if (i) out += ",";
       out += rows_[i];
     }
-    out += "]}\n";
+    out += "]";
+    for (const auto& [name, rows] : sections_) {
+      out += ",\"" + name + "\":[";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i) out += ",";
+        out += rows[i];
+      }
+      out += "]";
+    }
+    out += "}\n";
     std::FILE* f = std::fopen(path().c_str(), "w");
     if (f == nullptr) return false;
     const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
@@ -318,6 +346,7 @@ class BenchReport {
   std::string name_;
   JsonWriter meta_;
   std::vector<std::string> rows_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> sections_;
 };
 
 }  // namespace ritas::bench

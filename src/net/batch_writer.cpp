@@ -1,0 +1,80 @@
+#include "net/batch_writer.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace ritas::net {
+
+std::size_t build_batch_iov(const FrameImage* frames, std::size_t count,
+                            std::size_t first_off, iovec* iov,
+                            std::size_t max_iov) {
+  std::size_t used = 0;
+  std::size_t skip = first_off;
+  for (std::size_t f = 0; f < count && used < max_iov; ++f) {
+    for (const ByteView& part : frames[f].parts) {
+      if (used >= max_iov) break;
+      if (skip >= part.size()) {
+        // The short write consumed this whole segment (or it is empty).
+        skip -= part.size();
+        continue;
+      }
+      iov[used].iov_base =
+          const_cast<std::uint8_t*>(part.data() + skip);  // NOLINT
+      iov[used].iov_len = part.size() - skip;
+      skip = 0;
+      ++used;
+    }
+  }
+  return used;
+}
+
+BatchWriteResult sendmsg_batch(int fd, const FrameImage* frames,
+                               std::size_t count, std::size_t first_off,
+                               std::size_t max_iov) {
+  const std::size_t budget = max_iov < 1 ? 1 : max_iov;
+  // 3 segments per frame bounds the stack array; build_batch_iov stops at
+  // the budget anyway, so a short array only shortens the batch.
+  iovec iov[3 * 128];
+  const std::size_t cap =
+      budget < sizeof(iov) / sizeof(iov[0]) ? budget : sizeof(iov) / sizeof(iov[0]);
+  const std::size_t used = build_batch_iov(frames, count, first_off, iov, cap);
+  BatchWriteResult r;
+  if (used == 0) {
+    r.status = BatchWriteResult::Status::kProgress;
+    return r;  // nothing left to write (all-empty tail)
+  }
+  for (;;) {
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = used;
+    const ssize_t k = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (k >= 0) {
+      r.status = BatchWriteResult::Status::kProgress;
+      r.bytes = static_cast<std::size_t>(k);
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      r.status = BatchWriteResult::Status::kAgain;
+      return r;
+    }
+    r.status = BatchWriteResult::Status::kError;
+    return r;
+  }
+}
+
+std::size_t batch_iov_budget() {
+  static const std::size_t budget = [] {
+    long iov_max = ::sysconf(_SC_IOV_MAX);
+    if (iov_max < 16) iov_max = 16;  // failed sysconf or absurd platform
+    // 3*128 matches the stack array in sendmsg_batch: 128 frames per
+    // syscall is already ~30x past the CI frames-per-syscall gate.
+    const long cap = 3 * 128;
+    return static_cast<std::size_t>(iov_max < cap ? iov_max : cap);
+  }();
+  return budget;
+}
+
+}  // namespace ritas::net

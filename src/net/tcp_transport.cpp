@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <unistd.h>
+#if RITAS_HAS_EPOLL
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <cassert>
@@ -16,11 +18,14 @@
 #include <cstring>
 #include <random>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "common/log.h"
 #include "common/serialize.h"
 #include "crypto/ct.h"
 #include "crypto/hmac.h"
+#include "net/batch_writer.h"
 
 namespace ritas::net {
 
@@ -34,10 +39,13 @@ constexpr std::size_t kMacSize = Sha256::kDigestSize;
 constexpr std::size_t kHelloSize = 4 + 1 + 1 + 4 + 8;
 constexpr std::size_t kReplyBase = 4 + 1 + 1 + 4 + 8 + 8;
 constexpr std::size_t kConfirmBase = 8;
-constexpr std::size_t kFrameHeader = 4 + 8 + 8;  // len | sid | counter
+constexpr std::size_t kFrameHeader = FrameReassembler::kHeaderSize;
 // A pending accept that has not produced a well-formed HELLO within this
 // many buffered bytes is garbage, whatever its timing.
 constexpr std::size_t kMaxHandshakeRx = 4096;
+// Frames gathered per sendmsg(); matches the iovec stack array in
+// net/batch_writer.cpp (3 segments per frame).
+constexpr std::size_t kMaxBatchFrames = 128;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -94,6 +102,9 @@ struct TcpTransport::Counters {
   std::atomic<std::uint64_t> handshake_failures{0};
   std::atomic<std::uint64_t> crypto_offloaded{0};
   std::atomic<std::uint64_t> crypto_mac_offloaded{0};
+  std::atomic<std::uint64_t> sendmsg_calls{0};
+  std::atomic<std::uint64_t> bytes_to_kernel{0};
+  std::atomic<std::uint64_t> batch_copy_bytes{0};
 };
 
 Fd& Fd::operator=(Fd&& o) noexcept {
@@ -130,7 +141,7 @@ TcpTransport::TcpTransport(Options opts, const KeyChain& keys)
   }
   conns_.reserve(opts_.n);
   for (ProcessId p = 0; p < opts_.n; ++p) {
-    conns_.push_back(std::make_unique<Conn>());
+    conns_.push_back(std::make_unique<Conn>(opts_.max_frame, opts_.authenticate));
     if (p < opts_.self) {
       // We dial every lower id; each link's jitter stream is independent.
       conns_[p]->retry =
@@ -217,6 +228,12 @@ void TcpTransport::stop() {
   }
   pending_accepts_.clear();
   listen_fd_.reset();
+#if RITAS_HAS_EPOLL
+  // The kernel dropped every registration when the sockets closed; the
+  // mirror map must follow so a restart-free reuse cannot see stale owners.
+  epoll_regs_.clear();
+  epoll_fd_.reset();
+#endif
 }
 
 void TcpTransport::wakeup() {
@@ -224,6 +241,11 @@ void TcpTransport::wakeup() {
     const std::uint8_t b = 1;
     [[maybe_unused]] ssize_t k = ::write(wake_tx_.get(), &b, 1);
   }
+}
+
+bool TcpTransport::is_poll_thread() const {
+  return poll_tid_.load(std::memory_order_relaxed) ==
+         std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
 void TcpTransport::trace_link(TraceEventKind kind, ProcessId peer,
@@ -256,88 +278,131 @@ bool TcpTransport::write_all(int fd, ByteView data) {
   return true;
 }
 
-bool TcpTransport::writev_all(int fd, ByteView* parts, std::size_t count) {
-  iovec iov[4];
-  assert(count <= 4);
-  std::size_t cnt = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    if (parts[i].empty()) continue;
-    iov[cnt].iov_base = const_cast<std::uint8_t*>(parts[i].data());
-    iov[cnt].iov_len = parts[i].size();
-    ++cnt;
-  }
-  iovec* cur = iov;
-  while (cnt > 0) {
-    msghdr mh{};
-    mh.msg_iov = cur;
-    mh.msg_iovlen = cnt;
-    const ssize_t k = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
-    if (k < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        pollfd pfd{fd, POLLOUT, 0};
-        ::poll(&pfd, 1, 1000);
-        continue;
+bool TcpTransport::prep_entry(Conn& c, Retained& e, ProcessId to) {
+  if (e.prep_sid == c.sid) return true;  // header + MAC already current
+  bool have_mac = false;
+  if (e.mac) {
+    if (e.mac->sid == c.sid) {
+      if (!e.mac->ready.load(std::memory_order_acquire)) {
+        return false;  // still computing: the drain must stop here (order)
       }
-      if (errno == EINTR) continue;
-      return false;
+      e.mac_trailer = e.mac->mac;
+      have_mac = true;
     }
-    std::size_t rem = static_cast<std::size_t>(k);
-    while (cnt > 0 && rem >= cur->iov_len) {
-      rem -= cur->iov_len;
-      ++cur;
-      --cnt;
-    }
-    if (cnt > 0) {
-      cur->iov_base = static_cast<std::uint8_t*>(cur->iov_base) + rem;
-      cur->iov_len -= rem;
-    }
+    // Ready and adopted, or staged under a dead session: either way the
+    // slot is spent. A stale-sid slot falls through to the inline re-MAC.
+    e.mac.reset();
   }
-  return true;
-}
-
-bool TcpTransport::write_frame(Conn& c, ProcessId to, std::uint64_t counter,
-                               Slice frame) {
-  // Wire: u32 body_len | u64 sid | u64 counter | body | [mac]; the mac
-  // covers (from, to, sid, counter, body). The body Slice is typically
-  // shared with the other n-2 peer sends — it is written straight from the
-  // refcounted buffer, never re-copied here.
-  Writer hdr(kFrameHeader);
-  hdr.u32(static_cast<std::uint32_t>(frame.size()));
-  hdr.u64(c.sid);
-  hdr.u64(counter);
-  Sha256::Digest mac{};
-  std::size_t parts_count = 2;
-  ByteView parts[3] = {hdr.data(), frame, {}};
-  if (opts_.authenticate) {
+  if (!have_mac && opts_.authenticate) {
     Writer macin(24);
     macin.u32(opts_.self);
     macin.u32(to);
     macin.u64(c.sid);
-    macin.u64(counter);
-    mac = hmac_sha256_2(keys_.key(to), macin.data(), frame);
-    parts[2] = ByteView(mac.data(), mac.size());
-    parts_count = 3;
+    macin.u64(e.counter);
+    e.mac_trailer = hmac_sha256_2(keys_.key(to), macin.data(), e.frame);
   }
-  std::size_t wire_size = 0;
-  for (std::size_t i = 0; i < parts_count; ++i) wire_size += parts[i].size();
-  if (!writev_all(c.fd.get(), parts, parts_count)) return false;
-  counters_->frames_sent.fetch_add(1, std::memory_order_relaxed);
-  counters_->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+  Writer hdr(kFrameHeader);
+  hdr.u32(static_cast<std::uint32_t>(e.frame.size()));
+  hdr.u64(c.sid);
+  hdr.u64(e.counter);
+  const ByteView hb = hdr.data();
+  std::memcpy(e.hdr.data(), hb.data(), e.hdr.size());
+  e.prep_sid = c.sid;
   return true;
 }
 
-bool TcpTransport::write_frame_mac(Conn& c, std::uint64_t counter,
-                                   const Slice& frame, const Sha256::Digest& mac) {
-  Writer hdr(kFrameHeader);
-  hdr.u32(static_cast<std::uint32_t>(frame.size()));
-  hdr.u64(c.sid);
-  hdr.u64(counter);
-  ByteView parts[3] = {hdr.data(), frame, ByteView(mac.data(), mac.size())};
-  const std::size_t wire_size = parts[0].size() + parts[1].size() + parts[2].size();
-  if (!writev_all(c.fd.get(), parts, 3)) return false;
-  counters_->frames_sent.fetch_add(1, std::memory_order_relaxed);
-  counters_->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
-  return true;
+void TcpTransport::drain_locked(Conn& c, ProcessId to) {
+  if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) return;
+  c.tx_blocked = false;
+  for (;;) {
+    if (c.retained.empty()) return;
+    const std::uint64_t base = c.retained.front().counter;
+    if (c.tx_write_next < base) {
+      // Eviction outran the cursor: those frames are gone (queue_drops);
+      // restart at the queue head. The partial-head eviction guard in
+      // send() guarantees this never tears a half-written frame.
+      c.tx_write_next = base;
+      c.tx_partial = 0;
+    }
+    const std::uint64_t idx0 = c.tx_write_next - base;
+    if (idx0 >= c.retained.size()) return;  // backlog fully written
+
+    // Gather consecutive ready frames into iovec triplets pointing straight
+    // at the retained header/body/MAC storage — zero payload copies.
+    FrameImage imgs[kMaxBatchFrames];
+    std::size_t nimg = 0;
+    std::size_t batch_bytes = 0;
+    for (std::size_t i = static_cast<std::size_t>(idx0);
+         i < c.retained.size() && nimg < kMaxBatchFrames; ++i) {
+      Retained& e = c.retained[i];
+      if (!prep_entry(c, e, to)) break;  // staged MAC still computing
+      FrameImage& img = imgs[nimg];
+      img.parts[0] = ByteView(e.hdr.data(), e.hdr.size());
+      img.parts[1] = e.frame;
+      img.parts[2] = opts_.authenticate
+                         ? ByteView(e.mac_trailer.data(), e.mac_trailer.size())
+                         : ByteView{};
+      batch_bytes += img.size();
+      ++nimg;
+      // Soft cap: at least one frame is always offered.
+      if (batch_bytes >= opts_.max_batch_bytes) break;
+    }
+    if (nimg == 0) return;  // head is waiting on the crypto pool
+
+    const BatchWriteResult r = sendmsg_batch(c.fd.get(), imgs, nimg,
+                                             c.tx_partial, batch_iov_budget());
+    counters_->sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r.status == BatchWriteResult::Status::kAgain) {
+      c.tx_blocked = true;  // EPOLLOUT resumes byte-exactly from tx_partial
+      return;
+    }
+    if (r.status == BatchWriteResult::Status::kError) {
+      LOG_WARN("tcp batched send to p%u failed: %s", to, std::strerror(errno));
+      c.broken = true;  // the poll thread reaps the stream and redials
+      wakeup();
+      return;
+    }
+    counters_->bytes_to_kernel.fetch_add(r.bytes, std::memory_order_relaxed);
+
+    // Advance the cursor over fully-written frames; whatever is left is the
+    // byte offset into the first unfinished frame (possibly mid-header or
+    // mid-MAC — build_batch_iov resumes across segment boundaries).
+    std::size_t acc = c.tx_partial + r.bytes;
+    std::size_t fi = 0;
+    while (fi < nimg && acc >= imgs[fi].size()) {
+      acc -= imgs[fi].size();
+      Retained& e = c.retained[static_cast<std::size_t>(idx0) + fi];
+      e.written = true;
+      e.mac.reset();
+      counters_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+      counters_->bytes_sent.fetch_add(imgs[fi].size(), std::memory_order_relaxed);
+      if (e.retx) {
+        e.retx = false;
+        counters_->frames_retransmitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++c.tx_write_next;
+      ++fi;
+    }
+    c.tx_partial = acc;
+    if (r.bytes == 0) {
+      c.tx_blocked = true;  // defensive: zero-byte progress, wait for POLLOUT
+      return;
+    }
+    // Loop: more backlog past the frame/byte caps, or a partial head that
+    // keeps pushing until the socket blocks (kAgain) or the queue drains.
+  }
+}
+
+void TcpTransport::drain_pending() {
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      drain_locked(c, p);
+    }
+    if (crypto_) harvest_verified(p);
+  }
 }
 
 void TcpTransport::stage_mac(Conn& c, ProcessId to, std::uint64_t counter,
@@ -359,77 +424,57 @@ void TcpTransport::stage_mac(Conn& c, ProcessId to, std::uint64_t counter,
     slot->mac = hmac_sha256_2(key, macin.data(), frame);
     slot->ready.store(true, std::memory_order_release);
     counters_->crypto_mac_offloaded.fetch_add(1, std::memory_order_relaxed);
-    wakeup();  // poll thread flushes the staged write in counter order
+    wakeup();  // poll thread drains the staged frames in counter order
   });
-}
-
-void TcpTransport::flush_staged(ProcessId peer) {
-  Conn& c = *conns_[peer];
-  std::lock_guard<std::mutex> lock(c.mutex);
-  if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) return;
-  for (;;) {
-    if (c.retained.empty()) break;
-    const std::uint64_t base = c.retained.front().counter;
-    if (c.tx_staged_next < base) c.tx_staged_next = base;  // evicted/pruned
-    const std::uint64_t idx = c.tx_staged_next - base;
-    if (idx >= c.retained.size()) break;
-    Retained& e = c.retained[static_cast<std::size_t>(idx)];
-    if (e.written) {  // resync already wrote it under the current session
-      e.mac.reset();
-      ++c.tx_staged_next;
-      continue;
-    }
-    if (!e.mac) break;  // queued while down; the next resync owns it
-    if (!e.mac->ready.load(std::memory_order_acquire)) break;  // counter order
-    if (e.mac->sid != c.sid) break;  // stale session; resync will re-MAC inline
-    if (!write_frame_mac(c, e.counter, e.frame, e.mac->mac)) {
-      LOG_WARN("tcp staged send to p%u failed: %s", peer, std::strerror(errno));
-      c.broken = true;  // poll thread reaps the stream and schedules redial
-      break;
-    }
-    e.written = true;
-    e.mac.reset();
-    ++c.tx_staged_next;
-  }
 }
 
 void TcpTransport::send(ProcessId to, Slice frame) {
   if (stopped_.load() || to >= opts_.n || to == opts_.self) return;
   Conn& c = *conns_[to];
-  std::lock_guard<std::mutex> lock(c.mutex);
-  const std::uint64_t counter = c.tx_next++;
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    const std::uint64_t counter = c.tx_next++;
 
-  // Retain the frame for counter resync before (or instead of) writing it.
-  // Drop-oldest keeps the budget bounded; evicting a frame that never
-  // reached a socket is real backpressure loss and is counted.
-  c.retained.push_back(Retained{counter, frame, false, nullptr});
-  c.retained_bytes += frame.size();
-  while (c.retained_bytes > opts_.send_queue_max_bytes && c.retained.size() > 1) {
-    const Retained& victim = c.retained.front();
-    if (!victim.written) counters_->queue_drops.fetch_add(1, std::memory_order_relaxed);
-    c.retained_bytes -= victim.frame.size();
-    c.retained.pop_front();
-  }
-
-  if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) {
-    return;  // queued; the next session's resync flushes it
-  }
-  if (crypto_) {
-    // Offload: the MAC computes on the pool and the poll thread performs
-    // the socket write once the digest is ready — the sender never blocks
-    // on crypto or I/O here, it only assigned a counter and queued.
-    stage_mac(c, to, counter, frame);
-    return;
-  }
-  if (write_frame(c, to, counter, frame)) {
-    if (!c.retained.empty() && c.retained.back().counter == counter) {
-      c.retained.back().written = true;
+    // Retain the frame for counter resync before (or instead of) writing
+    // it. Drop-oldest keeps the budget bounded; evicting a frame that never
+    // reached a socket is real backpressure loss and is counted. The one
+    // frame eviction must never touch is a half-written head — popping it
+    // would tear the byte stream mid-frame.
+    c.retained.push_back(Retained{counter, frame, false, false, nullptr});
+    c.retained_bytes += frame.size();
+    while (c.retained_bytes > opts_.send_queue_max_bytes && c.retained.size() > 1) {
+      const Retained& victim = c.retained.front();
+      if (c.tx_partial != 0 && victim.counter == c.tx_write_next) break;
+      if (!victim.written) counters_->queue_drops.fetch_add(1, std::memory_order_relaxed);
+      c.retained_bytes -= victim.frame.size();
+      c.retained.pop_front();
     }
-  } else {
-    LOG_WARN("tcp send to p%u failed: %s", to, std::strerror(errno));
-    c.broken = true;  // the poll thread reaps the stream and schedules redial
-    wakeup();
+
+    if (c.state != LinkState::kUp || c.broken || !c.fd.valid()) {
+      return;  // queued; the next session's resync flushes it
+    }
+    if (crypto_) {
+      // Offload: the MAC computes on the pool and the poll thread drains
+      // once the digest is ready — the sender never blocks on crypto or
+      // I/O here, it only assigned a counter and queued.
+      stage_mac(c, to, counter, frame);
+      return;  // the worker's wakeup() triggers the poll-thread drain
+    }
+    // Inline MAC on the sender thread (keeps multi-sender parallelism even
+    // without a pool); the write either happens here (batching off) or on
+    // the poll thread's next batched drain.
+    prep_entry(c, c.retained.back(), to);
+    if (opts_.batch_sends) {
+      need_wake = !is_poll_thread();
+    } else {
+      const bool was_blocked = c.tx_blocked;
+      drain_locked(c, to);
+      // A newly-blocked link needs the poll thread to register EPOLLOUT.
+      need_wake = c.tx_blocked && !was_blocked && !is_poll_thread();
+    }
   }
+  if (need_wake) wakeup();
 }
 
 void TcpTransport::begin_dial(ProcessId peer) {
@@ -552,7 +597,7 @@ void TcpTransport::handshake_readable(ProcessId peer) {
   c.hs_rx.clear();
   complete_handshake(peer, c.nonce_local, nonce_a, peer_rx_expected);
   if (!leftover.empty()) {
-    c.rx.insert(c.rx.end(), leftover.begin(), leftover.end());
+    c.rx.feed(leftover.data(), leftover.size());
     process_rx(peer);
   }
 }
@@ -566,7 +611,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
       continue;
     }
     if (k == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
-      pa.fd.reset();  // dialer went away mid-handshake
+      reset_fd(pa.fd);  // dialer went away mid-handshake
       return;
     }
     if (errno == EINTR) continue;
@@ -574,7 +619,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
   }
   if (pa.rx.size() > kMaxHandshakeRx) {
     counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
-    pa.fd.reset();
+    reset_fd(pa.fd);
     return;
   }
   if (!pa.got_hello) {
@@ -590,7 +635,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
     if (magic != kHandshakeMagic || version != kWireVersion ||
         flags != want_flags || id <= opts_.self || id >= opts_.n) {
       counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
-      pa.fd.reset();
+      reset_fd(pa.fd);
       return;
     }
     pa.got_hello = true;
@@ -617,7 +662,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
       reply.raw(ByteView(mac.data(), mac.size()));
     }
     if (!write_all(pa.fd.get(), reply.data())) {
-      pa.fd.reset();
+      reset_fd(pa.fd);
       return;
     }
   }
@@ -631,7 +676,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
     if (!ct_equal(ByteView(mac.data(), mac.size()),
                   ByteView(pa.rx.data() + kConfirmBase, kMacSize))) {
       counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
-      pa.fd.reset();
+      reset_fd(pa.fd);
       return;
     }
   }
@@ -642,6 +687,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
   if (c.phase == HsPhase::kEstablished) link_down(peer);
   {
     std::lock_guard<std::mutex> lock(c.mutex);
+    forget_fd(c.fd.get());  // a crossed dial may still be registered
     c.fd = std::move(pa.fd);
     c.state = LinkState::kConnecting;
   }
@@ -651,7 +697,7 @@ void TcpTransport::pending_accept_readable(PendingAccept& pa) {
                  pa.rx.end());
   complete_handshake(peer, pa.nonce_d, pa.nonce_a, peer_rx_expected);
   if (!leftover.empty()) {
-    c.rx.insert(c.rx.end(), leftover.begin(), leftover.end());
+    c.rx.feed(leftover.data(), leftover.size());
     process_rx(peer);
   }
 }
@@ -670,28 +716,30 @@ void TcpTransport::complete_handshake(ProcessId peer, std::uint64_t nonce_d,
     std::lock_guard<std::mutex> lock(c.mutex);
     c.sid = sid;
     c.broken = false;
+    c.tx_partial = 0;
+    c.tx_blocked = false;
     // Counter resync: everything below the peer's receive floor was
     // delivered in a previous session; everything at or above it is
     // retransmitted under the new session id, oldest first, ahead of any
-    // new sends (which queue behind this mutex).
+    // new sends (which queue behind this mutex). The sid change invalidates
+    // every entry's prep (prep_sid mismatch), so the drain re-MACs each
+    // frame inline under the new session.
     while (!c.retained.empty() && c.retained.front().counter < peer_rx_expected) {
       c.retained_bytes -= c.retained.front().frame.size();
       c.retained.pop_front();
     }
     for (Retained& e : c.retained) {
-      const bool was_written = e.written;
-      if (!write_frame(c, peer, e.counter, e.frame)) {
-        c.broken = true;
-        break;
-      }
-      e.written = true;
-      e.mac.reset();  // any staged MAC was for the old sid; this write is fresh
-      ++flushed;
-      if (was_written) {
-        counters_->frames_retransmitted.fetch_add(1, std::memory_order_relaxed);
+      if (e.written) {
+        e.written = false;
+        e.retx = true;  // rewrite under this session is a retransmission
       }
     }
+    const std::uint64_t resync_base =
+        c.retained.empty() ? c.tx_next : c.retained.front().counter;
+    c.tx_write_next = resync_base;
     c.state = LinkState::kUp;
+    drain_locked(c, peer);
+    flushed = c.tx_write_next - resync_base;
   }
   c.phase = HsPhase::kEstablished;
   if (c.retry) c.retry->on_up();
@@ -708,10 +756,12 @@ void TcpTransport::link_down(ProcessId peer) {
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     old_sid = c.sid;
-    c.fd.reset();
+    reset_fd(c.fd);
     c.sid = 0;
     c.broken = false;
     c.kill_request = 0;
+    c.tx_partial = 0;
+    c.tx_blocked = false;
     c.state = c.retry ? LinkState::kBackoff : LinkState::kDown;
   }
   c.phase = HsPhase::kIdle;
@@ -779,7 +829,7 @@ void TcpTransport::service_timers() {
   for (auto& pa : pending_accepts_) {
     if (pa.fd.valid() && now > pa.deadline_ms) {
       counters_->handshake_failures.fetch_add(1, std::memory_order_relaxed);
-      pa.fd.reset();
+      reset_fd(pa.fd);
     }
   }
   pending_accepts_.erase(
@@ -788,19 +838,89 @@ void TcpTransport::service_timers() {
       pending_accepts_.end());
 }
 
-void TcpTransport::poll_once(int timeout_ms) {
-  if (stopped_.load()) return;
-  service_timers();
-  if (crypto_) {
-    // Crypto workers completed jobs and rang the wakeup pipe; push staged
-    // sends (counter order) and deliver verified receives (arrival order).
-    for (ProcessId p = 0; p < opts_.n; ++p) {
-      if (p == opts_.self) continue;
-      flush_staged(p);
-      harvest_verified(p);
+int TcpTransport::fold_timer_deadlines(int timeout_ms) {
+  std::uint64_t nearest = ~0ULL;
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    if (c.phase != HsPhase::kIdle && c.phase != HsPhase::kEstablished &&
+        c.hs_deadline_ms < nearest) {
+      nearest = c.hs_deadline_ms;
+    }
+    if (c.retry && c.phase == HsPhase::kIdle &&
+        c.retry->state() == LinkState::kBackoff && c.retry->retry_at_ms() < nearest) {
+      nearest = c.retry->retry_at_ms();
     }
   }
+  for (const auto& pa : pending_accepts_) {
+    if (pa.deadline_ms < nearest) nearest = pa.deadline_ms;
+  }
+  // Never oversleep a redial or handshake deadline.
+  int tmo = timeout_ms;
+  if (nearest != ~0ULL) {
+    const std::uint64_t now = now_ms();
+    const std::uint64_t until = nearest > now ? nearest - now : 0;
+    if (tmo < 0 || static_cast<std::uint64_t>(tmo) > until) {
+      tmo = static_cast<int>(until);
+    }
+  }
+  return tmo;
+}
 
+void TcpTransport::dispatch_event(std::int64_t owner, bool rin, bool rout,
+                                  bool rerr) {
+  if (owner == -1) {
+    if (rin || rerr) {
+      std::uint8_t buf[256];
+      while (::read(wake_rx_.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    return;
+  }
+  if (owner == -2) {
+    for (;;) {
+      Fd fd(::accept(listen_fd_.get(), nullptr, nullptr));
+      if (!fd.valid()) break;
+      set_nonblocking(fd.get());
+      pending_accepts_.push_back(PendingAccept{
+          std::move(fd), {},
+          now_ms() + static_cast<std::uint64_t>(opts_.handshake_timeout_ms)});
+    }
+    return;
+  }
+  if (owner <= -3) {
+    const std::size_t k = static_cast<std::size_t>(-3 - owner);
+    if (k < pending_accepts_.size() && pending_accepts_[k].fd.valid() &&
+        (rin || rerr)) {
+      pending_accept_readable(pending_accepts_[k]);
+    }
+    return;
+  }
+  const ProcessId peer = static_cast<ProcessId>(owner);
+  if (peer >= opts_.n || peer == opts_.self) return;
+  Conn& c = *conns_[peer];
+  switch (c.phase) {
+    case HsPhase::kDialWait:
+      if (rout || rerr) on_dial_writable(peer);
+      break;
+    case HsPhase::kHelloSent:
+      if (rin || rerr) handshake_readable(peer);
+      break;
+    case HsPhase::kEstablished:
+      if (rin || rerr) handle_readable(peer);
+      // handle_readable may have torn the link down: re-check before the
+      // write-side resume so a stale EPOLLOUT can't touch a dead stream.
+      if (rout && c.phase == HsPhase::kEstablished) {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        drain_locked(c, peer);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpTransport::wait_with_poll(int timeout_ms) {
   // Owner encoding: -1 wake pipe, -2 listen socket, -(3+k) pending accept
   // k, otherwise the peer id.
   std::vector<pollfd> pfds;
@@ -815,90 +935,172 @@ void TcpTransport::poll_once(int timeout_ms) {
     pfds.push_back(pollfd{pending_accepts_[k].fd.get(), POLLIN, 0});
     owners.push_back(-3 - static_cast<std::int64_t>(k));
   }
-  std::uint64_t nearest = ~0ULL;
   for (ProcessId p = 0; p < opts_.n; ++p) {
     if (p == opts_.self) continue;
     Conn& c = *conns_[p];
     int fd;
+    bool blocked;
     {
       std::lock_guard<std::mutex> lock(c.mutex);
       fd = c.fd.get();
+      blocked = c.tx_blocked;
     }
-    if (fd >= 0 && c.phase != HsPhase::kIdle) {
-      const short events =
-          c.phase == HsPhase::kDialWait ? POLLOUT : POLLIN;
-      pfds.push_back(pollfd{fd, events, 0});
-      owners.push_back(p);
+    if (fd < 0 || c.phase == HsPhase::kIdle) continue;
+    short events;
+    if (c.phase == HsPhase::kDialWait) {
+      events = POLLOUT;
+    } else if (c.phase == HsPhase::kEstablished) {
+      events = static_cast<short>(POLLIN | (blocked ? POLLOUT : 0));
+    } else {
+      events = POLLIN;
     }
-    if (c.phase != HsPhase::kIdle && c.phase != HsPhase::kEstablished &&
-        c.hs_deadline_ms < nearest) {
-      nearest = c.hs_deadline_ms;
-    }
-    if (c.retry && c.phase == HsPhase::kIdle &&
-        c.retry->state() == LinkState::kBackoff && c.retry->retry_at_ms() < nearest) {
-      nearest = c.retry->retry_at_ms();
-    }
-  }
-  for (const auto& pa : pending_accepts_) {
-    if (pa.deadline_ms < nearest) nearest = pa.deadline_ms;
+    pfds.push_back(pollfd{fd, events, 0});
+    owners.push_back(p);
   }
 
-  // Never oversleep a redial or handshake deadline.
-  int tmo = timeout_ms;
-  if (nearest != ~0ULL) {
-    const std::uint64_t now = now_ms();
-    const std::uint64_t until = nearest > now ? nearest - now : 0;
-    if (tmo < 0 || static_cast<std::uint64_t>(tmo) > until) {
-      tmo = static_cast<int>(until);
-    }
-  }
-
-  const int rc = ::poll(pfds.data(), pfds.size(), tmo);
-  if (rc < 0) return;
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc <= 0) return;
   for (std::size_t i = 0; i < pfds.size(); ++i) {
     const short rev = pfds[i].revents;
     if (rev == 0) continue;
-    const std::int64_t owner = owners[i];
-    if (owner == -1) {
-      std::uint8_t buf[256];
-      while (::read(wake_rx_.get(), buf, sizeof(buf)) > 0) {
-      }
-      continue;
-    }
-    if (owner == -2) {
-      for (;;) {
-        Fd fd(::accept(listen_fd_.get(), nullptr, nullptr));
-        if (!fd.valid()) break;
-        set_nonblocking(fd.get());
-        pending_accepts_.push_back(PendingAccept{
-            std::move(fd), {},
-            now_ms() + static_cast<std::uint64_t>(opts_.handshake_timeout_ms)});
-      }
-      continue;
-    }
-    if (owner <= -3) {
-      const std::size_t k = static_cast<std::size_t>(-3 - owner);
-      if (k < pending_accepts_.size() && pending_accepts_[k].fd.valid()) {
-        pending_accept_readable(pending_accepts_[k]);
-      }
-      continue;
-    }
-    const ProcessId peer = static_cast<ProcessId>(owner);
-    Conn& c = *conns_[peer];
-    switch (c.phase) {
-      case HsPhase::kDialWait:
-        if (rev & (POLLOUT | POLLHUP | POLLERR)) on_dial_writable(peer);
-        break;
-      case HsPhase::kHelloSent:
-        if (rev & (POLLIN | POLLHUP | POLLERR)) handshake_readable(peer);
-        break;
-      case HsPhase::kEstablished:
-        if (rev & (POLLIN | POLLHUP | POLLERR)) handle_readable(peer);
-        break;
-      default:
-        break;
-    }
+    dispatch_event(owners[i], (rev & POLLIN) != 0, (rev & POLLOUT) != 0,
+                   (rev & (POLLERR | POLLHUP | POLLNVAL)) != 0);
   }
+}
+
+#if RITAS_HAS_EPOLL
+
+void TcpTransport::forget_fd(int fd) {
+  if (fd >= 0) epoll_regs_.erase(fd);
+}
+
+void TcpTransport::reset_fd(Fd& fd) {
+  forget_fd(fd.get());
+  fd.reset();
+}
+
+void TcpTransport::wait_with_epoll(int timeout_ms) {
+  if (!epoll_fd_.valid()) {
+    Fd efd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!efd.valid()) {
+      // No epoll (container seccomp, exotic kernel): permanently fall back.
+      opts_.use_epoll = false;
+      wait_with_poll(timeout_ms);
+      return;
+    }
+    epoll_fd_ = std::move(efd);
+  }
+
+  // Desired interest set for this cycle, same owner encoding as the poll
+  // backend. Level-triggered; EPOLLOUT only while a link has blocked output.
+  std::vector<std::pair<int, EpollReg>> desired;
+  desired.reserve(2 + pending_accepts_.size() + opts_.n);
+  desired.emplace_back(wake_rx_.get(), EpollReg{EPOLLIN, -1});
+  if (listen_fd_.valid()) {
+    desired.emplace_back(listen_fd_.get(), EpollReg{EPOLLIN, -2});
+  }
+  for (std::size_t k = 0; k < pending_accepts_.size(); ++k) {
+    if (!pending_accepts_[k].fd.valid()) continue;
+    desired.emplace_back(pending_accepts_[k].fd.get(),
+                         EpollReg{EPOLLIN, -3 - static_cast<std::int64_t>(k)});
+  }
+  for (ProcessId p = 0; p < opts_.n; ++p) {
+    if (p == opts_.self) continue;
+    Conn& c = *conns_[p];
+    int fd;
+    bool blocked;
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      fd = c.fd.get();
+      blocked = c.tx_blocked;
+    }
+    if (fd < 0 || c.phase == HsPhase::kIdle) continue;
+    std::uint32_t events;
+    if (c.phase == HsPhase::kDialWait) {
+      events = EPOLLOUT;
+    } else if (c.phase == HsPhase::kEstablished) {
+      events = EPOLLIN | (blocked ? EPOLLOUT : 0);
+    } else {
+      events = EPOLLIN;
+    }
+    desired.emplace_back(fd, EpollReg{events, static_cast<std::int64_t>(p)});
+  }
+
+  // Mark-and-sweep reconcile against the registration mirror. The mirror is
+  // kept honest by reset_fd(): every close of a possibly-registered fd
+  // drops its record first, so a reused fd number is re-ADDed, never
+  // mistaken for the old registration.
+  for (auto it = epoll_regs_.begin(); it != epoll_regs_.end();) {
+    bool still_wanted = false;
+    for (const auto& d : desired) {
+      if (d.first == it->first) {
+        still_wanted = true;
+        break;
+      }
+    }
+    if (still_wanted) {
+      ++it;
+      continue;
+    }
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->first, nullptr);
+    it = epoll_regs_.erase(it);
+  }
+  for (const auto& [fd, reg] : desired) {
+    const auto it = epoll_regs_.find(fd);
+    if (it != epoll_regs_.end() && it->second.events == reg.events &&
+        it->second.owner == reg.owner) {
+      continue;  // cached: no syscall
+    }
+    epoll_event ev{};
+    ev.events = reg.events;
+    ev.data.u64 = static_cast<std::uint64_t>(reg.owner);
+    int op = it == epoll_regs_.end() ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+    if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) != 0) {
+      // EEXIST/ENOENT: the mirror drifted (e.g. dup'd fd corner); the
+      // opposite op recovers.
+      op = op == EPOLL_CTL_ADD ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+      if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) != 0) {
+        epoll_regs_.erase(fd);
+        continue;
+      }
+    }
+    epoll_regs_[fd] = reg;
+  }
+
+  epoll_event evs[64];
+  const int rc = ::epoll_wait(epoll_fd_.get(), evs, 64, timeout_ms);
+  if (rc <= 0) return;
+  for (int i = 0; i < rc; ++i) {
+    const std::int64_t owner = static_cast<std::int64_t>(evs[i].data.u64);
+    const std::uint32_t rev = evs[i].events;
+    dispatch_event(owner, (rev & EPOLLIN) != 0, (rev & EPOLLOUT) != 0,
+                   (rev & (EPOLLERR | EPOLLHUP)) != 0);
+  }
+}
+
+#endif  // RITAS_HAS_EPOLL
+
+void TcpTransport::poll_once(int timeout_ms) {
+  if (stopped_.load()) return;
+  poll_tid_.store(std::hash<std::thread::id>{}(std::this_thread::get_id()),
+                  std::memory_order_relaxed);
+  service_timers();
+  // Top-of-cycle drain: flush frames enqueued (or MAC-completed) since the
+  // last wait — the wakeup pipe got us here for exactly this.
+  drain_pending();
+  const int tmo = fold_timer_deadlines(timeout_ms);
+#if RITAS_HAS_EPOLL
+  if (opts_.use_epoll) {
+    wait_with_epoll(tmo);
+  } else {
+    wait_with_poll(tmo);
+  }
+#else
+  wait_with_poll(tmo);
+#endif
+  // Flush-before-return: deliveries above may have triggered sends from
+  // this thread (sink → protocol → send), which only enqueue when batching.
+  drain_pending();
   // Bound handshakes may have completed or died; reap dead pending fds.
   pending_accepts_.erase(
       std::remove_if(pending_accepts_.begin(), pending_accepts_.end(),
@@ -913,7 +1115,7 @@ void TcpTransport::handle_readable(ProcessId peer) {
   for (;;) {
     const ssize_t k = ::recv(c.fd.get(), buf, sizeof(buf), 0);
     if (k > 0) {
-      c.rx.insert(c.rx.end(), buf, buf + k);
+      c.rx.feed(buf, static_cast<std::size_t>(k));
       continue;
     }
     if (k == 0) {
@@ -931,26 +1133,19 @@ void TcpTransport::handle_readable(ProcessId peer) {
 
 void TcpTransport::process_rx(ProcessId peer) {
   Conn& c = *conns_[peer];
-  std::size_t off = 0;
-  const std::size_t trailer = opts_.authenticate ? kMacSize : 0;
-  while (c.rx.size() - off >= kFrameHeader) {
-    Reader hdr(ByteView(c.rx.data() + off, kFrameHeader));
-    const std::uint32_t body_len = hdr.u32();
-    const std::uint64_t sid = hdr.u64();
-    const std::uint64_t counter = hdr.u64();
-    if (body_len > opts_.max_frame) {
+  FrameReassembler::Frame f;
+  for (;;) {
+    const FrameReassembler::Status st = c.rx.next(f);
+    if (st == FrameReassembler::Status::kNeedMore) break;
+    if (st == FrameReassembler::Status::kOversize) {
       counters_->oversize_drops.fetch_add(1, std::memory_order_relaxed);
-      LOG_WARN("oversize frame (%u bytes) from p%u; dropping connection",
-               body_len, peer);
+      LOG_WARN("oversize frame from p%u; dropping connection", peer);
       c.rx.clear();
       link_down(peer);
       return;
     }
-    const std::size_t total = kFrameHeader + body_len + trailer;
-    if (c.rx.size() - off < total) break;
-    const ByteView body(c.rx.data() + off + kFrameHeader, body_len);
     bool ok = true;
-    if (sid != c.sid) {
+    if (f.sid != c.sid) {
       // Replayed bytes from an earlier session (or a raced teardown): the
       // frame is structurally fine but cryptographically stale. Never let
       // it touch the counter floor.
@@ -962,14 +1157,14 @@ void TcpTransport::process_rx(ProcessId peer) {
       // the MAC. The counter-floor decision and delivery both wait for
       // the harvest so nothing outruns an unverified predecessor.
       auto pv = std::make_shared<PendingVerify>();
-      pv->counter = counter;
-      pv->body = Slice(Bytes(body.begin(), body.end()));
+      pv->counter = f.counter;
+      pv->body = Slice(Bytes(f.body.begin(), f.body.end()));
       Sha256::Digest want{};
-      std::memcpy(want.data(), c.rx.data() + off + kFrameHeader + body_len,
-                  kMacSize);
+      std::memcpy(want.data(), f.mac.data(), kMacSize);
       c.verify_q.push_back(pv);
       counters_->crypto_offloaded.fetch_add(1, std::memory_order_relaxed);
       const ProcessId self = opts_.self;
+      const std::uint64_t sid = f.sid;
       const ByteView key = keys_.key(peer);
       crypto_->submit([this, pv, key, peer, self, sid, want] {
         Writer macin(24);
@@ -983,36 +1178,35 @@ void TcpTransport::process_rx(ProcessId peer) {
         pv->verdict.store(good ? 1 : 0, std::memory_order_release);
         wakeup();  // poll thread harvests in arrival order
       });
-      off += total;
+      c.rx.consume();
       continue;
     }
     if (ok && opts_.authenticate) {
       Writer macin(24);
       macin.u32(peer);
       macin.u32(opts_.self);
-      macin.u64(sid);
-      macin.u64(counter);
-      const auto mac = hmac_sha256_2(keys_.key(peer), macin.data(), body);
-      const ByteView got(c.rx.data() + off + kFrameHeader + body_len, kMacSize);
-      if (!ct_equal(ByteView(mac.data(), mac.size()), got)) {
+      macin.u64(f.sid);
+      macin.u64(f.counter);
+      const auto mac = hmac_sha256_2(keys_.key(peer), macin.data(), f.body);
+      if (!ct_equal(ByteView(mac.data(), mac.size()), f.mac)) {
         counters_->mac_failures.fetch_add(1, std::memory_order_relaxed);
         ok = false;
       }
     }
     if (ok) {
-      if (counter < c.rx_expected) {
+      if (f.counter < c.rx_expected) {
         // Stale counter under the current session id: a replay (the MAC
         // already proved sender and session, so this exact frame was
         // accepted before). Dropping it is what makes retransmit overlap
         // and replay floods idempotent — never a duplicate delivery.
         counters_->replay_drops.fetch_add(1, std::memory_order_relaxed);
         ok = false;
-      } else if (counter > c.rx_expected) {
+      } else if (f.counter > c.rx_expected) {
         // Forward jump: the sender's retained queue overflowed and frames
         // are gone for good. Account the loss and move the floor.
-        counters_->counter_gaps.fetch_add(counter - c.rx_expected,
+        counters_->counter_gaps.fetch_add(f.counter - c.rx_expected,
                                           std::memory_order_relaxed);
-        c.rx_expected = counter;
+        c.rx_expected = f.counter;
       }
     }
     if (ok) {
@@ -1020,11 +1214,11 @@ void TcpTransport::process_rx(ProcessId peer) {
       counters_->frames_received.fetch_add(1, std::memory_order_relaxed);
       // One boundary copy out of the reassembly window into a fresh Buffer;
       // everything downstream (decode, batch unpack, delivery) aliases it.
-      if (sink_) sink_(peer, Slice(Bytes(body.begin(), body.end())));
+      if (sink_) sink_(peer, Slice(Bytes(f.body.begin(), f.body.end())));
     }
-    off += total;
+    c.rx.consume();
   }
-  if (off > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(off));
+  c.rx.compact();
   if (crypto_) harvest_verified(peer);
 }
 
@@ -1099,6 +1293,9 @@ TcpTransport::Stats TcpTransport::stats() const {
   s.crypto_offloaded = counters_->crypto_offloaded.load(std::memory_order_relaxed);
   s.crypto_mac_offloaded =
       counters_->crypto_mac_offloaded.load(std::memory_order_relaxed);
+  s.sendmsg_calls = counters_->sendmsg_calls.load(std::memory_order_relaxed);
+  s.bytes_to_kernel = counters_->bytes_to_kernel.load(std::memory_order_relaxed);
+  s.batch_copy_bytes = counters_->batch_copy_bytes.load(std::memory_order_relaxed);
   return s;
 }
 

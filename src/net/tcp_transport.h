@@ -21,26 +21,49 @@
 // (>= n-f-1 links) to return; the rest keep dialing in the background.
 // Wire formats: docs/PROTOCOLS.md "Reliable channel".
 //
+// Event loop: one epoll_wait (level-triggered) drives readiness for every
+// link, the listen socket, pending accepts and the wakeup pipe; write
+// interest (EPOLLOUT) is registered only while a link actually has queued
+// output, and the reconnect/backoff + handshake deadlines fold into the
+// wait timeout via the deterministic `Link` timeline. Platforms without
+// epoll (and Options::use_epoll = false) run the same cycle over a flat
+// ::poll — identical semantics, tests exercise both.
+//
+// Send fast path: frames enqueue onto the link's retained queue and a
+// drain gathers consecutive ready frames into ONE sendmsg() of
+// {header, shared body, MAC trailer} iovec triplets (net/batch_writer.h),
+// bounded by IOV_MAX and Options::max_batch_bytes, resuming byte-exactly
+// after short writes that land mid-header/mid-body/mid-MAC. Batching
+// changes syscall counts only — the wire bytes are identical to the
+// one-write-per-frame path (the framing is self-delimiting), and zero
+// payload bytes are copied to assemble a batch (Stats::batch_copy_bytes,
+// CI-gated at 0).
+//
 // Threading contract:
 //   * send() may be called from ANY number of threads concurrently (the
 //     multi-core pipeline has every reactor call it). Each link's counter
-//     assignment, retained-queue update, and socket write happen under
-//     that link's Conn mutex, so concurrent senders serialize per link:
-//     frames from one sender thread keep their relative order, and the
-//     per-link counter sequence is gap-free. tests/test_tcp_transport.cpp
-//     (ConcurrentSenders*) enforces this under ASan/TSan.
+//     assignment, retained-queue update, and (with batch_sends off) socket
+//     write happen under that link's Conn mutex, so concurrent senders
+//     serialize per link: frames from one sender thread keep their
+//     relative order, and the per-link counter sequence is gap-free.
+//     tests/test_tcp_transport.cpp (ConcurrentSenders*) enforces this
+//     under ASan/TSan.
 //   * Receiving and all link management happen in poll_once(), which the
 //     owner (one thread — see ritas::Context) calls in its loop. Frames
-//     are handed to the sink inline from poll_once.
+//     are handed to the sink inline from poll_once. With batch_sends on,
+//     the poll thread also performs the batched drains (senders only
+//     enqueue + wake it).
 //   * With crypto_threads > 0, per-frame HMAC work runs on a CryptoPool:
 //     receive-side MACs verify in parallel and the poll thread re-imposes
 //     per-link arrival order before the sink sees anything (a MAC failure
 //     stays a counted drop and never reorders delivery past a verified
 //     frame); send-side MACs are staged into the retained queue and the
-//     poll thread writes them in counter order. 0 keeps every byte of the
-//     inline single-thread path.
+//     batched drain picks them up strictly in counter order, stopping at
+//     the first frame whose MAC is still computing. 0 keeps every MAC on
+//     the calling thread.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -48,6 +71,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
@@ -56,7 +80,14 @@
 #include "crypto/keychain.h"
 #include "crypto/sha256.h"
 #include "net/crypto_pool.h"
+#include "net/frame_reassembler.h"
 #include "net/link.h"
+
+#if defined(__linux__)
+#define RITAS_HAS_EPOLL 1
+#else
+#define RITAS_HAS_EPOLL 0
+#endif
 
 namespace ritas::net {
 
@@ -114,6 +145,19 @@ class TcpTransport final : public Transport {
     /// MAC work inline on the calling thread (the pre-pipeline path,
     /// bit-identical on the wire). Ignored when authenticate == false.
     std::uint32_t crypto_threads = 0;
+    /// Batch sends per syscall: send() only enqueues (and MACs, when
+    /// inline) and the poll thread drains each link's backlog into
+    /// multi-frame sendmsg() calls. Off = send() drains inline from the
+    /// calling thread, one frame per syscall when the link is idle. The
+    /// wire bytes are identical either way.
+    bool batch_sends = true;
+    /// Soft byte cap per batched sendmsg(); at least one frame is always
+    /// offered (so 0 degenerates to one frame per syscall). IOV_MAX caps
+    /// the iovec count independently.
+    std::size_t max_batch_bytes = 256u << 10;
+    /// Drive readiness with epoll where the platform has it; false forces
+    /// the portable ::poll fallback (same semantics, tests cover both).
+    bool use_epoll = true;
   };
 
   struct Stats {
@@ -131,6 +175,20 @@ class TcpTransport final : public Transport {
     std::uint64_t handshake_failures = 0; // malformed/unauthentic handshakes
     std::uint64_t crypto_offloaded = 0;     // rx MAC verifies run on the pool
     std::uint64_t crypto_mac_offloaded = 0; // tx MAC computes run on the pool
+    std::uint64_t sendmsg_calls = 0;   // batched data-frame sendmsg() syscalls
+    std::uint64_t bytes_to_kernel = 0; // bytes those syscalls moved (partial
+                                       // frames included as they progress)
+    std::uint64_t batch_copy_bytes = 0;  // payload bytes memcpy'd to assemble
+                                         // a batch; the scatter-gather path
+                                         // keeps this 0 (CI-gated)
+    /// Frames per data sendmsg(): > 1 means batching is amortizing
+    /// syscalls; 1.0 is the one-write-per-frame floor.
+    double frames_per_syscall() const {
+      return sendmsg_calls == 0
+                 ? 0.0
+                 : static_cast<double>(frames_sent) /
+                       static_cast<double>(sendmsg_calls);
+    }
   };
 
   /// Fault-injection hook for the churn tests: forcibly breaks the live
@@ -172,10 +230,12 @@ class TcpTransport final : public Transport {
   /// Wakes a blocked poll_once() from another thread.
   void wakeup();
 
-  /// Scatter-writes {20-byte header, shared frame body, per-peer MAC
-  /// trailer} in one sendmsg(); the refcounted body is never copied per
-  /// peer. If the link is not up the frame stays queued for the next
-  /// session's counter resync.
+  /// Enqueues one frame for `to`: assigns the link counter, retains the
+  /// refcounted body for counter resync, and either drains inline
+  /// (batch_sends off, no crypto pool) or leaves the write to the poll
+  /// thread's batched drain. The body is never copied per peer — the
+  /// batched sendmsg() points straight at the shared buffer. If the link
+  /// is not up the frame stays queued for the next session's resync.
   void send(ProcessId to, Slice frame) override;
 
   /// Monotonic wall clock for trace timestamps (real transports are
@@ -211,7 +271,7 @@ class TcpTransport final : public Transport {
   /// `mac` then publishes with a release store of `ready`; the poll
   /// thread acquires `ready` before reading. `sid` pins the session the
   /// MAC was computed under — if the link re-handshakes first, the stale
-  /// MAC is discarded and the resync path re-MACs inline.
+  /// MAC is discarded and the drain re-MACs inline under the new sid.
   struct MacSlot {
     std::uint64_t sid = 0;
     Sha256::Digest mac{};
@@ -229,21 +289,29 @@ class TcpTransport final : public Transport {
 
   /// A frame retained for retransmission: queued while the link is down,
   /// or recently written and kept until the next resync confirms receipt.
+  /// The header/MAC prep is the stable storage the batched iovec triplet
+  /// points at across short-write resumption; prep_sid pins the session it
+  /// was built for (a re-handshake invalidates it by changing sid).
   struct Retained {
     std::uint64_t counter;
     Slice frame;
-    bool written;
+    bool written;      // fully handed to the kernel under the current session
+    bool retx;         // rewrite under this session counts as a retransmission
     std::shared_ptr<MacSlot> mac;  // staged MAC (crypto offload); null = inline
+    std::uint64_t prep_sid = 0;    // session the prep below was built for
+    std::array<std::uint8_t, FrameReassembler::kHeaderSize> hdr{};
+    Sha256::Digest mac_trailer{};
   };
 
   struct Conn {
+    Conn(std::size_t max_frame, bool with_mac) : rx(max_frame, with_mac) {}
     // --- poll-thread-only unless noted ---
     Fd fd;
     HsPhase phase = HsPhase::kIdle;
     Bytes hs_rx;                     // accumulated handshake bytes
     std::uint64_t nonce_local = 0;
     std::uint64_t hs_deadline_ms = 0;
-    Bytes rx;                        // stream reassembly window
+    FrameReassembler rx;             // stream reassembly window
     std::uint64_t rx_expected = 0;   // next counter expected (survives sessions)
     std::unique_ptr<LinkRetry> retry;  // dialed links only (peer < self)
     bool ever_up = false;
@@ -258,9 +326,11 @@ class TcpTransport final : public Transport {
     LinkState state = LinkState::kDown;
     std::uint64_t sid = 0;           // current session id (0 = none)
     std::uint64_t tx_next = 0;       // next counter to assign (survives sessions)
-    std::uint64_t tx_staged_next = 0;  // next counter the staged-write path flushes
     std::deque<Retained> retained;
     std::size_t retained_bytes = 0;
+    std::uint64_t tx_write_next = 0; // next counter the drain hands to the kernel
+    std::size_t tx_partial = 0;      // bytes of frame tx_write_next already written
+    bool tx_blocked = false;         // drain hit a short write: wants EPOLLOUT
     bool broken = false;             // send() hit a write error; poll thread reaps
     std::uint8_t kill_request = 0;   // 1 + KillMode; poll thread executes
   };
@@ -283,18 +353,24 @@ class TcpTransport final : public Transport {
   std::uint64_t now_ms() const;
   std::uint32_t start_threshold() const;
   bool write_all(int fd, ByteView data);
-  bool writev_all(int fd, ByteView* parts, std::size_t count);
-  /// Writes one framed body; caller holds c.mutex. False on socket error.
-  bool write_frame(Conn& c, ProcessId to, std::uint64_t counter, Slice frame);
-  /// Like write_frame but with a pool-computed MAC; caller holds c.mutex.
-  bool write_frame_mac(Conn& c, std::uint64_t counter, const Slice& frame,
-                       const Sha256::Digest& mac);
+  /// Builds (or refreshes) the entry's header/MAC prep for the current
+  /// session: adopts a ready pool-computed MAC, or computes inline (the
+  /// no-pool path and the resync re-MAC path). Returns false when the
+  /// entry must wait for a staged MAC still computing — the drain stops
+  /// there so the batched queue stays in counter order. Caller holds
+  /// c.mutex.
+  bool prep_entry(Conn& c, Retained& e, ProcessId to);
+  /// Drains consecutive ready frames from tx_write_next into batched
+  /// sendmsg() calls until the backlog is empty, the socket stops taking
+  /// bytes (tx_blocked; EPOLLOUT resumes), or the head is waiting on the
+  /// crypto pool. Caller holds c.mutex.
+  void drain_locked(Conn& c, ProcessId to);
+  /// Poll thread: drains every up link with pending output and harvests
+  /// crypto-verified receives.
+  void drain_pending();
   /// Send-side offload: attaches a MacSlot to the just-retained frame and
   /// submits the HMAC job; caller holds c.mutex.
   void stage_mac(Conn& c, ProcessId to, std::uint64_t counter, const Slice& frame);
-  /// Poll thread: writes retained frames whose staged MACs are ready, in
-  /// counter order.
-  void flush_staged(ProcessId peer);
   /// Poll thread: delivers verified frames from the front of verify_q in
   /// arrival order, stopping at the first unresolved verdict.
   void harvest_verified(ProcessId peer);
@@ -311,6 +387,25 @@ class TcpTransport final : public Transport {
   void handle_readable(ProcessId peer);
   void process_rx(ProcessId peer);
   void trace_link(TraceEventKind kind, ProcessId peer, std::uint64_t arg);
+  /// Folds the nearest handshake/backoff/pending-accept deadline into the
+  /// caller's timeout so neither wait backend can oversleep a timer.
+  int fold_timer_deadlines(int timeout_ms);
+  /// Shared readiness dispatch for both wait backends. Owner encoding:
+  /// -1 wake pipe, -2 listen socket, -(3+k) pending accept k, else peer id.
+  void dispatch_event(std::int64_t owner, bool rin, bool rout, bool rerr);
+  void wait_with_poll(int timeout_ms);
+  bool is_poll_thread() const;
+#if RITAS_HAS_EPOLL
+  /// Drops a registration record before closing its fd (the kernel
+  /// auto-deregisters on close; forgetting our record keeps a reused fd
+  /// number from being mistaken for a still-registered socket).
+  void forget_fd(int fd);
+  void reset_fd(Fd& fd);
+  void wait_with_epoll(int timeout_ms);
+#else
+  void forget_fd(int) {}
+  void reset_fd(Fd& fd) { fd.reset(); }
+#endif
 
   Options opts_;
   const KeyChain& keys_;
@@ -324,7 +419,16 @@ class TcpTransport final : public Transport {
   std::unique_ptr<CryptoPool> crypto_;  // null = inline crypto path
   std::unique_ptr<Counters> counters_;
   std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> poll_tid_{0};  // hashed id of the polling thread
   std::uint64_t epoch_ns_ = 0;  // steady_clock origin for now_ms()
+#if RITAS_HAS_EPOLL
+  struct EpollReg {
+    std::uint32_t events = 0;
+    std::int64_t owner = 0;
+  };
+  Fd epoll_fd_;  // lazily created on the poll thread; poll-thread-only
+  std::unordered_map<int, EpollReg> epoll_regs_;  // poll-thread-only
+#endif
 };
 
 }  // namespace ritas::net

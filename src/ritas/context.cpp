@@ -59,6 +59,7 @@ Context::Context(Options opts)
   topts.authenticate = opts_.authenticate;
   topts.min_start_links = opts_.min_start_links;
   topts.crypto_threads = opts_.crypto_threads;
+  topts.batch_sends = opts_.transport_batch;
   // Decorrelate per-process transport randomness (handshake nonces,
   // backoff jitter) even when every node is configured with the same seed.
   topts.rng_seed = opts_.rng_seed == 0

@@ -96,6 +96,12 @@ class Context {
     /// transport's crypto workers. Validated: both <= 64.
     std::uint32_t reactor_threads = 0;
     std::uint32_t crypto_threads = 0;
+    /// Transport send batching (TcpTransport::Options::batch_sends): when
+    /// on, send() stages frames and the poll thread flushes a whole queue
+    /// per sendmsg; when off, every send drains inline (one syscall per
+    /// frame, the pre-fast-path behavior). Local-only — changes no wire
+    /// bytes, so processes may disagree on it.
+    bool transport_batch = true;
   };
 
   struct Delivery {

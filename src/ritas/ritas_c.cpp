@@ -107,6 +107,10 @@ int ritas_set_opt(ritas_t* r, int opt, long value) {
       if (value < 0 || value > 64) return RITAS_EINVAL;
       r->opts.crypto_threads = static_cast<uint32_t>(value);
       return RITAS_OK;
+    case RITAS_OPT_TRANSPORT_BATCH:
+      if (value != 0 && value != 1) return RITAS_EINVAL;
+      r->opts.transport_batch = value == 1;
+      return RITAS_OK;
   }
   return RITAS_EINVAL;
 }
@@ -157,6 +161,10 @@ long long ritas_stat(ritas_t* r, int stat) {
         return static_cast<long long>(s.crypto_offloaded);
       case RITAS_STAT_CRYPTO_MAC_OFFLOADED:
         return static_cast<long long>(s.crypto_mac_offloaded);
+      case RITAS_STAT_SENDMSG_CALLS:
+        return static_cast<long long>(s.sendmsg_calls);
+      case RITAS_STAT_BYTES_TO_KERNEL:
+        return static_cast<long long>(s.bytes_to_kernel);
       case RITAS_STAT_HANDOFF_ENQUEUED:
       case RITAS_STAT_HANDOFF_DROPPED:
       case RITAS_STAT_REACTOR_QUEUE_DEPTH: {

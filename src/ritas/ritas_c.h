@@ -74,9 +74,14 @@ enum {
                                   * wire/trace/bench. Local knob: it never
                                   * touches the wire, so processes may
                                   * differ. */
-  RITAS_OPT_CRYPTO_THREADS = 10  /* HMAC worker threads, 0..64; 0 = MACs
+  RITAS_OPT_CRYPTO_THREADS = 10, /* HMAC worker threads, 0..64; 0 = MACs
                                   * inline on the calling thread. Local
                                   * knob like REACTOR_THREADS. */
+  RITAS_OPT_TRANSPORT_BATCH = 11 /* transport send batching: 1 (default)
+                                  * = sends stage frames and the poll
+                                  * thread flushes many per sendmsg; 0 =
+                                  * drain inline per send. Local knob —
+                                  * wire bytes are identical either way. */
 };
 
 /* Per-link channel health, as reported by ritas_link_states. Values match
@@ -107,7 +112,10 @@ enum {
   RITAS_STAT_CRYPTO_MAC_OFFLOADED = 14, /* tx MAC computes run on workers */
   RITAS_STAT_HANDOFF_ENQUEUED = 15,     /* frames handed to reactor rings */
   RITAS_STAT_HANDOFF_DROPPED = 16,      /* frames dropped on a full ring */
-  RITAS_STAT_REACTOR_QUEUE_DEPTH = 17   /* max current ring occupancy */
+  RITAS_STAT_REACTOR_QUEUE_DEPTH = 17,  /* max current ring occupancy */
+  /* Transport fast-path counters (multi-frame sendmsg batching). */
+  RITAS_STAT_SENDMSG_CALLS = 18,        /* data-frame sendmsg syscalls */
+  RITAS_STAT_BYTES_TO_KERNEL = 19       /* bytes the kernel accepted */
 };
 
 /* Context management ----------------------------------------------------- */

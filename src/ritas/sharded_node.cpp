@@ -51,6 +51,7 @@ ShardedNode::ShardedNode(Options opts)
   topts.authenticate = opts_.authenticate;
   topts.min_start_links = opts_.min_start_links;
   topts.crypto_threads = opts_.crypto_threads;
+  topts.batch_sends = opts_.transport_batch;
   topts.rng_seed =
       opts_.rng_seed == 0
           ? 0

@@ -57,6 +57,9 @@ class ShardedNode {
     /// Execution pipeline (0/0 = single-thread path, see header).
     std::uint32_t reactor_threads = 0;
     std::uint32_t crypto_threads = 0;
+    /// Transport send batching (multi-frame sendmsg flush; local-only, no
+    /// wire change). Mirrors Context::Options::transport_batch.
+    bool transport_batch = true;
     /// Explicit group → reactor pinning (size = groups, entries <
     /// reactor_threads). Empty = g % reactor_threads. Pinning is part of
     /// the determinism contract: same seed + same pinning ⇒ bit-identical

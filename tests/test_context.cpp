@@ -253,11 +253,21 @@ TEST(Context, BatchedAtomicBroadcastTotalOrder) {
     EXPECT_EQ(order[p], order[0]) << "batched total order violated at node " << p;
   }
   // Batching actually engaged: fewer dissemination broadcasts than
-  // messages, and the seal/unpack accounting matches the burst.
-  const Metrics m = nodes[0]->metrics();
-  EXPECT_EQ(m.ab_batch_msgs, static_cast<std::uint64_t>(kPer));
-  EXPECT_GT(m.ab_batches_sealed, 0u);
-  EXPECT_LT(m.ab_batches_sealed, static_cast<std::uint64_t>(kPer));
+  // messages, and the seal/unpack accounting matches the burst. Each
+  // ab_bcast round-trips to the reactor, so any single node can lose every
+  // "next message posted before the open batch's RB completes" race under
+  // unlucky scheduling; aggregating over all four nodes keeps the assertion
+  // meaningful (somewhere, batching packed messages) without that race.
+  std::uint64_t sealed = 0;
+  std::uint64_t batch_msgs = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const Metrics m = nodes[p]->metrics();
+    sealed += m.ab_batches_sealed;
+    batch_msgs += m.ab_batch_msgs;
+  }
+  EXPECT_EQ(batch_msgs, static_cast<std::uint64_t>(4 * kPer));
+  EXPECT_GT(sealed, 0u);
+  EXPECT_LT(sealed, static_cast<std::uint64_t>(4 * kPer));
 }
 
 TEST(Context, MetricsVisible) {

@@ -12,7 +12,11 @@ bench-smoke, currently 3). Two headline figures are gated:
     the tolerance below baseline.
   * buffer frames encoded    — BENCH_buffer.json, the zero-copy layer's
     frames_encoded per (msg_bytes, batched) must not grow more than the
-    tolerance above baseline (fewer encodes is the whole point).
+    tolerance above baseline (fewer encodes is the whole point). The same
+    artifact's syscall_rows (real-TCP transport batching, real-time) are
+    checked shape-only against the bench's own floors: >= min_fps frames
+    per sendmsg on the 10 B batched burst, > 1 on every batched cell, and
+    zero payload bytes copied assembling batches.
   * variant matrix           — BENCH_variants.json, every in-binary shape
     gate must hold (imbs-raynal beats bracha RB on latency and messages,
     crain uses fewer messages per decision, all cells completed), and per
@@ -102,9 +106,12 @@ def check_fig4(out_dir: Path, base_dir: Path, tol: float) -> list:
 
 
 def check_buffer(out_dir: Path, base_dir: Path, tol: float) -> list:
-    """frames_encoded must stay within tol of baseline (fewer is ok)."""
+    """frames_encoded must stay within tol of baseline (fewer is ok), and
+    the transport syscall-batching gates hold, re-derived from the fresh
+    syscall_rows (real-time loopback numbers: shape-only, no baseline)."""
     name = "BENCH_buffer.json"
-    fresh = index_rows(load(out_dir, name), ("msg_bytes", "batched"))
+    fresh_doc = load(out_dir, name)
+    fresh = index_rows(fresh_doc, ("msg_bytes", "batched"))
     base = index_rows(load(base_dir, name), ("msg_bytes", "batched"))
     failures = []
     for key, brow in sorted(base.items()):
@@ -122,6 +129,41 @@ def check_buffer(out_dir: Path, base_dir: Path, tol: float) -> list:
             failures.append(
                 f"buffer {key}: frames_encoded {got} > ceiling {ceiling:.0f} "
                 f"(baseline {want}, tolerance {tol:.0%})")
+
+    # Transport fast path: multi-frame sendmsg batching. The 10 B bursty
+    # workload must pack >= syscall_gate_min_fps frames per syscall, every
+    # batched cell must beat one-frame-per-syscall, and batch assembly must
+    # copy zero payload bytes; all re-derived from the rows, the bench's
+    # own meta verdicts must agree.
+    sys_rows = fresh_doc.get("syscall_rows")
+    if not sys_rows:
+        return failures + ["buffer: syscall_rows missing from artifact"]
+    meta = fresh_doc.get("meta", {})
+    min_fps = meta.get("syscall_gate_min_fps", 4.0)
+    by_key = {(r["msg_bytes"], r["batched"]): r for r in sys_rows}
+    for (m, batched), row in sorted(by_key.items()):
+        fps = row["frames_per_syscall"]
+        copied = row["batch_copy_bytes"]
+        floor = min_fps if (batched and m == 10) else (1.0 if batched else 0.0)
+        verdict = "ok" if fps >= floor and copied == 0 else "REGRESSED"
+        print(f"buffer syscalls m={m}B batched={batched}: "
+              f"{fps:.1f} frames/sendmsg (floor {floor:.1f}), "
+              f"copied {copied} B {verdict}")
+        if fps < floor:
+            failures.append(
+                f"buffer syscalls ({m}, {batched}): frames_per_syscall "
+                f"{fps:.2f} < floor {floor:.1f}")
+        if copied != 0:
+            failures.append(
+                f"buffer syscalls ({m}, {batched}): batch assembly copied "
+                f"{copied} payload bytes (must be 0)")
+    if (10, True) not in by_key:
+        failures.append("buffer syscalls: 10 B batched row missing")
+    for gate in ("gate_frames_per_syscall_ok", "gate_batch_zero_copy_ok"):
+        ok = meta.get(gate)
+        print(f"buffer meta {gate}: {ok}")
+        if ok is not True:
+            failures.append(f"buffer: meta gate {gate} is {ok!r}")
     return failures
 
 
